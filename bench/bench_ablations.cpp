@@ -1,0 +1,95 @@
+// Ablations called out in DESIGN.md beyond the per-theorem benches:
+//   A1 — theta sensitivity: degree bound vs stretch trade-off as theta grows
+//        towards the pi/3 limit.
+//   A2 — T threshold: pushing T below the Theorem 3.1 prescription starts
+//        dropping in-transit packets (the guarantee's precondition is real);
+//        pushing it above slows convergence.
+//   A3 — gamma sweep: energy per delivery vs throughput trade-off around
+//        the theorem's gamma.
+
+#include "bench/common.h"
+
+#include "core/balancing_router.h"
+#include "core/theta_topology.h"
+#include "graph/connectivity.h"
+#include "graph/stretch.h"
+#include "sim/scenarios.h"
+#include "topology/transmission_graph.h"
+
+int main() {
+  using namespace thetanet;
+  bench::print_header("Ablations: theta, T, gamma",
+                      "design-choice sensitivity behind Theorems 2.2/3.1");
+
+  geom::Rng seed_rng(bench::kSeedRoot + 11);
+
+  // A1 — theta sensitivity.
+  sim::Table a1("A1 - theta sweep (uniform n=1024)",
+                {"theta", "sectors", "deg_bound", "max_deg", "edges",
+                 "energy_stretch", "dist_stretch"});
+  {
+    geom::Rng rng = seed_rng.fork();
+    const topo::Deployment d = bench::uniform_deployment(1024, rng);
+    const graph::Graph gstar = topo::build_transmission_graph(d);
+    for (const double theta :
+         {bench::kPi / 3.0, bench::kPi / 6.0, bench::kPi / 9.0,
+          bench::kPi / 12.0, bench::kPi / 24.0}) {
+      const core::ThetaTopology tt(d, theta);
+      const auto sc = graph::edge_stretch(tt.graph(), gstar, graph::Weight::kCost);
+      const auto sl =
+          graph::edge_stretch(tt.graph(), gstar, graph::Weight::kLength);
+      a1.row({sim::fmt(theta, 3), sim::fmt(tt.sectors()),
+              sim::fmt(4.0 * bench::kPi / theta, 1),
+              sim::fmt(tt.graph().max_degree()),
+              sim::fmt(tt.graph().num_edges()), sim::fmt(sc.max, 3),
+              sim::fmt(sl.max, 3)});
+    }
+  }
+  a1.print(std::cout);
+
+  // Shared routing instance for A2/A3.
+  geom::Rng net_rng = seed_rng.fork();
+  const topo::Deployment d = bench::uniform_deployment(48, net_rng, 2.0, 2.6);
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  geom::Rng trace_rng = seed_rng.fork();
+  route::TraceParams tp;
+  tp.horizon = 24000;
+  tp.injections_per_step = 3.0;
+  tp.max_schedule_slack = 64;
+  tp.num_sources = 6;
+  tp.num_destinations = 2;
+  const auto trace = route::make_certified_trace(gstar, tp, trace_rng);
+  const auto base = core::theorem31_params(trace.opt, 0.25, 4.0);
+
+  // A2 — T sweep around the prescription.
+  sim::Table a2("A2 - threshold T sweep (Theorem 3.1 prescribes T*)",
+                {"T/T*", "T", "ratio", "transit_drops", "peak_buffer"});
+  for (const double f : {0.0, 0.25, 1.0, 4.0}) {
+    core::BalancingParams p = base;
+    p.threshold = f * base.threshold;
+    const auto res = sim::run_mac_given(trace, p, 8000);
+    a2.row({sim::fmt(f, 2), sim::fmt(p.threshold, 1),
+            sim::fmt(res.throughput_ratio(), 3),
+            sim::fmt(res.metrics.dropped_in_transit),
+            sim::fmt(res.metrics.peak_buffer)});
+  }
+  a2.print(std::cout);
+
+  // A3 — gamma sweep.
+  sim::Table a3("A3 - gamma sweep (cost-awareness)",
+                {"gamma/gamma*", "ratio", "avg_cost_ratio"});
+  for (const double f : {0.0, 0.5, 1.0, 2.0}) {
+    core::BalancingParams p = base;
+    p.gamma = f * base.gamma;
+    const auto res = sim::run_mac_given(trace, p, 8000);
+    a3.row({sim::fmt(f, 2), sim::fmt(res.throughput_ratio(), 3),
+            sim::fmt(res.cost_ratio(), 3)});
+  }
+  a3.print(std::cout);
+  std::printf("Expected shape: A1 - degree falls and stretch rises as theta\n"
+              "shrinks; A2 - T = 0 moves packets eagerly (higher throughput,\n"
+              "possible transit pressure), very large T slows convergence;\n"
+              "A3 - gamma = 0 can raise the cost ratio on cost-heterogeneous\n"
+              "instances while barely changing throughput here.\n");
+  return 0;
+}

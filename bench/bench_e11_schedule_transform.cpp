@@ -1,0 +1,52 @@
+// E11 — Theorem 2.8, executed: any W deliverable on G* by a t-step schedule
+// of pairwise non-interfering edge sets is deliverable on N in O(t*I + n^2)
+// steps. The transform replaces each G* transmission by its theta-path
+// (Lemma 2.9) and greedily packs the hops under N's own interference
+// constraints. Expected shape: slowdown (N steps per G* step) is a small
+// constant, a tiny fraction of the I-budget the theorem allows
+// (slowdown/I << 1).
+
+#include "bench/common.h"
+
+#include "core/schedule_transform.h"
+#include "topology/transmission_graph.h"
+
+int main() {
+  using namespace thetanet;
+  bench::print_header(
+      "E11: schedule transformation G* -> N (Theorem 2.8 pipeline)",
+      "Theorem 2.8 - t G*-steps simulate in O(t*I + n^2) N-steps");
+
+  const interf::InterferenceModel model{0.5};
+  sim::Table table("E11 - makespan of transformed schedules",
+                   {"n", "t(G*)", "avg|T_k|", "N_steps", "slowdown",
+                    "I(N)", "slowdown/I", "transmissions"});
+  geom::Rng seed_rng(bench::kSeedRoot + 12);
+  for (const std::size_t n : {64UL, 256UL, 1024UL}) {
+    geom::Rng rng = seed_rng.fork();
+    const topo::Deployment d = bench::uniform_deployment(n, rng);
+    const graph::Graph gstar = topo::build_transmission_graph(d);
+    const core::ThetaTopology tt(d, bench::kPi / 9.0);
+
+    const std::size_t t = 64;
+    const auto schedule =
+        core::random_noninterfering_schedule(gstar, d, model, t, rng);
+    std::size_t total = 0;
+    for (const auto& step : schedule) total += step.size();
+
+    const core::TransformResult res =
+        core::transform_schedule(tt, gstar, schedule, model);
+    table.row({sim::fmt(n), sim::fmt(t),
+               sim::fmt(static_cast<double>(total) / static_cast<double>(t), 1),
+               sim::fmt(res.n_steps), sim::fmt(res.slowdown(), 2),
+               sim::fmt(res.interference_number),
+               sim::fmt(res.slowdown_per_interference(), 4),
+               sim::fmt(res.transmissions)});
+  }
+  table.print(std::cout);
+  std::printf("Expected shape: slowdown/I << 1 in every row — the O(t*I)\n"
+              "budget of Theorem 2.8 is a loose worst case; the produced N\n"
+              "schedule is verified conflict-free by construction (and by\n"
+              "the schedule_transform tests).\n");
+  return 0;
+}

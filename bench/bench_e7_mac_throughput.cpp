@@ -1,0 +1,140 @@
+// E7 — Lemma 3.2 + Theorem 3.3: the randomized (T, gamma, I)-balancing MAC
+// activates each edge with probability 1/(2 I_e); active edges collide with
+// probability <= 1/2, and the combined MAC+routing achieves at least a
+// (1-eps)/(8I) fraction of the optimal throughput on the same topology.
+// Expected shape: collision_rate <= 0.5 everywhere; ratio >= floor in every
+// row (usually far above it — the floor is worst-case).
+
+#include "bench/common.h"
+
+#include "core/interference_mac.h"
+#include "core/theta_topology.h"
+#include "sim/scenarios.h"
+#include "topology/transmission_graph.h"
+#include "graph/connectivity.h"
+#include "sim/scenarios.h"
+
+int main() {
+  using namespace thetanet;
+  bench::print_header(
+      "E7: randomized interference MAC + balancing on ThetaALG's N",
+      "Lemma 3.2 (collisions <= 1/2) and Theorem 3.3 ((1-eps)/(8I) floor)");
+
+  geom::Rng seed_rng(bench::kSeedRoot + 7);
+  sim::Table table("E7 - throughput of (T,gamma,I)-balancing vs OPT on N",
+                   {"n", "I_bound", "floor", "OPT", "delivered", "ratio",
+                    "collision_rate"});
+  for (const std::size_t n : {48UL, 96UL, 192UL}) {
+    geom::Rng rng = seed_rng.fork();
+    topo::Deployment d = bench::uniform_deployment(n, rng, 2.0, 1.8);
+    // Resample until the instance is connected so every row is present.
+    while (!graph::is_connected(
+        topo::build_transmission_graph(d))) {
+      rng = seed_rng.fork();
+      d = bench::uniform_deployment(n, rng, 2.0, 1.8);
+    }
+    const core::ThetaTopology tt(d, bench::kPi / 9.0);
+    const core::RandomizedMac mac(tt.graph(), d, interf::InterferenceModel{0.25});
+
+    // Injections are spread across the whole run at a rate a small multiple
+    // of the MAC capacity (an edge activates every ~2*I_e steps): compressed
+    // bursts would be dropped at the sources and measure nothing but the
+    // admission control.
+    route::TraceParams tp;
+    tp.horizon = 400000;
+    tp.injections_per_step =
+        40.0 / (2.0 * static_cast<double>(mac.interference_bound()));
+    tp.max_schedule_slack = 50;
+    tp.num_sources = 2;
+    tp.num_destinations = 1;
+    const auto trace = route::make_certified_trace(tt.graph(), tp, rng);
+    const double eps = 0.25;
+    const auto params = core::theorem33_params(trace.opt, eps);
+    const route::Time drain = 40U * mac.interference_bound();
+    const auto res =
+        sim::run_randomized_mac(trace, tt.graph(), mac, params, rng, drain);
+    const double floor =
+        (1.0 - eps) / (8.0 * static_cast<double>(mac.interference_bound()));
+    const double coll =
+        res.metrics.attempted_tx == 0
+            ? 0.0
+            : static_cast<double>(res.metrics.failed_tx) /
+                  static_cast<double>(res.metrics.attempted_tx);
+    table.row({sim::fmt(n), sim::fmt(mac.interference_bound()),
+               sim::fmt(floor, 4), sim::fmt(trace.opt.deliveries),
+               sim::fmt(res.metrics.deliveries),
+               sim::fmt(res.throughput_ratio(), 3), sim::fmt(coll, 3)});
+  }
+  table.print(std::cout);
+
+  // E7b — ablation: interference-oblivious slotted ALOHA at several fixed
+  // activation probabilities, against the same design as the n = 96 row.
+  // Without the 1/(2 I_e) scaling there is no collision guarantee: pushing
+  // p up to useful duty cycles jams the dense regions.
+  sim::Table aloha("E7b - slotted-ALOHA ablation (congested cell, n = 60)",
+                   {"mac", "p", "delivered", "ratio", "collision_rate"});
+  {
+    // Congested-cell stress: all nodes within one interference domain (a
+    // conference room, the paper's motivating single-cell scenario). Every
+    // N edge interferes with every other, so simultaneous gradient-bearing
+    // transmissions are the norm, not the exception.
+    geom::Rng rng = seed_rng.fork();
+    topo::Deployment d;
+    d.positions = topo::uniform_square(60, 0.15, rng);
+    d.max_range = 0.1;
+    d.kappa = 2.0;
+    while (!graph::is_connected(topo::build_transmission_graph(d))) {
+      d.positions = topo::uniform_square(60, 0.15, rng);
+    }
+    const core::ThetaTopology tt(d, bench::kPi / 9.0);
+    const interf::InterferenceModel model{0.5};
+    const core::RandomizedMac imac(tt.graph(), d, model);
+    route::TraceParams tp;
+    tp.horizon = 200000;
+    tp.injections_per_step =
+        60.0 / (2.0 * static_cast<double>(imac.interference_bound()));
+    tp.max_schedule_slack = 50;
+    tp.num_sources = 8;   // many concurrent flows inside the cell
+    tp.num_destinations = 4;
+    const auto trace = route::make_certified_trace(tt.graph(), tp, rng);
+    const auto params = core::theorem33_params(trace.opt, 0.25);
+    const route::Time drain = 60U * imac.interference_bound();
+
+    const auto emit = [&](const char* name, double p_val, const auto& res) {
+      const double coll =
+          res.metrics.attempted_tx == 0
+              ? 0.0
+              : static_cast<double>(res.metrics.failed_tx) /
+                    static_cast<double>(res.metrics.attempted_tx);
+      aloha.row({name, sim::fmt(p_val, 4), sim::fmt(res.metrics.deliveries),
+                 sim::fmt(res.throughput_ratio(), 3), sim::fmt(coll, 3)});
+    };
+    {
+      geom::Rng run_rng = rng.fork();
+      emit("1/(2I_e)", 0.5 / static_cast<double>(imac.interference_bound()),
+           sim::run_randomized_mac(trace, tt.graph(), imac, params, run_rng,
+                                   drain));
+    }
+    for (const double p_val : {0.05, 0.3, 1.0}) {
+      const core::SlottedAlohaMac amac(tt.graph(), d, model, p_val);
+      sim::MacHooks hooks;
+      hooks.activate = [&amac](geom::Rng& r) { return amac.activate(r); };
+      hooks.resolve = [&amac](std::span<const core::PlannedTx> txs) {
+        return amac.resolve(txs);
+      };
+      geom::Rng run_rng = rng.fork();
+      emit("aloha", p_val,
+           sim::run_custom_mac(trace, tt.graph(), hooks, params, run_rng,
+                               drain));
+    }
+  }
+  aloha.print(std::cout);
+  std::printf("Expected shape: collision_rate <= 0.5 (Lemma 3.2); ratio >=\n"
+              "floor in every row (Theorem 3.3 is a worst-case lower bound).\n"
+              "E7b: ALOHA at moderate p can beat the conservative 1/(2I_e)\n"
+              "on benign traffic, but has no guarantee: at p = 1 the cell\n"
+              "livelocks (collision rate 1.0, ~zero deliveries). 1/(2I_e)\n"
+              "is the largest probability that provably avoids this for\n"
+              "every workload (Lemma 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Google-benchmark microbenchmarks for the computational kernels: ThetaALG
+// construction, transmission-graph build, interference sets, Dijkstra, the
+// balancing step, and the local message protocol. These are throughput
+// numbers for the library itself (not paper claims).
+
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "core/balancing_router.h"
+#include "core/local_protocol.h"
+#include "core/contention_protocol.h"
+#include "core/theta_topology.h"
+#include "geom/hex_tiling.h"
+#include "routing/adversary.h"
+#include "graph/shortest_paths.h"
+#include "interference/model.h"
+#include "topology/distributions.h"
+#include "topology/proximity.h"
+#include "topology/transmission_graph.h"
+
+namespace {
+
+using namespace thetanet;
+constexpr double kTheta = std::numbers::pi / 9.0;
+
+topo::Deployment deployment(std::size_t n) {
+  geom::Rng rng(0xbe9c4 + n);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = 1.6 * std::sqrt(std::log(static_cast<double>(n)) /
+                                static_cast<double>(n));
+  d.kappa = 2.0;
+  return d;
+}
+
+void BM_TransmissionGraph(benchmark::State& state) {
+  const auto d = deployment(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(topo::build_transmission_graph(d));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransmissionGraph)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ThetaTopologyBuild(benchmark::State& state) {
+  const auto d = deployment(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::ThetaTopology tt(d, kTheta);
+    benchmark::DoNotOptimize(tt.graph().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThetaTopologyBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_LocalProtocol(benchmark::State& state) {
+  const auto d = deployment(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::run_local_protocol(d, kTheta));
+}
+BENCHMARK(BM_LocalProtocol)->Arg(256)->Arg(1024);
+
+void BM_InterferenceSets(benchmark::State& state) {
+  const auto d = deployment(static_cast<std::size_t>(state.range(0)));
+  const core::ThetaTopology tt(d, kTheta);
+  const interf::InterferenceModel m{1.0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(interf::interference_sets(tt.graph(), d, m));
+}
+BENCHMARK(BM_InterferenceSets)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto d = deployment(static_cast<std::size_t>(state.range(0)));
+  const core::ThetaTopology tt(d, kTheta);
+  graph::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::dijkstra(tt.graph(), src, graph::Weight::kCost));
+    src = (src + 1) % static_cast<graph::NodeId>(tt.graph().num_nodes());
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(1024)->Arg(4096);
+
+void BM_ReplacementPath(benchmark::State& state) {
+  const auto d = deployment(1024);
+  const core::ThetaTopology tt(d, kTheta);
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  geom::Rng rng(17);
+  for (auto _ : state) {
+    const auto& e = gstar.edge(
+        static_cast<graph::EdgeId>(rng.uniform_index(gstar.num_edges())));
+    benchmark::DoNotOptimize(tt.replacement_path(e.u, e.v));
+  }
+}
+BENCHMARK(BM_ReplacementPath);
+
+void BM_BalancingStep(benchmark::State& state) {
+  const auto d = deployment(256);
+  const core::ThetaTopology tt(d, kTheta);
+  const graph::Graph& g = tt.graph();
+  core::BalancingRouter router(g.num_nodes(), {1.0, 0.0, 1 << 20});
+  route::RunMetrics m;
+  geom::Rng rng(3);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_index(g.num_nodes()));
+    auto t = static_cast<graph::NodeId>(rng.uniform_index(g.num_nodes() - 1));
+    if (t >= s) ++t;
+    router.inject(route::Packet{i, s, t, 0, 0.0, 0}, m);
+  }
+  std::vector<graph::EdgeId> active(g.num_edges());
+  for (graph::EdgeId e = 0; e < active.size(); ++e) active[e] = e;
+  std::vector<double> costs(g.num_edges());
+  for (graph::EdgeId e = 0; e < costs.size(); ++e) costs[e] = g.edge(e).cost;
+  route::Time now = 0;
+  for (auto _ : state) {
+    const auto txs = router.plan(g, active, costs);
+    router.execute(txs, {}, costs, now++, m);
+    benchmark::DoNotOptimize(m.deliveries);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BalancingStep);
+
+void BM_GabrielGraph(benchmark::State& state) {
+  const auto d = deployment(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(topo::gabriel_graph(d));
+}
+BENCHMARK(BM_GabrielGraph)->Arg(256)->Arg(1024);
+
+void BM_CertifiedTraceGeneration(benchmark::State& state) {
+  const auto d = deployment(64);
+  const core::ThetaTopology tt(d, kTheta);
+  route::TraceParams tp;
+  tp.horizon = 2000;
+  tp.injections_per_step = 1.0;
+  tp.num_sources = 4;
+  tp.num_destinations = 2;
+  geom::Rng rng(5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(route::make_certified_trace(tt.graph(), tp, rng));
+}
+BENCHMARK(BM_CertifiedTraceGeneration);
+
+void BM_HexCellOf(benchmark::State& state) {
+  const geom::HexTiling tiling(4.0);
+  geom::Rng rng(6);
+  geom::Vec2 p{rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    p.x += 0.37;
+    if (p.x > 100.0) p.x -= 200.0;
+    benchmark::DoNotOptimize(tiling.cell_of(p));
+  }
+}
+BENCHMARK(BM_HexCellOf);
+
+void BM_ContentionProtocolSmall(benchmark::State& state) {
+  const auto d = deployment(64);
+  geom::Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::run_contention_protocol(d, kTheta, 0.05, rng));
+}
+BENCHMARK(BM_ContentionProtocolSmall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+#pragma once
+// Shared scaffolding for the experiment harness (bench_e*). Every binary
+// prints one or more tables via sim::Table; EXPERIMENTS.md documents the
+// paper claim each table validates and the shape expected.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+#include <string>
+
+#include "geom/rng.h"
+#include "topology/deployment.h"
+#include "topology/distributions.h"
+#include "sim/table.h"
+
+namespace thetanet::bench {
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// Fixed seed root: every experiment derives its streams from this, so the
+/// whole harness is reproducible.
+inline constexpr std::uint64_t kSeedRoot = 0x5eed5eedULL;
+
+/// Uniform deployment in the unit square at the standard "connectivity
+/// radius plus margin" density: r = c * sqrt(ln n / n) with c = 1.6 keeps
+/// G* connected whp without making it dense.
+inline topo::Deployment uniform_deployment(std::size_t n, geom::Rng& rng,
+                                           double kappa = 2.0,
+                                           double radius_factor = 1.6) {
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = radius_factor * std::sqrt(std::log(static_cast<double>(n)) /
+                                          static_cast<double>(n));
+  d.kappa = kappa;
+  return d;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("###############################################################\n");
+  std::printf("# %s\n# Paper claim: %s\n", experiment, claim);
+  std::printf("###############################################################\n\n");
+}
+
+}  // namespace thetanet::bench

@@ -1,0 +1,92 @@
+// Disaster relief — the fixed-transmission-strength scenario of Section 3.4.
+// Response teams carry identical radios (fixed power, range normalized to
+// 1) and cluster around incident sites; there is no infrastructure, so the
+// honeycomb algorithm provides medium access: the plane is tiled by
+// hexagons of side 3 + 2*Delta, each hexagon elects its max-benefit
+// sender-receiver pair, and contestants transmit with probability 1/6 —
+// Theorem 3.8 makes this constant-competitive.
+//
+// Run: ./disaster_relief [teams] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/balancing_router.h"
+#include "core/honeycomb.h"
+#include "graph/connectivity.h"
+#include "routing/adversary.h"
+#include "sim/scenarios.h"
+#include "sim/table.h"
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace thetanet;
+  const std::size_t teams = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+  geom::Rng rng(seed);
+
+  // Teams of responders around incident sites in a 6x6 km sector (unit =
+  // radio range).
+  const double side = 6.0;
+  topo::Deployment d;
+  d.positions = topo::clustered(teams * 30, teams, 0.8, side, rng);
+  d.max_range = 1.0;  // identical radios: fixed transmission strength
+  d.kappa = 2.0;
+  const graph::Graph unit = topo::build_transmission_graph(d);
+  if (!graph::is_connected(unit)) {
+    std::printf("responders out of radio contact at this seed; re-roll\n");
+    return 1;
+  }
+
+  const core::HoneycombParams hp{/*delta=*/0.5, /*p_t=*/1.0 / 6.0};
+  const core::HoneycombMac mac(d, unit, hp);
+  std::printf("sector %.0fx%.0f, %zu responders in %zu teams; hexagon side "
+              "%.1f (diameter %.1f)\n\n",
+              side, side, d.size(), teams, mac.tiling().side(),
+              mac.tiling().diameter());
+
+  // Situation reports flow to the incident commander (node nearest the
+  // sector centre).
+  graph::NodeId commander = 0;
+  for (graph::NodeId v = 1; v < d.size(); ++v)
+    if (geom::dist_sq(d.positions[v], {side / 2, side / 2}) <
+        geom::dist_sq(d.positions[commander], {side / 2, side / 2}))
+      commander = v;
+
+  route::TraceParams tp;
+  tp.horizon = 30000;
+  tp.injections_per_step = 0.4;
+  tp.max_schedule_slack = 100;
+  tp.num_sources = 6;
+  tp.dest_pool = {commander};
+  const auto trace = route::make_certified_trace(unit, tp, rng);
+  const auto params = core::theorem33_params(trace.opt, 0.25);
+
+  sim::HoneycombRunStats hs;
+  const auto res =
+      sim::run_honeycomb(trace, unit, mac, params, rng, 120000, &hs);
+
+  sim::Table table("situation-report delivery (honeycomb MAC + balancing)",
+                   {"metric", "value"});
+  table.row({"reports deliverable (OPT)", sim::fmt(trace.opt.deliveries)})
+      .row({"reports delivered", sim::fmt(res.metrics.deliveries)})
+      .row({"fraction of OPT", sim::fmt(res.throughput_ratio(), 3)})
+      .row({"avg hops per report", sim::fmt(res.metrics.avg_hops(), 2)})
+      .row({"contestants elected", sim::fmt(hs.contestants_total)})
+      .row({"transmissions", sim::fmt(hs.transmissions_total)})
+      .row({"collision rate",
+            sim::fmt(hs.transmissions_total == 0
+                         ? 0.0
+                         : static_cast<double>(hs.collisions_total) /
+                               static_cast<double>(hs.transmissions_total),
+                     3)})
+      .row({"still queued", sim::fmt(res.metrics.leftover_packets)});
+  table.print(std::cout);
+  std::printf("Lemma 3.7 in action: with p_t = 1/6 and hexagons of side\n"
+              "3 + 2*Delta, the collision rate stays below 1/2 no matter how\n"
+              "the teams bunch up — no channel planning needed.\n");
+  return 0;
+}

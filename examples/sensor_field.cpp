@@ -1,0 +1,133 @@
+// Sensor-field data collection — the "sensor networks" application from the
+// paper's introduction. A field of battery-powered sensors reports readings
+// to a sink. Energy is the scarce resource, so the example contrasts:
+//
+//   * topology quality: ThetaALG's N (constant degree) vs the Gabriel graph
+//     (energy-optimal paths but unbounded degree) vs the Euclidean MST
+//     (sparsest but fragile and stretch-heavy);
+//   * routing energy: (T, gamma)-balancing with the cost-aware gamma of
+//     Theorem 3.1 vs the cost-blind gamma = 0 variant.
+//
+// Run: ./sensor_field [n] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <numbers>
+
+#include "core/balancing_router.h"
+#include "core/theta_topology.h"
+#include "graph/connectivity.h"
+#include "graph/shortest_paths.h"
+#include "graph/stretch.h"
+#include "routing/adversary.h"
+#include "sim/scenarios.h"
+#include "sim/svg.h"
+#include "sim/table.h"
+#include "topology/distributions.h"
+#include "topology/metrics.h"
+#include "topology/proximity.h"
+#include "topology/transmission_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace thetanet;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  geom::Rng rng(seed);
+
+  // Sensors scattered over the field; the sink is the node nearest the
+  // centre (where the base station was dropped).
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = 2.0 * std::sqrt(std::log(static_cast<double>(n)) /
+                                static_cast<double>(n));
+  d.kappa = 2.0;
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  if (!graph::is_connected(gstar)) {
+    std::printf("field not connected at this density; try another seed\n");
+    return 1;
+  }
+  graph::NodeId sink = 0;
+  for (graph::NodeId v = 1; v < n; ++v)
+    if (geom::dist_sq(d.positions[v], {0.5, 0.5}) <
+        geom::dist_sq(d.positions[sink], {0.5, 0.5}))
+      sink = v;
+  std::printf("sensor field: %zu sensors, range %.3f, sink at node %u\n\n",
+              n, d.max_range, sink);
+
+  // --- Topology shoot-out ---------------------------------------------------
+  const core::ThetaTopology tt(d, std::numbers::pi / 9.0);
+  sim::Table topo_table("candidate topologies",
+                        {"topology", "edges", "max_deg", "energy_stretch",
+                         "total_edge_energy"});
+  const auto add_row = [&](const char* name, const graph::Graph& g) {
+    const auto s = graph::edge_stretch(g, gstar, graph::Weight::kCost);
+    topo_table.row({name, sim::fmt(g.num_edges()), sim::fmt(g.max_degree()),
+                    graph::is_connected(g) ? sim::fmt(s.max, 3)
+                                           : std::string("inf"),
+                    sim::fmt(g.total_cost(), 3)});
+  };
+  add_row("ThetaALG N", tt.graph());
+  add_row("Gabriel", topo::gabriel_graph(d));
+  add_row("EMST", topo::euclidean_mst(d));
+  topo_table.print(std::cout);
+
+  // --- Data collection runs --------------------------------------------------
+  // Every sensor periodically reports to the sink: an all-to-one (convergecast)
+  // workload over the chosen topology.
+  route::TraceParams tp;
+  tp.horizon = 60000;
+  tp.injections_per_step = 1.0;
+  tp.max_schedule_slack = 16;  // keeps OPT's buffer B small
+  tp.num_sources = 8;          // one reporting cluster head per region
+  tp.dest_pool = {sink};
+  const auto trace = route::make_certified_trace(tt.graph(), tp, rng);
+  std::printf("workload: %zu readings to collect (OPT avg cost %.4f, "
+              "avg path %.1f hops)\n\n",
+              trace.opt.deliveries, trace.opt.avg_cost,
+              trace.opt.avg_path_length);
+
+  sim::Table run_table("collection runs on ThetaALG N",
+                       {"router", "delivered", "of_OPT", "energy/reading",
+                        "vs_OPT_energy", "peak_buffer"});
+  const double eps = 0.25;
+  core::BalancingParams params = core::theorem31_params(trace.opt, eps);
+  for (const bool cost_aware : {true, false}) {
+    core::BalancingParams p = params;
+    if (!cost_aware) p.gamma = 0.0;
+    const auto res = sim::run_mac_given(trace, p, 30000);
+    run_table.row({cost_aware ? "(T,gamma)-balancing" : "gamma=0 (cost-blind)",
+                   sim::fmt(res.metrics.deliveries),
+                   sim::fmt(res.throughput_ratio(), 3),
+                   sim::fmt(res.metrics.avg_cost_per_delivery(), 4),
+                   sim::fmt(res.cost_ratio(), 3),
+                   sim::fmt(res.metrics.peak_buffer)});
+  }
+  run_table.print(std::cout);
+
+  // Visualize the field: ThetaALG topology, sink highlighted, one example
+  // min-cost route drawn on top.
+  {
+    sim::SvgCanvas canvas(d);
+    canvas.add_edges(tt.graph(), "#1f77b4", 0.8);
+    canvas.add_nodes("#222222");
+    canvas.add_marker(sink, "#d62728");
+    const auto tree = graph::dijkstra(tt.graph(), sink, graph::Weight::kCost);
+    graph::NodeId far = 0;
+    for (graph::NodeId v = 1; v < n; ++v)
+      if (tree.dist[v] != graph::kUnreachable &&
+          (tree.dist[far] == graph::kUnreachable || tree.dist[v] > tree.dist[far]))
+        far = v;
+    canvas.add_path(tree.path_to(far), "#d62728", 2.0);
+    if (canvas.write("sensor_field.svg"))
+      std::printf("wrote sensor_field.svg (topology, sink, one route)\n");
+  }
+  std::printf("Reading the table: both variants stay within the 1 + 2/eps\n"
+              "energy bound of Theorem 3.1 — on ThetaALG's N the link costs\n"
+              "are near-homogeneous, so gamma's conservatism costs a little\n"
+              "throughput without buying energy here. On heterogeneous-cost\n"
+              "links the picture flips: see bench_ablations (A3) and the\n"
+              "CostAwareBeatsCostBlindOnEnergy test for a 30x energy gap.\n");
+  return 0;
+}

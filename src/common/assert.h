@@ -1,0 +1,32 @@
+#pragma once
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). TN_ASSERT is always on (simulation correctness
+// beats the last few percent of speed); TN_DCHECK compiles out in release.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace thetanet::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "thetanet assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace thetanet::detail
+
+#define TN_ASSERT(expr)                                                       \
+  ((expr) ? static_cast<void>(0)                                              \
+          : ::thetanet::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define TN_ASSERT_MSG(expr, msg)                                              \
+  ((expr) ? static_cast<void>(0)                                              \
+          : ::thetanet::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#if defined(NDEBUG)
+#define TN_DCHECK(expr) static_cast<void>(0)
+#else
+#define TN_DCHECK(expr) TN_ASSERT(expr)
+#endif

@@ -1,0 +1,141 @@
+#include "core/balancing_router.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace thetanet::core {
+
+using route::DestId;
+using route::Packet;
+using route::RunMetrics;
+
+BalancingParams theorem31_params(const route::OptStats& opt, double eps,
+                                 double delta) {
+  TN_ASSERT(eps > 0.0 && delta >= 1.0);
+  const double b = std::max<double>(1.0, static_cast<double>(opt.max_buffer));
+  const double lbar = std::max(1.0, opt.avg_path_length);
+  const double cbar = std::max(1e-12, opt.avg_cost);
+  BalancingParams p;
+  p.threshold = b + 2.0 * (delta - 1.0);
+  p.gamma = (p.threshold + b + delta) * lbar / cbar;
+  const double s = 1.0 + 2.0 * (1.0 + (p.threshold + delta) / b) * lbar / eps;
+  p.max_height = static_cast<std::size_t>(s * b) + 1;
+  return p;
+}
+
+BalancingParams theorem33_params(const route::OptStats& opt, double eps) {
+  TN_ASSERT(eps > 0.0);
+  const double b = std::max<double>(1.0, static_cast<double>(opt.max_buffer));
+  const double lbar = std::max(1.0, opt.avg_path_length);
+  const double cbar = std::max(1e-12, opt.avg_cost);
+  BalancingParams p;
+  p.threshold = 2.0 * b + 1.0;
+  p.gamma = (p.threshold + b) * lbar / cbar;
+  const double s = 1.0 + 2.0 * (1.0 + p.threshold / b) * lbar / eps;
+  p.max_height = static_cast<std::size_t>(s * b) + 1;
+  return p;
+}
+
+std::optional<PlannedTx> BalancingRouter::best_for_pair(graph::NodeId from,
+                                                        graph::NodeId to,
+                                                        graph::EdgeId edge,
+                                                        double cost) const {
+  std::optional<PlannedTx> best;
+  buffers_.for_each_destination(from, [&](DestId d, std::size_t h_from) {
+    const double benefit = static_cast<double>(h_from) -
+                           static_cast<double>(buffers_.height(to, d)) -
+                           params_.gamma * cost;
+    if (benefit <= params_.threshold) return;
+    // Deterministic argmax: strictly larger benefit wins; ties keep the
+    // first (smallest) destination from the sorted scan.
+    if (!best || benefit > best->benefit)
+      best = PlannedTx{edge, from, to, d, benefit};
+  });
+  return best;
+}
+
+std::vector<PlannedTx> BalancingRouter::plan(
+    const graph::Graph& topo, std::span<const graph::EdgeId> active,
+    std::span<const double> costs) const {
+  std::vector<PlannedTx> txs;
+  txs.reserve(active.size());
+  for (const graph::EdgeId e : active) {
+    const graph::Edge& edge = topo.edge(e);
+    const double c = costs[e];
+    const std::optional<PlannedTx> fwd = best_for_pair(edge.u, edge.v, e, c);
+    const std::optional<PlannedTx> bwd = best_for_pair(edge.v, edge.u, e, c);
+    // One packet per edge per step, in the better direction.
+    if (fwd && (!bwd || fwd->benefit >= bwd->benefit)) {
+      txs.push_back(*fwd);
+    } else if (bwd) {
+      txs.push_back(*bwd);
+    }
+  }
+  return txs;
+}
+
+void BalancingRouter::execute(std::span<const PlannedTx> txs,
+                              const std::vector<bool>& failed,
+                              std::span<const double> costs, route::Time now,
+                              RunMetrics& m) {
+  TN_ASSERT(failed.empty() || failed.size() == txs.size());
+  // Phase 1 — departures. Planned txs operate on the step-start snapshot; a
+  // buffer can be drained by an earlier tx of the same step, in which case
+  // the later tx is skipped (a real node would simply not transmit).
+  std::vector<std::pair<const PlannedTx*, Packet>> in_air;
+  in_air.reserve(txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const PlannedTx& tx = txs[i];
+    const double cost = costs[tx.edge];
+    if (!failed.empty() && failed[i]) {
+      // Collision: the sender transmitted (energy burnt) but the receiver
+      // got nothing; the packet never left the buffer.
+      ++m.attempted_tx;
+      ++m.failed_tx;
+      m.wasted_energy += cost;
+      continue;
+    }
+    std::optional<Packet> p = buffers_.pop(tx.from, tx.dest);
+    if (!p) {
+      ++m.skipped_tx;
+      continue;
+    }
+    ++m.attempted_tx;
+    m.total_energy += cost;
+    p->cost_spent += cost;
+    ++p->hops;
+    in_air.emplace_back(&tx, *p);
+  }
+
+  // Phase 2 — arrivals: absorb at destinations, store elsewhere, delete on
+  // overflow (cannot happen for in-transit packets once T is set per
+  // Theorem 3.1; the metric keeps us honest).
+  for (auto& [tx, p] : in_air) {
+    if (is_destination(tx->to, p.dst)) {
+      ++m.deliveries;
+      m.delivered_cost += p.cost_spent;
+      m.total_hops_delivered += p.hops;
+      m.sum_latency += now >= p.injected_at ? now - p.injected_at : 0;
+      continue;
+    }
+    if (!buffers_.push(tx->to, p)) ++m.dropped_in_transit;
+  }
+}
+
+void BalancingRouter::inject(const Packet& p, RunMetrics& m) {
+  TN_ASSERT_MSG(!is_destination(p.src, p.dst),
+                "cannot inject a packet at its own destination");
+  ++m.injected_offered;
+  if (buffers_.push(p.src, p)) {
+    ++m.injected_accepted;
+  } else {
+    ++m.dropped_at_injection;
+  }
+}
+
+void BalancingRouter::end_step(RunMetrics& m) const {
+  m.peak_buffer = std::max(m.peak_buffer, buffers_.peak_height());
+}
+
+}  // namespace thetanet::core

@@ -1,0 +1,121 @@
+#pragma once
+// The (T, gamma)-balancing algorithm of Section 3.2 — the paper's local
+// routing rule. Per step, for every usable edge e = (v, w), the router finds
+// the destination d maximizing the *benefit*
+//
+//     h_{(v,d)} - h_{(w,d)} - gamma * c(e)
+//
+// over both orientations of e, and moves one packet of that destination
+// across e when the benefit exceeds the threshold T. Packets reaching their
+// destination buffer are absorbed; a packet arriving at a full buffer is
+// deleted (with T >= B + 2*(delta-1), Theorem 3.1, only newly injected
+// packets are ever deleted — the experiments verify this).
+//
+// The router is MAC-agnostic: callers supply the usable edges each step
+// (adversarial sets for Section 3.2, randomized interference-aware
+// activation for Section 3.3, honeycomb contestants for Section 3.4) and
+// report back which planned transmissions the medium actually carried.
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/adversary.h"
+#include "routing/buffers.h"
+#include "routing/metrics.h"
+#include "routing/packet.h"
+
+namespace thetanet::core {
+
+/// Absorption test: is node v a valid delivery point for destination d?
+/// Defaults to v == d (unicast). Anycast installs a group-membership test
+/// (routing/anycast.h) — the balancing rule itself is unchanged, exactly as
+/// in the anycasting framework [10] the paper builds on.
+using DestinationPredicate =
+    std::function<bool(graph::NodeId, route::DestId)>;
+
+struct BalancingParams {
+  double threshold = 1.0;      ///< T
+  double gamma = 0.0;          ///< cost weight (gamma = 0: cost-blind variant)
+  std::size_t max_height = 64; ///< H, the buffer capacity
+};
+
+/// One transmission the balancing rule decided to make.
+struct PlannedTx {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  route::DestId dest = graph::kInvalidNode;
+  double benefit = 0.0;
+};
+
+/// Parameter recipes from the theorems, given a certified trace's exact
+/// optimum (B = opt.max_buffer, L-bar, C-bar):
+///
+///   Theorem 3.1 (MAC given):  T >= B + 2*(delta - 1),
+///                             gamma >= (T + B + delta) * Lbar / Cbar,
+///                             H = (1 + 2*(1 + (T+delta)/B) * Lbar / eps) * B.
+BalancingParams theorem31_params(const route::OptStats& opt, double eps,
+                                 double delta = 1.0);
+
+///   Theorem 3.3 (randomized MAC): T >= 2B + 1,
+///                                 gamma >= (T + B) * Lbar / Cbar,
+///                                 H = (1 + 2*(1 + T/B) * Lbar / eps) * B.
+BalancingParams theorem33_params(const route::OptStats& opt, double eps);
+
+class BalancingRouter {
+ public:
+  BalancingRouter(std::size_t num_nodes, const BalancingParams& params)
+      : params_(params), buffers_(num_nodes, params.max_height) {}
+
+  /// Install an anycast-style absorption test (default: v == d).
+  void set_destination_predicate(DestinationPredicate pred) {
+    is_dest_ = std::move(pred);
+  }
+
+  const BalancingParams& params() const { return params_; }
+  const route::BufferBank& buffers() const { return buffers_; }
+
+  /// The (T, gamma) rule over `active` edges with per-edge costs `costs`
+  /// (indexed by edge id of `topo`). Returns at most one transmission per
+  /// edge, deterministically.
+  std::vector<PlannedTx> plan(const graph::Graph& topo,
+                              std::span<const graph::EdgeId> active,
+                              std::span<const double> costs) const;
+
+  /// Benefit evaluation for one directed pair (used by the honeycomb MAC of
+  /// Section 3.4, where contestants are sender-receiver pairs rather than
+  /// pre-activated edges). nullopt when no destination clears benefit > T.
+  std::optional<PlannedTx> best_for_pair(graph::NodeId from, graph::NodeId to,
+                                         graph::EdgeId edge, double cost) const;
+
+  /// Execute planned transmissions. failed[i] == true means the MAC reports
+  /// a collision: the packet stays put and the transmission energy is
+  /// wasted. Deliveries, drops and energy are accumulated into `m`.
+  void execute(std::span<const PlannedTx> txs, const std::vector<bool>& failed,
+               std::span<const double> costs, route::Time now,
+               route::RunMetrics& m);
+
+  /// Offer a newly injected packet to its source buffer (step 2 of the
+  /// algorithm: stored if space remains, deleted otherwise).
+  void inject(const route::Packet& p, route::RunMetrics& m);
+
+  /// Record end-of-step space metrics.
+  void end_step(route::RunMetrics& m) const;
+
+  /// Packets still buffered (typically evaluated at the end of a run).
+  std::size_t packets_in_flight() const { return buffers_.total_packets(); }
+
+ private:
+  bool is_destination(graph::NodeId v, route::DestId d) const {
+    return is_dest_ ? is_dest_(v, d) : v == d;
+  }
+
+  BalancingParams params_;
+  route::BufferBank buffers_;
+  DestinationPredicate is_dest_;
+};
+
+}  // namespace thetanet::core

@@ -1,0 +1,172 @@
+#include "core/contention_protocol.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "core/theta_topology.h"
+#include "geom/angles.h"
+#include "geom/spatial_grid.h"
+#include "topology/yao.h"
+
+namespace thetanet::core {
+namespace {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+/// Drives one logical round: every node u with a nonempty work list
+/// transmits with probability p; `deliver(u)` is called when u's
+/// transmission is the only one audible at u's current head target (round
+/// semantics differ between broadcast and unicast, so delivery bookkeeping
+/// is supplied by the caller through the two hooks).
+struct Medium {
+  const topo::Deployment& d;
+  const std::vector<std::vector<NodeId>>& neighbors;  // in-range, per node
+  double p;
+  geom::Rng& rng;
+  ContentionStats& stats;
+
+  /// Runs slots until `done()` or the cap; per slot, `wants_tx(u)` gates
+  /// participation and `on_clear(u, v)` fires for every receiver v that
+  /// heard u alone.
+  template <typename WantsTx, typename OnClear, typename Done>
+  std::size_t run(const WantsTx& wants_tx, const OnClear& on_clear,
+                  const Done& done, std::size_t max_slots) {
+    const std::size_t n = d.size();
+    std::vector<bool> tx(n);
+    std::vector<NodeId> heard;  // per-receiver in-range transmitter scratch
+    std::size_t slots = 0;
+    while (!done() && slots < max_slots) {
+      ++slots;
+      bool any = false;
+      for (NodeId u = 0; u < n; ++u) {
+        tx[u] = wants_tx(u) && rng.bernoulli(p);
+        if (tx[u]) {
+          any = true;
+          ++stats.transmissions;
+        }
+      }
+      if (!any) continue;
+      for (NodeId v = 0; v < n; ++v) {
+        if (tx[v]) continue;  // half-duplex
+        heard.clear();
+        for (const NodeId u : neighbors[v])
+          if (tx[u]) heard.push_back(u);
+        if (heard.size() == 1) {
+          on_clear(heard.front(), v);
+        } else if (heard.size() > 1) {
+          ++stats.collisions;
+        }
+      }
+    }
+    return slots;
+  }
+};
+
+}  // namespace
+
+ContentionStats run_contention_protocol(const topo::Deployment& d, double theta,
+                                        double p, geom::Rng& rng,
+                                        std::size_t max_slots_per_round) {
+  TN_ASSERT(p > 0.0 && p <= 1.0);
+  ContentionStats stats;
+  const std::size_t n = d.size();
+  if (n < 2) {
+    stats.matches_centralized = true;
+    return stats;
+  }
+
+  const geom::SpatialGrid grid(d.positions, std::max(d.max_range, 1e-9));
+  std::vector<std::vector<NodeId>> neighbors(n);
+  for (NodeId u = 0; u < n; ++u)
+    neighbors[u] = grid.within(d.positions[u], d.max_range, u);
+
+  Medium medium{d, neighbors, p, rng, stats};
+
+  // ---- Round 1: Position broadcasts. u is done when every neighbour heard
+  // it at least once.
+  std::vector<std::set<NodeId>> await(n);  // neighbours yet to hear u
+  std::size_t undelivered = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    await[u].insert(neighbors[u].begin(), neighbors[u].end());
+    undelivered += await[u].size();
+  }
+  stats.slots_round1 = medium.run(
+      [&](NodeId u) { return !await[u].empty(); },
+      [&](NodeId u, NodeId v) { undelivered -= await[u].erase(v); },
+      [&]() { return undelivered == 0; }, max_slots_per_round);
+  if (undelivered != 0) return stats;  // truncated
+
+  // Each node now knows its neighbourhood and computes N(u) locally.
+  const topo::SectorTable table = topo::compute_sector_table(d, theta);
+  const int k = table.sectors();
+
+  // ---- Round 2: Neighborhood unicasts u -> v for every v in N(u). A
+  // transmission is a broadcast on the medium, but only the head target
+  // consumes it.
+  std::vector<std::vector<NodeId>> targets2(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (int s = 0; s < k; ++s) {
+      const NodeId v = table.nearest(u, s);
+      if (v != kInvalidNode) targets2[u].push_back(v);
+    }
+  std::vector<std::vector<NodeId>> selectors(n);  // delivered: v learns u
+  std::size_t remaining2 = 0;
+  for (const auto& t : targets2) remaining2 += t.size();
+  stats.slots_round2 = medium.run(
+      [&](NodeId u) { return !targets2[u].empty(); },
+      [&](NodeId u, NodeId v) {
+        if (!targets2[u].empty() && targets2[u].back() == v) {
+          targets2[u].pop_back();
+          selectors[v].push_back(u);
+          --remaining2;
+        }
+      },
+      [&]() { return remaining2 == 0; }, max_slots_per_round);
+  if (remaining2 != 0) return stats;
+
+  // ---- Round 3: Connection unicasts — each node admits the nearest
+  // selector per sector and notifies it.
+  std::vector<std::vector<NodeId>> targets3(n);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> admit(static_cast<std::size_t>(k), kInvalidNode);
+    for (const NodeId u : selectors[v]) {
+      const int s = geom::sector_index(d.positions[v], d.positions[u], theta);
+      NodeId& cur = admit[static_cast<std::size_t>(s)];
+      if (topo::nearer(d, v, u, cur)) cur = u;
+    }
+    for (const NodeId u : admit)
+      if (u != kInvalidNode) targets3[v].push_back(u);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t remaining3 = 0;
+  for (const auto& t : targets3) remaining3 += t.size();
+  stats.slots_round3 = medium.run(
+      [&](NodeId v) { return !targets3[v].empty(); },
+      [&](NodeId v, NodeId u) {
+        if (!targets3[v].empty() && targets3[v].back() == u) {
+          targets3[v].pop_back();
+          edges.push_back(std::minmax(v, u));
+          --remaining3;
+        }
+      },
+      [&]() { return remaining3 == 0; }, max_slots_per_round);
+  if (remaining3 != 0) return stats;
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const ThetaTopology reference(d, theta);
+  std::vector<std::pair<NodeId, NodeId>> ref;
+  ref.reserve(reference.graph().num_edges());
+  for (const graph::Edge& e : reference.graph().edges())
+    ref.push_back(std::minmax(e.u, e.v));
+  std::sort(ref.begin(), ref.end());
+  stats.matches_centralized = (edges == ref);
+  return stats;
+}
+
+}  // namespace thetanet::core

@@ -1,0 +1,46 @@
+#pragma once
+// ThetaALG's three-round construction under medium contention. Section 2.1
+// closes with: "the three rounds of message exchanges may take a variable
+// amount of time due to the interference and confliction." This module
+// quantifies that remark: the Position / Neighborhood / Connection messages
+// are delivered over a slotted random-access medium where simultaneous
+// transmissions within range of a receiver collide, and we count how many
+// slots each logical round actually needs.
+//
+// Medium model (slotted ALOHA with receiver-side collisions):
+//   * per slot, every node with pending outgoing messages transmits with
+//     probability p (broadcast at max power, range D);
+//   * receiver v gets the message iff exactly one node within distance D of
+//     v transmitted in that slot and v itself stayed silent (half-duplex);
+//   * round k+1 starts only after round k completed network-wide (the
+//     conservative synchronous reading of the paper's description).
+
+#include <cstdint>
+
+#include "geom/rng.h"
+#include "topology/deployment.h"
+
+namespace thetanet::core {
+
+struct ContentionStats {
+  std::size_t slots_round1 = 0;  ///< Position broadcasts complete
+  std::size_t slots_round2 = 0;  ///< Neighborhood unicasts complete
+  std::size_t slots_round3 = 0;  ///< Connection unicasts complete
+  std::size_t transmissions = 0; ///< total transmission attempts
+  std::size_t collisions = 0;    ///< receiver-side losses observed
+  bool matches_centralized = false;  ///< resulting edge set equals ThetaTopology
+  std::size_t total_slots() const {
+    return slots_round1 + slots_round2 + slots_round3;
+  }
+};
+
+/// Run the contention simulation. `p` is the per-slot transmission
+/// probability (the interesting regime is p ~ 1/(expected neighbourhood
+/// size); bench E13 sweeps it). `max_slots_per_round` aborts pathological
+/// parameterizations (stats then report the truncated counts and
+/// matches_centralized = false).
+ContentionStats run_contention_protocol(const topo::Deployment& d, double theta,
+                                        double p, geom::Rng& rng,
+                                        std::size_t max_slots_per_round = 200000);
+
+}  // namespace thetanet::core

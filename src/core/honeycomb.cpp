@@ -1,0 +1,86 @@
+#include "core/honeycomb.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace thetanet::core {
+
+HoneycombMac::HoneycombMac(const topo::Deployment& d,
+                           const graph::Graph& unit_graph,
+                           const HoneycombParams& params)
+    : deployment_(&d),
+      unit_graph_(&unit_graph),
+      params_(params),
+      tiling_(params.side_override > 0.0 ? params.side_override
+                                         : 3.0 + 2.0 * params.delta) {
+  TN_ASSERT_MSG(params.delta > 0.0, "guard zone Delta must be positive");
+  TN_ASSERT_MSG(params.p_t > 0.0 && params.p_t <= 1.0 / 6.0 + 1e-12,
+                "Lemma 3.7 requires p_t <= 1/6");
+}
+
+std::vector<PlannedTx> HoneycombMac::select(const BalancingRouter& router,
+                                            std::span<const double> costs,
+                                            geom::Rng& rng,
+                                            SelectionStats* stats) const {
+  // Per-hexagon maximum-benefit pair. Pairs are scanned in deterministic
+  // (edge id, direction) order; strictly larger benefit wins, so ties keep
+  // the earliest pair — "breaking ties in an arbitrary way" per the paper.
+  std::unordered_map<geom::HexCell, PlannedTx, geom::HexCellHash> winner;
+  SelectionStats local;
+  for (graph::EdgeId e = 0; e < unit_graph_->num_edges(); ++e) {
+    const graph::Edge& edge = unit_graph_->edge(e);
+    for (const bool forward : {true, false}) {
+      const graph::NodeId s = forward ? edge.u : edge.v;
+      const graph::NodeId t = forward ? edge.v : edge.u;
+      const std::optional<PlannedTx> tx =
+          router.best_for_pair(s, t, e, costs[e]);
+      if (!tx) continue;
+      ++local.candidate_pairs;
+      local.candidate_benefit_sum += tx->benefit;
+      const geom::HexCell cell = tiling_.cell_of(deployment_->positions[s]);
+      const auto it = winner.find(cell);
+      if (it == winner.end() || tx->benefit > it->second.benefit)
+        winner[cell] = *tx;
+    }
+  }
+
+  std::vector<PlannedTx> chosen;
+  chosen.reserve(winner.size());
+  for (const auto& [cell, tx] : winner) {
+    ++local.contestants;
+    local.contestant_benefit_sum += tx.benefit;
+    if (rng.bernoulli(params_.p_t)) chosen.push_back(tx);
+  }
+  // Deterministic execution order regardless of hash-map iteration.
+  std::sort(chosen.begin(), chosen.end(),
+            [](const PlannedTx& a, const PlannedTx& b) {
+              return a.edge < b.edge || (a.edge == b.edge && a.from < b.from);
+            });
+  if (stats != nullptr) *stats = local;
+  return chosen;
+}
+
+std::vector<bool> HoneycombMac::resolve(std::span<const PlannedTx> txs) const {
+  const double guard = 1.0 + params_.delta;
+  const double guard_sq = guard * guard;
+  std::vector<bool> failed(txs.size(), false);
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const geom::Vec2 si = deployment_->positions[txs[i].from];
+    const geom::Vec2 ti = deployment_->positions[txs[i].to];
+    for (std::size_t j = 0; j < txs.size() && !failed[i]; ++j) {
+      if (i == j) continue;
+      const geom::Vec2 sj = deployment_->positions[txs[j].from];
+      const geom::Vec2 tj = deployment_->positions[txs[j].to];
+      // (s_i, t_i) succeeds only if every node of every other pair keeps a
+      // distance of more than 1 + Delta from both s_i and t_i.
+      if (geom::dist_sq(sj, si) <= guard_sq || geom::dist_sq(sj, ti) <= guard_sq ||
+          geom::dist_sq(tj, si) <= guard_sq || geom::dist_sq(tj, ti) <= guard_sq)
+        failed[i] = true;
+    }
+  }
+  return failed;
+}
+
+}  // namespace thetanet::core

@@ -1,0 +1,73 @@
+#pragma once
+// The honeycomb algorithm of Section 3.4: medium access for nodes with the
+// same *fixed* transmission strength (range normalized to 1).
+//
+// The plane is tiled by hexagons of side length 3 + 2*Delta (Figure 5).
+// Every directed sender-receiver pair (s, t) with |st| <= 1 is assigned to
+// the hexagon containing s and carries a *benefit* — the maximum buffer
+// height difference over all destinations (the balancing benefit). Within
+// each hexagon the pair of maximum benefit becomes a *contestant* if its
+// benefit exceeds T; each contestant transmits with probability p_t <= 1/6,
+// which by Lemma 3.7 lets every contestant succeed with probability >= 1/2.
+// The honeycomb algorithm is the contestant selection plus the
+// (T, gamma, 3)-balancing rule applied to contestants (Theorem 3.8 —
+// constant-competitive throughput).
+
+#include <span>
+#include <vector>
+
+#include "core/balancing_router.h"
+#include "geom/hex_tiling.h"
+#include "geom/rng.h"
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::core {
+
+struct HoneycombParams {
+  double delta = 1.0;      ///< guard zone Delta (> 0)
+  double p_t = 1.0 / 6.0;  ///< contestant transmission probability (<= 1/6)
+  /// Ablation hook: override the hexagon side (paper value 3 + 2*Delta when
+  /// 0). Shrinking the side below the paper's value violates Lemma 3.7's
+  /// independence precondition — bench E9b measures the resulting collision
+  /// inflation. The guard distance used by resolve() stays 1 + delta.
+  double side_override = 0.0;
+};
+
+class HoneycombMac {
+ public:
+  /// `unit_graph` must be the transmission graph of `d` with max_range = 1
+  /// (the fixed transmission radius).
+  HoneycombMac(const topo::Deployment& d, const graph::Graph& unit_graph,
+               const HoneycombParams& params);
+
+  const geom::HexTiling& tiling() const { return tiling_; }
+  const HoneycombParams& params() const { return params_; }
+
+  /// Per-step outcome statistics for Lemmas 3.6/3.7 instrumentation.
+  struct SelectionStats {
+    std::size_t candidate_pairs = 0;  ///< directed pairs with benefit > T
+    std::size_t contestants = 0;      ///< hexagon winners
+    double contestant_benefit_sum = 0.0;
+    double candidate_benefit_sum = 0.0;
+  };
+
+  /// Contestant selection: per hexagon, the max-benefit pair (if its benefit
+  /// clears the router's threshold T), then a p_t coin per contestant.
+  std::vector<PlannedTx> select(const BalancingRouter& router,
+                                std::span<const double> costs, geom::Rng& rng,
+                                SelectionStats* stats = nullptr) const;
+
+  /// Fixed-strength interference: transmission (s_i, t_i) fails iff some
+  /// node of another transmitting pair is within distance 1 + Delta of s_i
+  /// or t_i.
+  std::vector<bool> resolve(std::span<const PlannedTx> txs) const;
+
+ private:
+  const topo::Deployment* deployment_;
+  const graph::Graph* unit_graph_;
+  HoneycombParams params_;
+  geom::HexTiling tiling_;
+};
+
+}  // namespace thetanet::core

@@ -1,0 +1,78 @@
+#include "core/local_protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "geom/angles.h"
+#include "geom/spatial_grid.h"
+#include "topology/yao.h"
+
+namespace thetanet::core {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+ProtocolStats run_local_protocol(const topo::Deployment& d, double theta) {
+  ProtocolStats stats;
+  const std::size_t n = d.size();
+  const int k = geom::sector_count(theta);
+  const geom::SpatialGrid grid(d.positions, std::max(d.max_range, 1e-9));
+
+  // Round 1 — Position broadcasts. Node u learns the position of every node
+  // whose broadcast it can hear (distance <= D; symmetric ranges).
+  std::vector<std::vector<NodeId>> heard(n);
+  for (NodeId u = 0; u < n; ++u) {
+    ++stats.position_msgs;
+    heard[u] = grid.within(d.positions[u], d.max_range, u);
+  }
+
+  // Round 2 — each node computes N(u) purely from what it heard and sends a
+  // Neighborhood message to every member of N(u).
+  std::vector<std::vector<NodeId>> selectors(n);  // selectors[v] = {u : v in N(u)}
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> nearest_per_sector(static_cast<std::size_t>(k),
+                                           kInvalidNode);
+    for (const NodeId v : heard[u]) {
+      const int s = geom::sector_index(d.positions[u], d.positions[v], theta);
+      NodeId& cur = nearest_per_sector[static_cast<std::size_t>(s)];
+      if (topo::nearer(d, u, v, cur)) cur = v;
+    }
+    for (const NodeId v : nearest_per_sector) {
+      if (v == kInvalidNode) continue;
+      ++stats.neighborhood_msgs;
+      selectors[v].push_back(u);  // message delivery: v learns u selected it
+    }
+  }
+
+  // Round 3 — each node v admits, per sector, the nearest node that selected
+  // it, and sends that node a Connection message.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> admit(static_cast<std::size_t>(k), kInvalidNode);
+    for (const NodeId u : selectors[v]) {
+      const int s = geom::sector_index(d.positions[v], d.positions[u], theta);
+      NodeId& cur = admit[static_cast<std::size_t>(s)];
+      if (topo::nearer(d, v, u, cur)) cur = u;
+    }
+    for (const NodeId u : admit) {
+      if (u == kInvalidNode) continue;
+      ++stats.connection_msgs;
+      edges.push_back(std::minmax(v, u));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  stats.edges = edges.size();
+
+  // Cross-check against the centralized construction.
+  const ThetaTopology reference(d, theta);
+  std::vector<std::pair<NodeId, NodeId>> ref_edges;
+  ref_edges.reserve(reference.graph().num_edges());
+  for (const graph::Edge& e : reference.graph().edges())
+    ref_edges.push_back(std::minmax(e.u, e.v));
+  std::sort(ref_edges.begin(), ref_edges.end());
+  stats.matches_centralized = (edges == ref_edges);
+  return stats;
+}
+
+}  // namespace thetanet::core

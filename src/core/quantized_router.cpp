@@ -1,0 +1,72 @@
+#include "core/quantized_router.h"
+
+#include <algorithm>
+
+namespace thetanet::core {
+
+std::vector<PlannedTx> QuantizedHeightRouter::plan(
+    const graph::Graph& topo, std::span<const graph::EdgeId> active,
+    std::span<const double> costs) const {
+  std::vector<PlannedTx> txs;
+  txs.reserve(active.size());
+  const auto& bufs = inner_.buffers();
+  const double gamma = inner_.params().gamma;
+  const double threshold = inner_.params().threshold;
+
+  const auto best_dir = [&](graph::NodeId from, graph::NodeId to,
+                            graph::EdgeId e,
+                            double cost) -> std::optional<PlannedTx> {
+    std::optional<PlannedTx> best;
+    // Local height live, remote height as last advertised.
+    bufs.for_each_destination(from, [&](route::DestId d, std::size_t h_from) {
+      const double benefit = static_cast<double>(h_from) -
+                             static_cast<double>(advertised_height(to, d)) -
+                             gamma * cost;
+      if (benefit <= threshold) return;
+      if (!best || benefit > best->benefit)
+        best = PlannedTx{e, from, to, d, benefit};
+    });
+    return best;
+  };
+
+  for (const graph::EdgeId e : active) {
+    const graph::Edge& edge = topo.edge(e);
+    const auto fwd = best_dir(edge.u, edge.v, e, costs[e]);
+    const auto bwd = best_dir(edge.v, edge.u, e, costs[e]);
+    if (fwd && (!bwd || fwd->benefit >= bwd->benefit)) {
+      txs.push_back(*fwd);
+    } else if (bwd) {
+      txs.push_back(*bwd);
+    }
+  }
+  return txs;
+}
+
+void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
+  const auto& bufs = inner_.buffers();
+  for (graph::NodeId v = 0; v < advertised_.size(); ++v) {
+    // Heights that rose or changed among live buffers.
+    bufs.for_each_destination(v, [&](route::DestId d, std::size_t h) {
+      const std::size_t adv = advertised_height(v, d);
+      const std::size_t drift = h > adv ? h - adv : adv - h;
+      if (drift >= quantum_) {
+        advertised_[v][d] = h;
+        ++control_messages_;
+      }
+    });
+    // Buffers that drained to zero (no longer iterated above).
+    auto& node = advertised_[v];
+    for (auto it = node.begin(); it != node.end();) {
+      const std::size_t h = bufs.height(v, it->first);
+      if (h == 0 && it->second >= quantum_) {
+        it = node.erase(it);
+        ++control_messages_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  inner_.end_step(m);
+}
+
+}  // namespace thetanet::core

@@ -1,0 +1,73 @@
+#pragma once
+// Quantized height advertisement — the practical-implementation remark of
+// Section 3.2: "we assume that nodes continuously exchange the buffer height
+// values. In a practical implementation, we can reduce the amount of control
+// information exchange for this purpose."
+//
+// This router runs the same (T, gamma)-balancing rule, but the *remote* side
+// of every benefit computation uses the neighbour's last advertised height
+// rather than its live height. A node re-advertises a buffer's height only
+// when it has drifted by at least `quantum` since the last advertisement
+// (one control message per re-advertisement). quantum = 1 reproduces the
+// ideal router's behaviour message-efficiently (heights are integers, so
+// every change is advertised); larger quanta trade staleness for fewer
+// control messages. Bench E15 sweeps the trade-off.
+//
+// The local side of the rule (the sender's own height) is always live —
+// that knowledge is free.
+
+#include <map>
+
+#include "core/balancing_router.h"
+
+namespace thetanet::core {
+
+class QuantizedHeightRouter {
+ public:
+  QuantizedHeightRouter(std::size_t num_nodes, const BalancingParams& params,
+                        std::size_t quantum)
+      : inner_(num_nodes, params),
+        advertised_(num_nodes),
+        quantum_(quantum) {
+    TN_ASSERT(quantum >= 1);
+  }
+
+  const BalancingParams& params() const { return inner_.params(); }
+  std::uint64_t control_messages() const { return control_messages_; }
+  std::size_t packets_in_flight() const { return inner_.packets_in_flight(); }
+  const route::BufferBank& buffers() const { return inner_.buffers(); }
+
+  /// Balancing plan against advertised remote heights.
+  std::vector<PlannedTx> plan(const graph::Graph& topo,
+                              std::span<const graph::EdgeId> active,
+                              std::span<const double> costs) const;
+
+  void execute(std::span<const PlannedTx> txs, const std::vector<bool>& failed,
+               std::span<const double> costs, route::Time now,
+               route::RunMetrics& m) {
+    inner_.execute(txs, failed, costs, now, m);
+  }
+
+  void inject(const route::Packet& p, route::RunMetrics& m) {
+    inner_.inject(p, m);
+  }
+
+  /// End-of-step: refresh advertisements whose true height drifted by at
+  /// least the quantum (counting one control message each), then record
+  /// space metrics.
+  void end_step(route::RunMetrics& m);
+
+ private:
+  std::size_t advertised_height(graph::NodeId v, route::DestId d) const {
+    const auto& node = advertised_[v];
+    const auto it = node.find(d);
+    return it == node.end() ? 0 : it->second;
+  }
+
+  BalancingRouter inner_;
+  std::vector<std::map<route::DestId, std::size_t>> advertised_;
+  std::size_t quantum_;
+  std::uint64_t control_messages_ = 0;
+};
+
+}  // namespace thetanet::core

@@ -1,0 +1,104 @@
+#include "core/schedule_transform.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace thetanet::core {
+
+TransformResult transform_schedule(const ThetaTopology& topology,
+                                   const graph::Graph& gstar,
+                                   std::span<const GStarStep> schedule,
+                                   const interf::InterferenceModel& model) {
+  const topo::Deployment& d = topology.deployment();
+  const graph::Graph& n_graph = topology.graph();
+  TransformResult result;
+  result.gstar_steps = schedule.size();
+
+  // N's interference sets drive both the conflict checks and the reported I.
+  const auto sets = interf::interference_sets(n_graph, d, model);
+  for (const auto& s : sets)
+    result.interference_number = std::max(
+        result.interference_number, static_cast<std::uint32_t>(s.size()));
+
+  // occupied[s] = N edges transmitting in produced step s.
+  std::vector<std::unordered_set<graph::EdgeId>> occupied;
+  const auto conflict_free = [&](std::size_t s, graph::EdgeId e) {
+    const auto& step = occupied[s];
+    if (step.count(e) != 0) return false;  // one packet per edge per step
+    for (const graph::EdgeId other : sets[e])
+      if (step.count(other) != 0) return false;
+    return true;
+  };
+  const auto place = [&](graph::EdgeId e, std::size_t earliest) {
+    std::size_t s = earliest;
+    for (;; ++s) {
+      if (s >= occupied.size()) occupied.resize(s + 1);
+      if (conflict_free(s, e)) break;
+    }
+    occupied[s].insert(e);
+    ++result.transmissions;
+    return s;
+  };
+
+  // Causality barrier: every hop spawned by G* step k starts after all of
+  // step k-1's hops finished.
+  std::size_t barrier = 0;
+  for (const GStarStep& gstep : schedule) {
+    std::size_t step_completion = barrier;
+    for (const graph::EdgeId ge : gstep) {
+      const graph::Edge& edge = gstar.edge(ge);
+      const std::vector<graph::EdgeId> path =
+          topology.replacement_path(edge.u, edge.v);
+      TN_DCHECK(!path.empty());
+      std::size_t ready = barrier;  // hop j waits for hop j-1 (store & forward)
+      for (const graph::EdgeId hop : path) {
+        const std::size_t placed = place(hop, ready);
+        ready = placed + 1;
+      }
+      step_completion = std::max(step_completion, ready);
+    }
+    barrier = step_completion;
+  }
+
+  result.n_steps = occupied.size();
+  result.n_schedule.reserve(occupied.size());
+  for (const auto& step : occupied) {
+    std::vector<graph::EdgeId> edges(step.begin(), step.end());
+    std::sort(edges.begin(), edges.end());
+    result.n_schedule.push_back(std::move(edges));
+  }
+  return result;
+}
+
+std::vector<GStarStep> random_noninterfering_schedule(
+    const graph::Graph& gstar, const topo::Deployment& d,
+    const interf::InterferenceModel& model, std::size_t steps, geom::Rng& rng) {
+  // Precompute G*'s interference sets once; each step is then a greedy
+  // maximal independent set in the interference graph, built in a fresh
+  // random scan order.
+  const auto sets = interf::interference_sets(gstar, d, model);
+  std::vector<GStarStep> schedule;
+  schedule.reserve(steps);
+  std::vector<graph::EdgeId> order(gstar.num_edges());
+  for (graph::EdgeId e = 0; e < order.size(); ++e) order[e] = e;
+  std::vector<bool> blocked(gstar.num_edges());
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    std::fill(blocked.begin(), blocked.end(), false);
+    GStarStep step;
+    for (const graph::EdgeId e : order) {
+      if (blocked[e]) continue;
+      step.push_back(e);
+      blocked[e] = true;
+      for (const graph::EdgeId other : sets[e]) blocked[other] = true;
+    }
+    std::sort(step.begin(), step.end());
+    schedule.push_back(std::move(step));
+  }
+  return schedule;
+}
+
+}  // namespace thetanet::core

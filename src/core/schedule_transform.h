@@ -1,0 +1,72 @@
+#pragma once
+// The schedule transformation behind Theorem 2.8: any transmission schedule
+// on G* — a sequence of pairwise non-interfering edge sets T_1, T_2, ... —
+// can be simulated on ThetaALG's topology N with O(I) slowdown, where I is
+// N's interference number.
+//
+// Construction (Section 2.4): replace every G* edge by its theta-path in N
+// (Lemma 2.9 bounds per-edge congestion by 6), then schedule the resulting
+// N transmissions greedily under N's own interference constraints. This
+// module implements exactly that pipeline and reports the measured
+// slowdown, giving the empirical side of
+//
+//   Theorem 2.8:  W deliverable on G* in t steps  =>  deliverable on N in
+//                 O(t * I + n^2) steps.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/theta_topology.h"
+#include "geom/rng.h"
+#include "interference/model.h"
+
+namespace thetanet::core {
+
+/// One step of a G* schedule: edges that transmit simultaneously (the
+/// caller guarantees they are pairwise non-interfering on G*).
+using GStarStep = std::vector<graph::EdgeId>;
+
+struct TransformResult {
+  std::size_t gstar_steps = 0;     ///< t: length of the input schedule
+  std::size_t n_steps = 0;         ///< makespan of the produced N schedule
+  std::size_t transmissions = 0;   ///< total N edge activations scheduled
+  std::uint32_t interference_number = 0;  ///< I of N under the given model
+  double slowdown() const {
+    return gstar_steps == 0 ? 0.0
+                            : static_cast<double>(n_steps) /
+                                  static_cast<double>(gstar_steps);
+  }
+  /// The theorem's predicted budget per G* step, up to constants.
+  double slowdown_per_interference() const {
+    return interference_number == 0
+               ? 0.0
+               : slowdown() / static_cast<double>(interference_number);
+  }
+
+  /// The produced schedule: per N step, the N edge ids transmitting. Within
+  /// each step the set is pairwise non-interfering under the model.
+  std::vector<std::vector<graph::EdgeId>> n_schedule;
+};
+
+/// Transform a G* schedule onto N. Each G* transmission (u, v) in step k
+/// becomes the ordered theta-path hops of replacement_path(u, v); hop j of
+/// a path may only be scheduled after hop j-1 (store-and-forward), and all
+/// transmissions originating from G* step k only after every transmission
+/// of step k-1 completed (preserving the input schedule's causality, as the
+/// theorem's simulation argument requires). Greedy list scheduling packs
+/// hops into the earliest N step where they don't interfere with anything
+/// already placed.
+TransformResult transform_schedule(const ThetaTopology& topology,
+                                   const graph::Graph& gstar,
+                                   std::span<const GStarStep> schedule,
+                                   const interf::InterferenceModel& model);
+
+/// Helper for experiments: build a `steps`-long random G* schedule in which
+/// every step is a greedy maximal set of pairwise non-interfering edges
+/// (scanning edges in random order).
+std::vector<GStarStep> random_noninterfering_schedule(
+    const graph::Graph& gstar, const topo::Deployment& d,
+    const interf::InterferenceModel& model, std::size_t steps, geom::Rng& rng);
+
+}  // namespace thetanet::core

@@ -1,0 +1,101 @@
+#include "core/theta_maintenance.h"
+
+#include <algorithm>
+#include <set>
+
+#include "geom/angles.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::core {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+ThetaMaintainer::ThetaMaintainer(topo::Deployment d, double theta)
+    : d_(std::move(d)),
+      theta_(theta),
+      table_(topo::compute_sector_table(d_, theta)) {
+  rebuild_graph_from_table();
+}
+
+void ThetaMaintainer::recompute_table_row(NodeId u,
+                                          const geom::SpatialGrid& grid) {
+  for (int s = 0; s < table_.sectors(); ++s)
+    table_.set_nearest(u, s, kInvalidNode);
+  grid.for_each_within(d_.positions[u], d_.max_range, [&](std::uint32_t v) {
+    if (v == u) return;
+    const int s = geom::sector_index(d_.positions[u], d_.positions[v], theta_);
+    if (topo::nearer(d_, u, v, table_.nearest(u, s)))
+      table_.set_nearest(u, s, v);
+  });
+}
+
+std::size_t ThetaMaintainer::move_node(NodeId v, geom::Vec2 p) {
+  TN_ASSERT(v < d_.size());
+  const geom::Vec2 old = d_.positions[v];
+  d_.positions[v] = p;
+
+  // Affected nodes: anything in range of the old or the new position (their
+  // neighbourhood gained or lost v, or v's distance to them changed), plus
+  // v itself. Phase 2 is re-derived globally from the tables, which is
+  // cheap, so table rows are the only per-node cost.
+  const geom::SpatialGrid grid(d_.positions, std::max(d_.max_range, 1e-9));
+  std::set<NodeId> affected;
+  affected.insert(v);
+  grid.for_each_within(old, d_.max_range,
+                       [&](std::uint32_t u) { affected.insert(u); });
+  grid.for_each_within(p, d_.max_range,
+                       [&](std::uint32_t u) { affected.insert(u); });
+
+  for (const NodeId u : affected) recompute_table_row(u, grid);
+  rebuild_graph_from_table();
+  return affected.size();
+}
+
+void ThetaMaintainer::rebuild_graph_from_table() {
+  // Phase 2 from the tables (identical to ThetaTopology::build): every
+  // selection u -> v files u as an incoming candidate at v; v admits the
+  // nearest candidate per sector.
+  const std::size_t n = d_.size();
+  const int k = table_.sectors();
+  std::vector<NodeId> admitted(n * static_cast<std::size_t>(k), kInvalidNode);
+  const auto slot = [&](NodeId v, int s) {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+           static_cast<std::size_t>(s);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (int s = 0; s < k; ++s) {
+      const NodeId v = table_.nearest(u, s);
+      if (v == kInvalidNode) continue;
+      const int sv = geom::sector_index(d_.positions[v], d_.positions[u], theta_);
+      NodeId& cur = admitted[slot(v, sv)];
+      if (topo::nearer(d_, v, u, cur)) cur = u;
+    }
+  }
+  n_ = graph::Graph(n);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId v = 0; v < n; ++v)
+    for (int s = 0; s < k; ++s) {
+      const NodeId w = admitted[slot(v, s)];
+      if (w != kInvalidNode) pairs.push_back(std::minmax(v, w));
+    }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [a, b] : pairs) {
+    const double len = d_.distance(a, b);
+    n_.add_edge(a, b, len, d_.cost_of_length(len));
+  }
+}
+
+bool ThetaMaintainer::matches_full_rebuild() const {
+  const ThetaTopology fresh(d_, theta_);
+  if (fresh.graph().num_edges() != n_.num_edges()) return false;
+  for (graph::EdgeId e = 0; e < n_.num_edges(); ++e) {
+    if (fresh.graph().edge(e).u != n_.edge(e).u ||
+        fresh.graph().edge(e).v != n_.edge(e).v)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace thetanet::core

@@ -1,0 +1,49 @@
+#pragma once
+// Incremental maintenance of ThetaALG's topology under node motion — the
+// "maintain" half of the paper's abstract ("a simple local algorithm allows
+// to establish AND MAINTAIN a connected constant degree overlay network").
+//
+// When a node moves, only nodes within transmission range of its old or new
+// position can change their phase-1 sector tables (nearest-per-sector is a
+// function of the in-range neighbourhood only). The maintainer recomputes
+// exactly those tables and re-derives phase 2 — the admission pass is O(n·k)
+// table scanning, negligible next to the neighbourhood scans. The
+// `tables_recomputed` return value is the locality witness: for local moves
+// it is ~ the neighbourhood size, not n (bench E18 measures the ratio).
+
+#include "core/theta_topology.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::core {
+
+class ThetaMaintainer {
+ public:
+  /// Takes ownership of a copy of the deployment (positions evolve inside).
+  ThetaMaintainer(topo::Deployment d, double theta);
+
+  const topo::Deployment& deployment() const { return d_; }
+  double theta() const { return theta_; }
+
+  /// The current topology N (rebuilt from the tables after each move).
+  const graph::Graph& graph() const { return n_; }
+
+  /// Move node v to `p`, updating only the affected sector tables.
+  /// Returns the number of per-node table recomputations performed (the
+  /// full rebuild would always perform n).
+  std::size_t move_node(graph::NodeId v, geom::Vec2 p);
+
+  /// Audit: does the incrementally maintained topology equal a from-scratch
+  /// ThetaTopology of the current deployment?
+  bool matches_full_rebuild() const;
+
+ private:
+  void recompute_table_row(graph::NodeId u, const geom::SpatialGrid& grid);
+  void rebuild_graph_from_table();
+
+  topo::Deployment d_;
+  double theta_;
+  topo::SectorTable table_;
+  graph::Graph n_;
+};
+
+}  // namespace thetanet::core

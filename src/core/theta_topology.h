@@ -1,0 +1,81 @@
+#pragma once
+// ThetaALG (Section 2.1): the paper's local topology-control algorithm,
+// originally proposed by Li et al. [32]. Phase 1 computes, per node u, the
+// set N(u) of nearest in-range neighbours per theta-sector (the Yao graph
+// N_1). Phase 2 bounds in-degree: each node admits, per sector, only the
+// *shortest* incoming phase-1 edge. The resulting topology N is connected
+// with maximum degree <= 4*pi/theta (Lemma 2.1), has O(1) energy-stretch on
+// arbitrary deployments (Theorem 2.2), and O(1) distance-stretch on
+// civilized deployments (Theorem 2.7).
+//
+// This class also provides the theta-path replacement of Lemma 2.9 /
+// Theorem 2.8: any transmission-graph edge maps to a short path in N such
+// that, over any non-interfering edge set T, each N edge is reused at most a
+// constant number of times (the paper proves <= 6 per theta-path family).
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+#include "topology/yao.h"
+
+namespace thetanet::core {
+
+class ThetaTopology {
+ public:
+  /// Run ThetaALG on the deployment with sector angle theta (<= pi/3).
+  ThetaTopology(const topo::Deployment& d, double theta);
+
+  double theta() const { return theta_; }
+  int sectors() const { return table_.sectors(); }
+  const topo::Deployment& deployment() const { return *deployment_; }
+
+  /// The topology N produced by phase 2.
+  const graph::Graph& graph() const { return n_; }
+
+  /// The phase-1 Yao graph N_1 (materialized on demand).
+  graph::Graph yao_graph() const;
+
+  /// Phase-1 sector table: nearest in-range node per sector.
+  const topo::SectorTable& sector_table() const { return table_; }
+
+  /// Phase-2 admission: the node w whose incoming edge node v admitted in
+  /// v's sector s (kInvalidNode if no selector in that sector). Edge (v, w)
+  /// is guaranteed to be in N.
+  graph::NodeId admitted(graph::NodeId v, int s) const {
+    return admitted_[static_cast<std::size_t>(v) *
+                         static_cast<std::size_t>(table_.sectors()) +
+                     static_cast<std::size_t>(s)];
+  }
+
+  /// True iff u selected v in phase 1 (v in N(u)).
+  bool selects(graph::NodeId u, graph::NodeId v) const {
+    return table_.selects(u, v, *deployment_, theta_);
+  }
+
+  /// The replacement path of Lemma 2.9: a sequence of N edge ids forming a
+  /// connected u..v path, defined for any G* edge (u, v) (|uv| <= D). The
+  /// recursion mirrors the constructive proof of Theorem 2.8.
+  std::vector<graph::EdgeId> replacement_path(graph::NodeId u,
+                                              graph::NodeId v) const;
+
+  /// Max number of distinct replacement paths (one per edge of `matching`)
+  /// that share any single N edge — the empirical constant of Lemma 2.9.
+  std::uint32_t max_replacement_reuse(
+      std::span<const std::pair<graph::NodeId, graph::NodeId>> matching) const;
+
+ private:
+  void build();
+  void replacement_path_rec(graph::NodeId u, graph::NodeId v,
+                            std::vector<graph::EdgeId>& out, int depth) const;
+
+  const topo::Deployment* deployment_;
+  double theta_;
+  topo::SectorTable table_;
+  std::vector<graph::NodeId> admitted_;  ///< node x sector, row-major
+  graph::Graph n_;
+};
+
+}  // namespace thetanet::core

@@ -1,0 +1,82 @@
+#pragma once
+// Angle utilities for sector (cone) arithmetic. ThetaALG (Section 2.1)
+// partitions the space around each node into 2*pi/theta sectors; all sector
+// bookkeeping in the library goes through these helpers so the half-open
+// sector convention [i*theta, (i+1)*theta) is applied consistently.
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Normalize an angle into [0, 2*pi).
+inline double normalize_angle(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  // fmod of a tiny negative can round back up to 2*pi exactly.
+  if (a >= kTwoPi) a = 0.0;
+  return a;
+}
+
+/// Polar angle of v in [0, 2*pi); angle of the zero vector is 0.
+inline double angle_of(Vec2 v) {
+  if (v.x == 0.0 && v.y == 0.0) return 0.0;
+  return normalize_angle(std::atan2(v.y, v.x));
+}
+
+/// Polar angle of the ray from `from` towards `to`, in [0, 2*pi).
+inline double bearing(Vec2 from, Vec2 to) { return angle_of(to - from); }
+
+/// Counter-clockwise angular distance from a to b, in [0, 2*pi).
+inline double ccw_delta(double a, double b) { return normalize_angle(b - a); }
+
+/// Unsigned angle between the two bearings, in [0, pi].
+inline double angle_between(double a, double b) {
+  const double d = ccw_delta(a, b);
+  return d <= std::numbers::pi ? d : kTwoPi - d;
+}
+
+/// Interior angle at vertex `apex` of triangle (a, apex, b), in [0, pi].
+inline double interior_angle(Vec2 apex, Vec2 a, Vec2 b) {
+  return angle_between(bearing(apex, a), bearing(apex, b));
+}
+
+/// Number of theta-sectors around a node: ceil(2*pi / theta).
+/// The paper requires theta <= pi/3, i.e. at least 6 sectors.
+inline int sector_count(double theta) {
+  TN_ASSERT_MSG(theta > 0.0, "sector angle must be positive");
+  const int k = static_cast<int>(std::ceil(kTwoPi / theta - 1e-12));
+  TN_DCHECK(k >= 1);
+  return k;
+}
+
+/// Index of the half-open sector [i*w, (i+1)*w) containing bearing(u, v),
+/// where w = 2*pi / sector_count(theta). All nodes use a common axis-aligned
+/// frame (the paper's algorithm is frame-agnostic; any fixed frame works).
+inline int sector_index(Vec2 u, Vec2 v, double theta) {
+  const int k = sector_count(theta);
+  const double w = kTwoPi / k;
+  int i = static_cast<int>(bearing(u, v) / w);
+  if (i >= k) i = k - 1;  // guard against rounding at 2*pi
+  return i;
+}
+
+/// Half-open angular extent [lo, hi) of sector i at a node, for theta.
+struct SectorSpan {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+inline SectorSpan sector_span(int i, double theta) {
+  const int k = sector_count(theta);
+  TN_ASSERT(i >= 0 && i < k);
+  const double w = kTwoPi / k;
+  return {static_cast<double>(i) * w, static_cast<double>(i + 1) * w};
+}
+
+}  // namespace thetanet::geom

@@ -1,0 +1,56 @@
+#pragma once
+// Axis-aligned bounding box, used by the spatial indexes and the hexagonal
+// tiling to size their cell structures over a node deployment region.
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "common/assert.h"
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+struct BBox {
+  Vec2 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec2 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+  double width() const { return empty() ? 0.0 : hi.x - lo.x; }
+  double height() const { return empty() ? 0.0 : hi.y - lo.y; }
+  Vec2 center() const { return midpoint(lo, hi); }
+
+  bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  void expand(Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grow symmetrically by margin m on all sides.
+  BBox inflated(double m) const {
+    TN_DCHECK(!empty());
+    return {{lo.x - m, lo.y - m}, {hi.x + m, hi.y + m}};
+  }
+
+  /// Minimum squared distance from p to the box (0 if inside).
+  double dist_sq_to(Vec2 p) const {
+    const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    return dx * dx + dy * dy;
+  }
+
+  static BBox of(std::span<const Vec2> pts) {
+    BBox b;
+    for (const Vec2 p : pts) b.expand(p);
+    return b;
+  }
+};
+
+}  // namespace thetanet::geom

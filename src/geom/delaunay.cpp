@@ -1,0 +1,98 @@
+#include "geom/delaunay.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "common/assert.h"
+#include "geom/bbox.h"
+#include "geom/predicates.h"
+
+namespace thetanet::geom {
+namespace {
+
+struct Triangle {
+  // Vertex ids; ids >= n_real refer to the three super-triangle vertices.
+  std::array<std::uint32_t, 3> v;
+  bool alive = true;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> delaunay_edges(
+    std::span<const Vec2> points) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::uint32_t n = static_cast<std::uint32_t>(points.size());
+  if (n < 2) return edges;
+  if (n == 2) {
+    edges.emplace_back(0, 1);
+    return edges;
+  }
+
+  // Working vertex array = input points + super-triangle vertices.
+  std::vector<Vec2> verts(points.begin(), points.end());
+  const BBox box = BBox::of(points);
+  const double span = std::max({box.width(), box.height(), 1.0});
+  const Vec2 c = box.center();
+  // A super-triangle comfortably containing every circumcircle of interest.
+  verts.push_back({c.x - 40.0 * span, c.y - 20.0 * span});
+  verts.push_back({c.x + 40.0 * span, c.y - 20.0 * span});
+  verts.push_back({c.x, c.y + 40.0 * span});
+  const std::uint32_t s0 = n, s1 = n + 1, s2 = n + 2;
+
+  std::vector<Triangle> tris;
+  tris.push_back({{s0, s1, s2}, true});
+
+  auto ccw = [&](Triangle& t) {
+    if (orient2d(verts[t.v[0]], verts[t.v[1]], verts[t.v[2]]) < 0.0)
+      std::swap(t.v[1], t.v[2]);
+  };
+
+  // Insert points one at a time (Bowyer–Watson). O(n^2) worst case, fine for
+  // the simulation scales used here (n <= ~16k).
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const Vec2 pp = verts[p];
+    // Find all triangles whose circumcircle contains p ("bad" triangles).
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> boundary_count;
+    std::vector<std::size_t> bad;
+    for (std::size_t t = 0; t < tris.size(); ++t) {
+      if (!tris[t].alive) continue;
+      const auto& v = tris[t].v;
+      if (in_circumcircle(verts[v[0]], verts[v[1]], verts[v[2]], pp)) {
+        bad.push_back(t);
+        for (int e = 0; e < 3; ++e) {
+          std::uint32_t a = v[static_cast<std::size_t>(e)];
+          std::uint32_t b = v[static_cast<std::size_t>((e + 1) % 3)];
+          if (a > b) std::swap(a, b);
+          ++boundary_count[{a, b}];
+        }
+      }
+    }
+    for (const std::size_t t : bad) tris[t].alive = false;
+    // Polygon hole boundary = edges belonging to exactly one bad triangle.
+    for (const auto& [edge, count] : boundary_count) {
+      if (count != 1) continue;
+      Triangle t{{edge.first, edge.second, p}, true};
+      ccw(t);
+      tris.push_back(t);
+    }
+  }
+
+  // Collect edges not touching the super-triangle, dedup.
+  for (const Triangle& t : tris) {
+    if (!t.alive) continue;
+    for (int e = 0; e < 3; ++e) {
+      std::uint32_t a = t.v[static_cast<std::size_t>(e)];
+      std::uint32_t b = t.v[static_cast<std::size_t>((e + 1) % 3)];
+      if (a >= n || b >= n) continue;
+      if (a > b) std::swap(a, b);
+      edges.emplace_back(a, b);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace thetanet::geom

@@ -1,0 +1,22 @@
+#pragma once
+// Delaunay triangulation via Bowyer–Watson. Needed for the
+// restricted-Delaunay baseline topology (Gao et al. [21] in the paper's
+// related work): Delaunay edges no longer than the transmission range form a
+// spanner, and we compare ThetaALG's topology against it in bench E10.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+/// Undirected Delaunay edge set over the input points, as (min_id, max_id)
+/// pairs sorted lexicographically. Collinear/degenerate inputs are handled
+/// by the in-circumcircle tolerance; duplicate points must not occur.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> delaunay_edges(
+    std::span<const Vec2> points);
+
+}  // namespace thetanet::geom

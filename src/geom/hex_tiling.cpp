@@ -1,0 +1,51 @@
+#include "geom/hex_tiling.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace thetanet::geom {
+
+namespace {
+constexpr double kSqrt3 = 1.7320508075688772;
+}
+
+HexTiling::HexTiling(double side) : side_(side) {
+  TN_ASSERT_MSG(side > 0.0, "hexagon side length must be positive");
+}
+
+double HexTiling::inradius() const { return side_ * kSqrt3 / 2.0; }
+
+HexCell HexTiling::cell_of(Vec2 p) const {
+  // Pointy-top axial coordinates (Red Blob Games convention).
+  const double qf = (kSqrt3 / 3.0 * p.x - 1.0 / 3.0 * p.y) / side_;
+  const double rf = (2.0 / 3.0 * p.y) / side_;
+  // Cube rounding: round (q, r, s) with q + r + s = 0 and fix the component
+  // with the largest rounding error.
+  const double sf = -qf - rf;
+  double q = std::round(qf), r = std::round(rf), s = std::round(sf);
+  const double dq = std::abs(q - qf), dr = std::abs(r - rf), ds = std::abs(s - sf);
+  if (dq > dr && dq > ds) {
+    q = -r - s;
+  } else if (dr > ds) {
+    r = -q - s;
+  }
+  return {static_cast<std::int32_t>(q), static_cast<std::int32_t>(r)};
+}
+
+Vec2 HexTiling::center(HexCell c) const {
+  const double x = side_ * kSqrt3 * (static_cast<double>(c.q) +
+                                     static_cast<double>(c.r) / 2.0);
+  const double y = side_ * 1.5 * static_cast<double>(c.r);
+  return {x, y};
+}
+
+void HexTiling::for_each_neighbor(HexCell c,
+                                  const std::function<void(HexCell)>& visit) {
+  static constexpr std::array<std::array<std::int32_t, 2>, 6> kDirs = {
+      {{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}}};
+  for (const auto& d : kDirs) visit({c.q + d[0], c.r + d[1]});
+}
+
+}  // namespace thetanet::geom

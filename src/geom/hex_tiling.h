@@ -1,0 +1,65 @@
+#pragma once
+// Honeycomb subdivision of the plane (Figure 5 of the paper). The honeycomb
+// algorithm of Section 3.4 partitions the 2-D space into regular hexagons of
+// side length 3 + 2*Delta (diameter 2*(3 + 2*Delta)) and assigns each
+// sender-receiver pair to the hexagon containing the sender. We use
+// pointy-top hexagons in axial coordinates with exact cube rounding.
+
+#include <cstdint>
+#include <functional>
+
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+/// Axial coordinate of one hexagonal cell.
+struct HexCell {
+  std::int32_t q = 0;
+  std::int32_t r = 0;
+  friend constexpr bool operator==(HexCell, HexCell) = default;
+  friend constexpr auto operator<=>(HexCell, HexCell) = default;
+};
+
+struct HexCellHash {
+  std::size_t operator()(HexCell c) const {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.q)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.r));
+    // splitmix64 finalizer
+    std::uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+class HexTiling {
+ public:
+  /// `side` is the hexagon side length (= circumradius = centre-to-corner).
+  explicit HexTiling(double side);
+
+  double side() const { return side_; }
+  /// Hexagon diameter (corner to opposite corner) = 2 * side.
+  double diameter() const { return 2.0 * side_; }
+  /// Inradius (centre to edge midpoint) = side * sqrt(3)/2.
+  double inradius() const;
+
+  /// The cell containing point p (boundary ties resolved by cube rounding,
+  /// deterministically).
+  HexCell cell_of(Vec2 p) const;
+
+  /// Centre of a cell.
+  Vec2 center(HexCell c) const;
+
+  /// The six neighbouring cells, in fixed ccw order.
+  static void for_each_neighbor(HexCell c,
+                                const std::function<void(HexCell)>& visit);
+
+  /// Upper bound on the distance between any two points in the same cell.
+  double max_intra_cell_distance() const { return diameter(); }
+
+ private:
+  double side_;
+};
+
+}  // namespace thetanet::geom

@@ -1,0 +1,116 @@
+#include "geom/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace thetanet::geom {
+
+KdTree::KdTree(std::span<const Vec2> points)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) return;
+  std::vector<NodeId> ids(points_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  nodes_.reserve(points_.size());
+  root_ = build(ids, 0);
+}
+
+std::int32_t KdTree::build(std::span<NodeId> ids, int depth) {
+  if (ids.empty()) return -1;
+  const std::uint8_t axis = static_cast<std::uint8_t>(depth % 2);
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids.end(), [&](NodeId a, NodeId b) {
+                     const double ka = axis == 0 ? points_[a].x : points_[a].y;
+                     const double kb = axis == 0 ? points_[b].x : points_[b].y;
+                     return ka < kb || (ka == kb && a < b);
+                   });
+  const std::int32_t self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({ids[mid], -1, -1, axis});
+  const std::int32_t left = build(ids.subspan(0, mid), depth + 1);
+  const std::int32_t right = build(ids.subspan(mid + 1), depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+template <typename Visit>
+void KdTree::search(std::int32_t node, Vec2 query, double radius_sq,
+                    const Visit& visit) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec2 p = points_[n.id];
+  if (dist_sq(p, query) <= radius_sq) visit(n.id);
+  const double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+  const std::int32_t near = delta < 0 ? n.left : n.right;
+  const std::int32_t far = delta < 0 ? n.right : n.left;
+  search(near, query, radius_sq, visit);
+  if (delta * delta <= radius_sq) search(far, query, radius_sq, visit);
+}
+
+KdTree::NodeId KdTree::nearest(Vec2 query, NodeId exclude) const {
+  const auto knn = k_nearest(query, 1, exclude);
+  return knn.empty() ? kNone : knn.front();
+}
+
+std::vector<KdTree::NodeId> KdTree::k_nearest(Vec2 query, std::size_t k,
+                                              NodeId exclude) const {
+  std::vector<NodeId> out;
+  if (k == 0 || points_.empty()) return out;
+  // Max-heap of the best k candidates found so far, keyed by (dist, id) so
+  // that ties resolve deterministically towards the smaller id.
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry> heap;
+
+  // Branch-and-bound descent.
+  auto descend = [&](auto&& self, std::int32_t node) -> void {
+    if (node < 0) return;
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    const Vec2 p = points_[n.id];
+    if (n.id != exclude) {
+      const double d2 = dist_sq(p, query);
+      if (heap.size() < k) {
+        heap.emplace(d2, n.id);
+      } else if (d2 < heap.top().first ||
+                 (d2 == heap.top().first && n.id < heap.top().second)) {
+        heap.pop();
+        heap.emplace(d2, n.id);
+      }
+    }
+    const double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+    const std::int32_t near = delta < 0 ? n.left : n.right;
+    const std::int32_t far = delta < 0 ? n.right : n.left;
+    self(self, near);
+    const double bound =
+        heap.size() < k ? std::numeric_limits<double>::infinity() : heap.top().first;
+    if (delta * delta <= bound) self(self, far);
+  };
+  descend(descend, root_);
+
+  std::vector<Entry> entries;
+  entries.reserve(heap.size());
+  while (!heap.empty()) {
+    entries.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.first < b.first || (a.first == b.first && a.second < b.second);
+  });
+  out.reserve(entries.size());
+  for (const auto& [d2, id] : entries) out.push_back(id);
+  return out;
+}
+
+std::vector<KdTree::NodeId> KdTree::within(Vec2 query, double radius,
+                                           NodeId exclude) const {
+  std::vector<NodeId> out;
+  search(root_, query, radius * radius, [&](NodeId id) {
+    if (id != exclude) out.push_back(id);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace thetanet::geom

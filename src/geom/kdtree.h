@@ -1,0 +1,56 @@
+#pragma once
+// Static k-d tree over a point set: k-nearest-neighbour and range queries.
+// Complements SpatialGrid: the grid wins when the query radius is known and
+// uniform (transmission range D), the tree wins for k-NN with unknown radius
+// (k-nearest baseline topology, nearest-neighbour tie-break audits).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+class KdTree {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNone = static_cast<NodeId>(-1);
+
+  explicit KdTree(std::span<const Vec2> points);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Nearest neighbour of `query`, excluding `exclude`; kNone if none.
+  NodeId nearest(Vec2 query, NodeId exclude = kNone) const;
+
+  /// The k nearest neighbours of `query` (excluding `exclude`), ordered by
+  /// increasing distance, ties broken by id. Returns fewer if the set is
+  /// smaller than k.
+  std::vector<NodeId> k_nearest(Vec2 query, std::size_t k,
+                                NodeId exclude = kNone) const;
+
+  /// All ids within `radius` of `query`, sorted ascending.
+  std::vector<NodeId> within(Vec2 query, double radius,
+                             NodeId exclude = kNone) const;
+
+ private:
+  struct Node {
+    NodeId id;            // point stored at this tree node
+    std::int32_t left;    // child indices into nodes_, -1 when absent
+    std::int32_t right;
+    std::uint8_t axis;    // 0 = x, 1 = y
+  };
+
+  std::int32_t build(std::span<NodeId> ids, int depth);
+
+  template <typename Visit>
+  void search(std::int32_t node, Vec2 query, double radius_sq,
+              const Visit& visit) const;
+
+  std::vector<Vec2> points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace thetanet::geom

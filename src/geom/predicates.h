@@ -1,0 +1,79 @@
+#pragma once
+// Geometric predicates. Exact arithmetic is unnecessary at simulation scale;
+// we use guarded double precision with explicit tolerances, which is the
+// usual trade-off for network-topology workloads (node coordinates are
+// random, never adversarially degenerate beyond what the tie-break rules in
+// topology/ already handle).
+
+#include <cmath>
+#include <optional>
+
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+/// Twice the signed area of triangle (a, b, c); >0 iff counter-clockwise.
+constexpr double orient2d(Vec2 a, Vec2 b, Vec2 c) {
+  return cross(b - a, c - a);
+}
+
+enum class Orientation { kClockwise, kCollinear, kCounterClockwise };
+
+inline Orientation orientation(Vec2 a, Vec2 b, Vec2 c, double eps = 1e-12) {
+  const double v = orient2d(a, b, c);
+  if (v > eps) return Orientation::kCounterClockwise;
+  if (v < -eps) return Orientation::kClockwise;
+  return Orientation::kCollinear;
+}
+
+/// True iff p lies strictly inside the circumcircle of ccw triangle (a,b,c).
+inline bool in_circumcircle(Vec2 a, Vec2 b, Vec2 c, Vec2 p) {
+  const Vec2 A = a - p, B = b - p, C = c - p;
+  const double det = (norm_sq(A)) * cross(B, C) - (norm_sq(B)) * cross(A, C) +
+                     (norm_sq(C)) * cross(A, B);
+  return det > 0.0;
+}
+
+/// True iff p lies strictly inside the open disk C(center, radius) — the
+/// shape of the paper's interference regions (Section 2.4).
+inline bool in_open_disk(Vec2 center, double radius, Vec2 p) {
+  return dist_sq(center, p) < radius * radius;
+}
+
+/// True iff p lies in the closed disk.
+inline bool in_closed_disk(Vec2 center, double radius, Vec2 p) {
+  return dist_sq(center, p) <= radius * radius;
+}
+
+/// Gabriel-graph predicate: w lies in the closed disk with diameter (u, v).
+/// The Gabriel graph keeps edge (u,v) iff no other node passes this test.
+inline bool in_gabriel_disk(Vec2 u, Vec2 v, Vec2 w) {
+  return in_closed_disk(midpoint(u, v), dist(u, v) / 2.0, w);
+}
+
+/// Relative-neighbourhood predicate: w is in the lune of (u, v), i.e. closer
+/// to both endpoints than they are to each other.
+inline bool in_rng_lune(Vec2 u, Vec2 v, Vec2 w) {
+  const double d2 = dist_sq(u, v);
+  return dist_sq(u, w) < d2 && dist_sq(v, w) < d2;
+}
+
+/// Proper intersection of segments (a1, a2) and (b1, b2); returns the
+/// intersection point, or nullopt when the segments do not cross (touching
+/// endpoints and collinear overlaps count as no crossing — the conservative
+/// choice for the face-routing crossing rule, where a grazing contact must
+/// not trigger a face change).
+inline std::optional<Vec2> segment_intersection(Vec2 a1, Vec2 a2, Vec2 b1,
+                                                Vec2 b2) {
+  const Vec2 r = a2 - a1;
+  const Vec2 s = b2 - b1;
+  const double denom = cross(r, s);
+  if (denom == 0.0) return std::nullopt;  // parallel or collinear
+  const Vec2 d = b1 - a1;
+  const double t = cross(d, s) / denom;
+  const double u = cross(d, r) / denom;
+  if (t <= 0.0 || t >= 1.0 || u <= 0.0 || u >= 1.0) return std::nullopt;
+  return a1 + t * r;
+}
+
+}  // namespace thetanet::geom

@@ -1,0 +1,126 @@
+#include "geom/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace thetanet::geom {
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
+    : points_(points), box_(BBox::of(points)), cell_(cell_size) {
+  TN_ASSERT_MSG(cell_size > 0.0, "grid cell size must be positive");
+  if (points_.empty()) {
+    starts_.assign(2, 0);
+    return;
+  }
+  nx_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::floor(box_.width() / cell_)) + 1);
+  ny_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::floor(box_.height() / cell_)) + 1);
+
+  const std::size_t ncells =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  std::vector<std::uint32_t> counts(ncells, 0);
+  std::vector<std::size_t> home(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const CellCoord c = cell_of(points_[i]);
+    home[i] = cell_index(c.cx, c.cy);
+    ++counts[home[i]];
+  }
+  starts_.assign(ncells + 1, 0);
+  for (std::size_t c = 0; c < ncells; ++c) starts_[c + 1] = starts_[c] + counts[c];
+  ids_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    ids_[cursor[home[i]]++] = static_cast<NodeId>(i);
+  // Keep ids within each cell sorted so query output is deterministic.
+  for (std::size_t c = 0; c < ncells; ++c)
+    std::sort(ids_.begin() + starts_[c], ids_.begin() + starts_[c + 1]);
+}
+
+SpatialGrid::CellCoord SpatialGrid::cell_of(Vec2 p) const {
+  auto clamp = [](std::int32_t v, std::int32_t hi) {
+    return std::clamp<std::int32_t>(v, 0, hi - 1);
+  };
+  const auto cx = static_cast<std::int32_t>(std::floor((p.x - box_.lo.x) / cell_));
+  const auto cy = static_cast<std::int32_t>(std::floor((p.y - box_.lo.y) / cell_));
+  return {clamp(cx, nx_), clamp(cy, ny_)};
+}
+
+std::size_t SpatialGrid::cell_index(std::int32_t cx, std::int32_t cy) const {
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(nx_) +
+         static_cast<std::size_t>(cx);
+}
+
+void SpatialGrid::for_each_within(
+    Vec2 center, double radius, const std::function<void(NodeId)>& visit) const {
+  if (points_.empty()) return;
+  const double r2 = radius * radius;
+  const std::int32_t span = static_cast<std::int32_t>(std::ceil(radius / cell_));
+  const CellCoord c0 = cell_of(center);
+  const std::int32_t x_lo = std::max(0, c0.cx - span);
+  const std::int32_t x_hi = std::min(nx_ - 1, c0.cx + span);
+  const std::int32_t y_lo = std::max(0, c0.cy - span);
+  const std::int32_t y_hi = std::min(ny_ - 1, c0.cy + span);
+  for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
+    for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
+      const std::size_t c = cell_index(cx, cy);
+      for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
+        const NodeId id = ids_[k];
+        if (dist_sq(points_[id], center) <= r2) visit(id);
+      }
+    }
+  }
+}
+
+std::vector<SpatialGrid::NodeId> SpatialGrid::within(Vec2 center, double radius,
+                                                     NodeId exclude) const {
+  std::vector<NodeId> out;
+  for_each_within(center, radius, [&](NodeId id) {
+    if (id != exclude) out.push_back(id);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SpatialGrid::NodeId SpatialGrid::nearest(Vec2 center, NodeId exclude) const {
+  if (points_.empty()) return kNone;
+  NodeId best = kNone;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  // Expanding-ring search: examine cells in growing square shells until the
+  // best candidate is provably closer than any unexamined shell.
+  const CellCoord c0 = cell_of(center);
+  const std::int32_t max_span = std::max(nx_, ny_);
+  for (std::int32_t span = 0; span <= max_span; ++span) {
+    if (best != kNone) {
+      const double shell_min = (static_cast<double>(span) - 1.0) * cell_;
+      if (shell_min > 0.0 && shell_min * shell_min > best_d2) break;
+    }
+    const std::int32_t x_lo = std::max(0, c0.cx - span);
+    const std::int32_t x_hi = std::min(nx_ - 1, c0.cx + span);
+    const std::int32_t y_lo = std::max(0, c0.cy - span);
+    const std::int32_t y_hi = std::min(ny_ - 1, c0.cy + span);
+    for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
+      for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
+        // Only the new shell, not the already-scanned interior.
+        if (span > 0 && cx != x_lo && cx != x_hi && cy != y_lo && cy != y_hi)
+          continue;
+        const std::size_t c = cell_index(cx, cy);
+        for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
+          const NodeId id = ids_[k];
+          if (id == exclude) continue;
+          const double d2 = dist_sq(points_[id], center);
+          if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+            best_d2 = d2;
+            best = id;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace thetanet::geom

@@ -1,0 +1,62 @@
+#pragma once
+// Uniform-grid spatial index over a fixed point set. This is the workhorse
+// for local neighbour discovery: transmission-graph construction (all nodes
+// within range D), interference-set computation (nodes within (1+Delta)r),
+// and Poisson-disk generation. Queries are O(points in the queried disk)
+// when the cell size matches the query radius.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/vec2.h"
+
+namespace thetanet::geom {
+
+class SpatialGrid {
+ public:
+  using NodeId = std::uint32_t;
+
+  /// Build over `points` with the given cell size (typically the dominant
+  /// query radius). Points are referenced by index; the caller keeps them
+  /// alive for the lifetime of the grid.
+  SpatialGrid(std::span<const Vec2> points, double cell_size);
+
+  std::size_t size() const { return points_.size(); }
+  double cell_size() const { return cell_; }
+
+  /// Ids of all points p with |p - center| <= radius, optionally excluding
+  /// one id (a node never neighbours itself). Sorted ascending.
+  std::vector<NodeId> within(Vec2 center, double radius,
+                             NodeId exclude = kNone) const;
+
+  /// Visit ids within radius without allocating.
+  void for_each_within(Vec2 center, double radius,
+                       const std::function<void(NodeId)>& visit) const;
+
+  /// Nearest point to `center` excluding `exclude`; kNone when empty.
+  NodeId nearest(Vec2 center, NodeId exclude = kNone) const;
+
+  static constexpr NodeId kNone = static_cast<NodeId>(-1);
+
+ private:
+  struct CellCoord {
+    std::int32_t cx;
+    std::int32_t cy;
+  };
+  CellCoord cell_of(Vec2 p) const;
+  std::size_t cell_index(std::int32_t cx, std::int32_t cy) const;
+
+  std::span<const Vec2> points_;
+  BBox box_;
+  double cell_ = 1.0;
+  std::int32_t nx_ = 1;
+  std::int32_t ny_ = 1;
+  // CSR layout: ids of points in cell c occupy starts_[c]..starts_[c+1).
+  std::vector<std::uint32_t> starts_;
+  std::vector<NodeId> ids_;
+};
+
+}  // namespace thetanet::geom

@@ -1,0 +1,63 @@
+#pragma once
+// 2-D vector/point type. The paper works entirely in the 2-dimensional
+// Euclidean plane (Section 2), so this is the foundational value type.
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace thetanet::geom {
+
+/// A point or displacement in the 2-D Euclidean plane.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return {s * a.x, s * a.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {s * a.x, s * a.y}; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) { return {a.x / s, a.y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 b) { x += b.x; y += b.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 b) { x -= b.x; y -= b.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+  friend constexpr auto operator<=>(Vec2, Vec2) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+  }
+};
+
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the 3-D cross product; >0 when b is counter-clockwise of a.
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+constexpr double norm_sq(Vec2 a) { return dot(a, a); }
+inline double norm(Vec2 a) { return std::sqrt(norm_sq(a)); }
+
+/// Squared Euclidean distance |ab|^2 (cheap; prefer when comparing).
+constexpr double dist_sq(Vec2 a, Vec2 b) { return norm_sq(b - a); }
+
+/// Euclidean distance |ab| as used throughout the paper.
+inline double dist(Vec2 a, Vec2 b) { return norm(b - a); }
+
+inline Vec2 normalized(Vec2 a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec2{0.0, 0.0};
+}
+
+/// Rotate `a` counter-clockwise by `radians`.
+inline Vec2 rotated(Vec2 a, double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {c * a.x - s * a.y, s * a.x + c * a.y};
+}
+
+/// Midpoint of segment (a, b) — e.g. the circle centre O in Lemma 2.6.
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) { return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0}; }
+
+}  // namespace thetanet::geom

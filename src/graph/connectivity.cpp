@@ -1,0 +1,29 @@
+#include "graph/connectivity.h"
+
+#include "graph/union_find.h"
+
+namespace thetanet::graph {
+
+bool is_connected(const Graph& g) { return num_components(g) <= 1; }
+
+std::vector<std::uint32_t> component_labels(const Graph& g) {
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  std::vector<std::uint32_t> label(g.num_nodes(), kInvalidNode);
+  std::uint32_t next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t root = uf.find(v);
+    if (label[root] == kInvalidNode) label[root] = next++;
+    label[v] = label[root];
+  }
+  return label;
+}
+
+std::size_t num_components(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.num_components();
+}
+
+}  // namespace thetanet::graph

@@ -1,0 +1,19 @@
+#pragma once
+// Connectivity helpers (Lemma 2.1 validation and generator sanity checks).
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace thetanet::graph {
+
+/// True iff the graph has a single connected component (vacuously true for
+/// n <= 1).
+bool is_connected(const Graph& g);
+
+/// Component label per node (0-based, in order of first discovery).
+std::vector<std::uint32_t> component_labels(const Graph& g);
+
+std::size_t num_components(const Graph& g);
+
+}  // namespace thetanet::graph

@@ -1,0 +1,133 @@
+#pragma once
+// Undirected weighted graph kernel. Every topology in the library — the
+// transmission graph G*, ThetaALG's output N, and all baseline proximity
+// graphs — is materialized as a Graph whose edges carry both the Euclidean
+// length |uv| and the transmission-energy cost |uv|^kappa (Section 2 of the
+// paper).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace thetanet::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double length = 0.0;  ///< Euclidean distance |uv|
+  double cost = 0.0;    ///< transmission energy |uv|^kappa
+
+  NodeId other(NodeId x) const {
+    TN_DCHECK(x == u || x == v);
+    return x == u ? v : u;
+  }
+};
+
+/// An adjacency entry: the neighbour and the id of the connecting edge.
+struct Half {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Add undirected edge (u, v); parallel edges are the caller's
+  /// responsibility to avoid (topology builders dedup before insertion).
+  EdgeId add_edge(NodeId u, NodeId v, double length, double cost) {
+    TN_ASSERT(u < adj_.size() && v < adj_.size() && u != v);
+    const EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back({u, v, length, cost});
+    adj_[u].push_back({v, id});
+    adj_[v].push_back({u, id});
+    return id;
+  }
+
+  std::span<const Half> neighbors(NodeId u) const {
+    TN_ASSERT(u < adj_.size());
+    return adj_[u];
+  }
+
+  const Edge& edge(EdgeId e) const {
+    TN_ASSERT(e < edges_.size());
+    return edges_[e];
+  }
+
+  std::span<const Edge> edges() const { return edges_; }
+
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  std::size_t max_degree() const {
+    std::size_t d = 0;
+    for (const auto& a : adj_) d = a.size() > d ? a.size() : d;
+    return d;
+  }
+
+  bool has_edge(NodeId u, NodeId v) const {
+    if (degree(u) > degree(v)) {
+      const NodeId t = u;
+      u = v;
+      v = t;
+    }
+    for (const Half& h : neighbors(u))
+      if (h.to == v) return true;
+    return false;
+  }
+
+  EdgeId find_edge(NodeId u, NodeId v) const {
+    for (const Half& h : neighbors(u))
+      if (h.to == v) return h.edge;
+    return kInvalidEdge;
+  }
+
+  /// Sum of edge costs (total energy to light every link once).
+  double total_cost() const {
+    double s = 0.0;
+    for (const Edge& e : edges_) s += e.cost;
+    return s;
+  }
+
+  double total_length() const {
+    double s = 0.0;
+    for (const Edge& e : edges_) s += e.length;
+    return s;
+  }
+
+ private:
+  std::vector<std::vector<Half>> adj_;
+  std::vector<Edge> edges_;
+};
+
+/// Which per-edge weight a path computation minimizes.
+enum class Weight {
+  kCost,    ///< transmission energy |uv|^kappa -> energy-stretch
+  kLength,  ///< Euclidean length -> distance-stretch
+  kHops,    ///< unit weights -> hop count
+};
+
+inline double edge_weight(const Edge& e, Weight w) {
+  switch (w) {
+    case Weight::kCost:
+      return e.cost;
+    case Weight::kLength:
+      return e.length;
+    case Weight::kHops:
+      return 1.0;
+  }
+  TN_ASSERT_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace thetanet::graph

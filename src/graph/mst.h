@@ -1,0 +1,19 @@
+#pragma once
+// Kruskal minimum spanning tree. The Euclidean MST is both a baseline
+// topology in bench E10 and a lower-bound witness (the MST is the sparsest
+// connected subgraph; its stretch shows what "too sparse" costs).
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace thetanet::graph {
+
+/// Edge ids of a minimum spanning forest of g, minimizing `weight`.
+/// Ties broken by edge id for determinism.
+std::vector<EdgeId> mst_edges(const Graph& g, Weight weight);
+
+/// New graph containing only the MST edges of g (same node set).
+Graph mst_subgraph(const Graph& g, Weight weight);
+
+}  // namespace thetanet::graph

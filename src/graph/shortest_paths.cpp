@@ -1,0 +1,77 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace thetanet::graph {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  std::vector<NodeId> path;
+  if (target >= dist.size() || dist[target] == kUnreachable) return path;
+  for (NodeId v = target; v != kInvalidNode; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source, Weight weight,
+                          std::size_t stop_after_settled) {
+  const std::size_t n = g.num_nodes();
+  TN_ASSERT(source < n);
+  ShortestPathTree t;
+  t.dist.assign(n, kUnreachable);
+  t.parent.assign(n, kInvalidNode);
+  t.via_edge.assign(n, kInvalidEdge);
+  t.dist[source] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;  // (dist, node); min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  std::size_t settled = 0;
+  std::vector<bool> done(n, false);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    ++settled;
+    if (stop_after_settled > 0 && settled >= stop_after_settled) break;
+    for (const Half& h : g.neighbors(u)) {
+      const double w = edge_weight(g.edge(h.edge), weight);
+      const double nd = d + w;
+      if (nd < t.dist[h.to]) {
+        t.dist[h.to] = nd;
+        t.parent[h.to] = u;
+        t.via_edge[h.to] = h.edge;
+        heap.emplace(nd, h.to);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<double> bfs_hops(const Graph& g, NodeId source) {
+  const std::size_t n = g.num_nodes();
+  TN_ASSERT(source < n);
+  std::vector<double> hops(n, kUnreachable);
+  hops[source] = 0.0;
+  std::queue<NodeId> q;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Half& h : g.neighbors(u)) {
+      if (hops[h.to] == kUnreachable) {
+        hops[h.to] = hops[u] + 1.0;
+        q.push(h.to);
+      }
+    }
+  }
+  return hops;
+}
+
+double pair_distance(const Graph& g, NodeId s, NodeId t, Weight weight) {
+  return dijkstra(g, s, weight).dist[t];
+}
+
+}  // namespace thetanet::graph

@@ -1,0 +1,132 @@
+#include "graph/stretch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_paths.h"
+
+namespace thetanet::graph {
+namespace {
+
+StretchStats summarize(std::vector<double>& ratios, StretchStats partial) {
+  if (ratios.empty()) return partial;
+  double sum = 0.0;
+  for (const double r : ratios) sum += r;
+  std::sort(ratios.begin(), ratios.end());
+  partial.pairs = ratios.size();
+  partial.mean = sum / static_cast<double>(ratios.size());
+  const std::size_t p99_idx =
+      std::min(ratios.size() - 1,
+               static_cast<std::size_t>(0.99 * static_cast<double>(ratios.size())));
+  partial.p99 = ratios[p99_idx];
+  return partial;
+}
+
+}  // namespace
+
+StretchStats edge_stretch(const Graph& h, const Graph& base, Weight weight) {
+  TN_ASSERT(h.num_nodes() == base.num_nodes());
+  const std::size_t n = base.num_nodes();
+  StretchStats stats;
+  std::vector<double> ratios;
+  ratios.reserve(base.num_edges());
+
+  // One Dijkstra in H per node that has base-neighbours; compare against each
+  // incident base edge once (u < v).
+#pragma omp parallel
+  {
+    std::vector<double> local_ratios;
+    StretchStats local;
+#pragma omp for schedule(dynamic, 8) nowait
+    for (std::int64_t ui = 0; ui < static_cast<std::int64_t>(n); ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      bool any = false;
+      for (const Half& nb : base.neighbors(u))
+        if (nb.to > u) {
+          any = true;
+          break;
+        }
+      if (!any) continue;
+      const ShortestPathTree t = dijkstra(h, u, weight);
+      for (const Half& nb : base.neighbors(u)) {
+        if (nb.to <= u) continue;
+        const double direct = edge_weight(base.edge(nb.edge), weight);
+        const double via_h = t.dist[nb.to];
+        if (via_h == kUnreachable) {
+          local.disconnected = true;
+          continue;
+        }
+        TN_DCHECK(direct > 0.0);
+        const double r = via_h / direct;
+        local_ratios.push_back(r);
+        if (r > local.max) {
+          local.max = r;
+          local.argmax_u = u;
+          local.argmax_v = nb.to;
+        }
+      }
+    }
+#pragma omp critical(thetanet_stretch_merge)
+    {
+      ratios.insert(ratios.end(), local_ratios.begin(), local_ratios.end());
+      stats.disconnected = stats.disconnected || local.disconnected;
+      if (local.max > stats.max) {
+        stats.max = local.max;
+        stats.argmax_u = local.argmax_u;
+        stats.argmax_v = local.argmax_v;
+      }
+    }
+  }
+  return summarize(ratios, stats);
+}
+
+StretchStats pairwise_stretch(const Graph& h, const Graph& base, Weight weight) {
+  TN_ASSERT(h.num_nodes() == base.num_nodes());
+  const std::size_t n = base.num_nodes();
+  StretchStats stats;
+  std::vector<double> ratios;
+  if (n < 2) return stats;
+  ratios.reserve(n * (n - 1) / 2);
+
+#pragma omp parallel
+  {
+    std::vector<double> local_ratios;
+    StretchStats local;
+#pragma omp for schedule(dynamic, 4) nowait
+    for (std::int64_t ui = 0; ui < static_cast<std::int64_t>(n); ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      const ShortestPathTree th = dijkstra(h, u, weight);
+      const ShortestPathTree tb = dijkstra(base, u, weight);
+      for (NodeId v = u + 1; v < n; ++v) {
+        const double db = tb.dist[v];
+        if (db == kUnreachable) continue;  // pair not served by base either
+        const double dh = th.dist[v];
+        if (dh == kUnreachable) {
+          local.disconnected = true;
+          continue;
+        }
+        if (db == 0.0) continue;
+        const double r = dh / db;
+        local_ratios.push_back(r);
+        if (r > local.max) {
+          local.max = r;
+          local.argmax_u = u;
+          local.argmax_v = v;
+        }
+      }
+    }
+#pragma omp critical(thetanet_pairwise_merge)
+    {
+      ratios.insert(ratios.end(), local_ratios.begin(), local_ratios.end());
+      stats.disconnected = stats.disconnected || local.disconnected;
+      if (local.max > stats.max) {
+        stats.max = local.max;
+        stats.argmax_u = local.argmax_u;
+        stats.argmax_v = local.argmax_v;
+      }
+    }
+  }
+  return summarize(ratios, stats);
+}
+
+}  // namespace thetanet::graph

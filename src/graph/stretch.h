@@ -1,0 +1,41 @@
+#pragma once
+// Stretch evaluation: how much worse are paths in a sparse topology H than
+// in the reference graph (the transmission graph G*)?
+//
+//   energy-stretch(H)   = max over pairs u,v of  E^H(u,v) / E^G*(u,v)
+//   distance-stretch(H) = same with Euclidean length instead of cost
+//
+// (Section 2 of the paper.) We exploit the standard decomposition lemma: if
+// for every *edge* (u,v) of G*, d_H(u,v) <= c * w(u,v), then the same bound
+// holds for every *pair* (each G* shortest path decomposes into G* edges).
+// edge_stretch is therefore an upper bound on pairwise stretch and is what
+// the big-n benches sweep; pairwise_stretch computes the exact quantity for
+// cross-checks at moderate n.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace thetanet::graph {
+
+struct StretchStats {
+  double max = 0.0;          ///< worst ratio observed (the stretch bound)
+  double mean = 0.0;         ///< average ratio
+  double p99 = 0.0;          ///< 99th percentile ratio
+  NodeId argmax_u = kInvalidNode;
+  NodeId argmax_v = kInvalidNode;
+  std::size_t pairs = 0;     ///< number of (u,v) ratios aggregated
+  bool disconnected = false; ///< true if some pair is unreachable in H
+};
+
+/// Upper bound on the stretch of H w.r.t. `base`: for every edge (u,v) of
+/// `base`, compare the min-weight H-path against the direct edge weight.
+/// H and base must share the node id space.
+StretchStats edge_stretch(const Graph& h, const Graph& base, Weight weight);
+
+/// Exact all-pairs stretch of H w.r.t. `base` (O(n * m log n) Dijkstras on
+/// both graphs; intended for n up to a few thousand).
+StretchStats pairwise_stretch(const Graph& h, const Graph& base, Weight weight);
+
+}  // namespace thetanet::graph

@@ -1,0 +1,49 @@
+#pragma once
+// Disjoint-set forest with union by rank and path halving. Used for
+// connectivity checks (Lemma 2.1: the topology N is connected) and
+// Kruskal's MST.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace thetanet::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0U);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    TN_ASSERT(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true iff x and y were in different components.
+  bool unite(std::uint32_t x, std::uint32_t y) {
+    std::uint32_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    if (rank_[rx] == rank_[ry]) ++rank_[rx];
+    --components_;
+    return true;
+  }
+
+  bool connected(std::uint32_t x, std::uint32_t y) { return find(x) == find(y); }
+  std::size_t num_components() const { return components_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t components_;
+};
+
+}  // namespace thetanet::graph

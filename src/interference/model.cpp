@@ -1,0 +1,126 @@
+#include "interference/model.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "geom/predicates.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::interf {
+
+bool InterferenceModel::region_covers(geom::Vec2 a1, geom::Vec2 a2,
+                                      geom::Vec2 p) const {
+  const double r = guard_radius(geom::dist(a1, a2));
+  return geom::in_open_disk(a1, r, p) || geom::in_open_disk(a2, r, p);
+}
+
+bool InterferenceModel::interferes(geom::Vec2 x1, geom::Vec2 x2, geom::Vec2 y1,
+                                   geom::Vec2 y2) const {
+  return region_covers(x1, x2, y1) || region_covers(x1, x2, y2);
+}
+
+namespace {
+
+/// Visit, for every edge e, the ids of edges in I(e), calling
+/// visit(e, e') once per unordered interfering pair discovery direction.
+/// Strategy: for each edge e' = (x, y), nodes inside IR(e') are found by two
+/// grid disk queries; every edge incident to such a node is interfered-with
+/// by e'. Symmetrized by the caller.
+template <typename Visit>
+void for_each_directed_interference(const graph::Graph& g,
+                                    const topo::Deployment& d,
+                                    const InterferenceModel& m,
+                                    const geom::SpatialGrid& grid,
+                                    const Visit& visit) {
+  std::vector<std::uint32_t> touched;  // nodes in IR(e'), deduped
+  for (graph::EdgeId ep = 0; ep < g.num_edges(); ++ep) {
+    const graph::Edge& edge = g.edge(ep);
+    const geom::Vec2 x = d.positions[edge.u];
+    const geom::Vec2 y = d.positions[edge.v];
+    const double r = m.guard_radius(edge.length);
+    touched.clear();
+    // Grid queries use closed-disk tests; refine with the open-disk predicate.
+    grid.for_each_within(x, r, [&](std::uint32_t w) {
+      if (geom::in_open_disk(x, r, d.positions[w])) touched.push_back(w);
+    });
+    grid.for_each_within(y, r, [&](std::uint32_t w) {
+      if (geom::in_open_disk(y, r, d.positions[w])) touched.push_back(w);
+    });
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (const std::uint32_t w : touched) {
+      for (const graph::Half& h : g.neighbors(w)) {
+        if (h.edge == ep) continue;
+        visit(ep, h.edge);  // ep interferes with h.edge
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> interference_set_sizes(const graph::Graph& g,
+                                                  const topo::Deployment& d,
+                                                  const InterferenceModel& m) {
+  // Build symmetric sets as sorted id lists, then measure. Memory-heavy for
+  // very dense graphs; topologies here are sparse (O(n) edges).
+  const auto sets = interference_sets(g, d, m);
+  std::vector<std::uint32_t> sizes(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    sizes[i] = static_cast<std::uint32_t>(sets[i].size());
+  return sizes;
+}
+
+std::vector<std::vector<graph::EdgeId>> interference_sets(
+    const graph::Graph& g, const topo::Deployment& d,
+    const InterferenceModel& m) {
+  std::vector<std::vector<graph::EdgeId>> sets(g.num_edges());
+  if (g.num_edges() == 0) return sets;
+  const geom::SpatialGrid grid(d.positions,
+                               std::max(d.max_range, 1e-9));
+  for_each_directed_interference(
+      g, d, m, grid, [&](graph::EdgeId ep, graph::EdgeId e) {
+        // ep interferes with e => both sets (symmetric closure).
+        sets[e].push_back(ep);
+        sets[ep].push_back(e);
+      });
+  for (auto& s : sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return sets;
+}
+
+std::uint32_t interference_number(const graph::Graph& g,
+                                  const topo::Deployment& d,
+                                  const InterferenceModel& m) {
+  std::uint32_t best = 0;
+  for (const std::uint32_t s : interference_set_sizes(g, d, m))
+    best = std::max(best, s);
+  return best;
+}
+
+std::vector<bool> failed_transmissions(std::span<const graph::EdgeId> chosen,
+                                       const graph::Graph& g,
+                                       const topo::Deployment& d,
+                                       const InterferenceModel& m) {
+  std::vector<bool> failed(chosen.size(), false);
+  // Chosen sets are small (one per hexagon / per activation round), so the
+  // quadratic pass is the right tool; the grid machinery above is for the
+  // static whole-topology sets.
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const graph::Edge& ei = g.edge(chosen[i]);
+    const geom::Vec2 yi1 = d.positions[ei.u], yi2 = d.positions[ei.v];
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (i == j) continue;
+      const graph::Edge& ej = g.edge(chosen[j]);
+      if (m.interferes(d.positions[ej.u], d.positions[ej.v], yi1, yi2)) {
+        failed[i] = true;
+        break;
+      }
+    }
+  }
+  return failed;
+}
+
+}  // namespace thetanet::interf

@@ -1,0 +1,105 @@
+#pragma once
+// The adversarial model of Section 3.1 and the *certified adversary* used by
+// the competitive-ratio experiments.
+//
+// In the paper's model the adversary controls, per step: the set of active
+// (usable, non-interfering) edges, per-edge costs, and packet injections.
+// For each packet it counts towards OPT, a best possible algorithm can name
+// a *schedule* S = (t0, (e1,t1), ..., (el,tl)) — a time-respecting path with
+// no two schedules sharing an edge at the same step.
+//
+// Finding OPT for an arbitrary trace is NP-hard (Adler & Scheideler [1]), so
+// the experiment harness builds traces *with the certificate attached*: the
+// generator reserves conflict-free schedules while injecting, which makes
+// the optimal throughput, average cost and buffer requirement of the trace
+// known exactly by construction (see DESIGN.md, "OPT surrogates").
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/rng.h"
+#include "graph/graph.h"
+#include "routing/packet.h"
+
+namespace thetanet::route {
+
+/// A feasible delivery plan for one packet: injected at t0, traverses hop
+/// edges at strictly increasing times t0 < t1 < ... < tl.
+struct Schedule {
+  Time t0 = 0;
+  std::vector<std::pair<graph::EdgeId, Time>> hops;
+};
+
+struct Injection {
+  Packet packet;
+  Schedule schedule;  ///< the adversary's certificate (hidden from routers)
+};
+
+/// One time step of the trace.
+struct StepSpec {
+  std::vector<graph::EdgeId> active;  ///< edges usable this step
+  std::vector<std::pair<graph::EdgeId, double>> cost_overrides;
+  std::vector<Injection> injections;
+};
+
+/// Exact optimum of a certified trace, computed by replaying the schedules.
+struct OptStats {
+  std::size_t deliveries = 0;
+  double total_cost = 0.0;
+  double avg_cost = 0.0;        ///< C-bar: total cost / deliveries
+  double avg_path_length = 0.0; ///< L-bar: mean schedule hop count
+  std::size_t max_buffer = 0;   ///< B: peak height of any Q_{v,d} under OPT
+  Time makespan = 0;            ///< last delivery time
+};
+
+struct AdversaryTrace {
+  const graph::Graph* topology = nullptr;  ///< edge id space for the trace
+  std::vector<StepSpec> steps;
+  OptStats opt;  ///< filled by the certified generators / replay
+
+  Time horizon() const { return static_cast<Time>(steps.size()); }
+
+  /// Per-step effective edge costs (base cost with overrides applied).
+  std::vector<double> costs_at(Time t) const;
+};
+
+/// Parameters for the certified trace generators.
+struct TraceParams {
+  Time horizon = 512;             ///< steps with injections
+  Time drain = 512;               ///< trailing steps with no injections
+  double injections_per_step = 2; ///< expected injection attempts per step
+  Time max_schedule_slack = 64;   ///< max queueing delay per hop the adversary tolerates
+  double extra_active_fraction = 0.0;  ///< noise edges activated beyond schedules
+  bool route_min_cost = true;     ///< schedule along min-cost (else min-hop) paths
+  std::uint32_t cost_jitter_pct = 0;  ///< per-step random cost overrides, +-pct
+
+  // Traffic concentration. 0 means "all nodes". The balancing algorithm's
+  // competitive guarantee is asymptotic (the additive slack r in the
+  // definition of (t,s,c)-competitive absorbs a per-(node,destination)
+  // warm-up of height ~T+gamma*c per buffer); concentrating traffic onto few
+  // destinations is how the experiments reach the asymptotic regime at
+  // laptop scale.
+  std::size_t num_sources = 0;
+  std::size_t num_destinations = 0;
+
+  /// Explicit endpoint pools (override num_sources / num_destinations when
+  /// non-empty). Lets experiments pin representative endpoints — e.g. the
+  /// node nearest the field centre — instead of gambling on random draws.
+  std::vector<graph::NodeId> source_pool;
+  std::vector<graph::NodeId> dest_pool;
+};
+
+/// Build a certified trace over `topo`: random source/destination pairs are
+/// injected and greedily booked onto conflict-free schedules along shortest
+/// paths; injections that cannot be booked within the slack are discarded
+/// (they never existed). Every injected packet is thus deliverable and the
+/// trace's OptStats are exact.
+AdversaryTrace make_certified_trace(const graph::Graph& topo,
+                                    const TraceParams& params, geom::Rng& rng);
+
+/// Replay the schedules of a trace and recompute its OptStats (also used as
+/// an independent audit that generated schedules are conflict-free).
+OptStats replay_schedules(const AdversaryTrace& trace);
+
+}  // namespace thetanet::route

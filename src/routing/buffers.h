@@ -1,0 +1,100 @@
+#pragma once
+// Per-destination buffers Q_{v,d} (Section 3.1). Every node v keeps one
+// buffer per destination d; h_{(v,d)} is its height, capped at H. A packet
+// reaching Q_{d,d} is absorbed (the destination buffer always has height 0).
+// Buffers are LIFO — the balancing analysis depends only on heights, never
+// on which packet of a buffer moves.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/assert.h"
+#include "routing/packet.h"
+
+namespace thetanet::route {
+
+class BufferBank {
+ public:
+  BufferBank(std::size_t num_nodes, std::size_t max_height)
+      : buffers_(num_nodes), max_height_(max_height) {}
+
+  std::size_t num_nodes() const { return buffers_.size(); }
+  std::size_t max_height() const { return max_height_; }
+
+  /// h_{(v,d)}: current height of buffer Q_{v,d}.
+  std::size_t height(graph::NodeId v, DestId d) const {
+    const auto& node = buffers_[v];
+    const auto it = node.find(d);
+    return it == node.end() ? 0 : it->second.size();
+  }
+
+  bool has_space(graph::NodeId v, DestId d) const {
+    return height(v, d) < max_height_;
+  }
+
+  /// Store a packet; fails (returns false) when the buffer is full.
+  /// Deliveries are absorbed by the caller before push (under anycast the
+  /// destination id is a group id, so no node-id comparison is made here).
+  bool push(graph::NodeId v, const Packet& p) {
+    auto& q = buffers_[v][p.dst];
+    if (q.size() >= max_height_) {
+      if (q.empty()) buffers_[v].erase(p.dst);
+      return false;
+    }
+    q.push_back(p);
+    return true;
+  }
+
+  /// Remove and return the top packet of Q_{v,d}; nullopt when empty.
+  std::optional<Packet> pop(graph::NodeId v, DestId d) {
+    auto& node = buffers_[v];
+    const auto it = node.find(d);
+    if (it == node.end() || it->second.empty()) return std::nullopt;
+    Packet p = it->second.back();
+    it->second.pop_back();
+    if (it->second.empty()) node.erase(it);
+    return p;
+  }
+
+  /// Destinations with at least one packet queued at v, ascending (the
+  /// deterministic iteration order the balancing rule scans).
+  std::vector<DestId> destinations_at(graph::NodeId v) const {
+    std::vector<DestId> out;
+    out.reserve(buffers_[v].size());
+    for (const auto& [d, q] : buffers_[v])
+      if (!q.empty()) out.push_back(d);
+    return out;
+  }
+
+  /// Allocation-free scan of (destination, height) pairs at v, ascending by
+  /// destination — the hot path of the balancing rule.
+  template <typename Fn>
+  void for_each_destination(graph::NodeId v, const Fn& fn) const {
+    for (const auto& [d, q] : buffers_[v])
+      if (!q.empty()) fn(d, q.size());
+  }
+
+  /// Total packets currently buffered anywhere.
+  std::size_t total_packets() const {
+    std::size_t s = 0;
+    for (const auto& node : buffers_)
+      for (const auto& [d, q] : node) s += q.size();
+    return s;
+  }
+
+  /// Highest buffer currently in the bank (space-overhead metric).
+  std::size_t peak_height() const {
+    std::size_t s = 0;
+    for (const auto& node : buffers_)
+      for (const auto& [d, q] : node) s = q.size() > s ? q.size() : s;
+    return s;
+  }
+
+ private:
+  // map keyed by destination for deterministic scans.
+  std::vector<std::map<DestId, std::vector<Packet>>> buffers_;
+  std::size_t max_height_;
+};
+
+}  // namespace thetanet::route

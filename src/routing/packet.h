@@ -1,0 +1,22 @@
+#pragma once
+// Packet bookkeeping for the adversarial routing model of Section 3.1.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace thetanet::route {
+
+using Time = std::uint32_t;
+using DestId = graph::NodeId;
+
+struct Packet {
+  std::uint64_t id = 0;
+  graph::NodeId src = graph::kInvalidNode;
+  DestId dst = graph::kInvalidNode;
+  Time injected_at = 0;
+  double cost_spent = 0.0;  ///< energy charged to this packet so far
+  std::uint32_t hops = 0;
+};
+
+}  // namespace thetanet::route

@@ -1,0 +1,68 @@
+#include "sim/mobility.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "geom/angles.h"
+
+namespace thetanet::sim {
+
+RandomWaypoint::RandomWaypoint(const geom::BBox& arena, std::size_t num_nodes,
+                               double min_speed, double max_speed,
+                               geom::Rng& rng)
+    : arena_(arena) {
+  TN_ASSERT(min_speed > 0.0 && max_speed >= min_speed);
+  waypoint_.reserve(num_nodes);
+  speed_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    waypoint_.push_back({rng.uniform(arena_.lo.x, arena_.hi.x),
+                         rng.uniform(arena_.lo.y, arena_.hi.y)});
+    speed_.push_back(rng.uniform(min_speed, max_speed));
+  }
+}
+
+void RandomWaypoint::step(double dt, topo::Deployment& d, geom::Rng& rng) {
+  TN_ASSERT(d.size() == waypoint_.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    geom::Vec2& p = d.positions[i];
+    double budget = speed_[i] * dt;
+    // A fast node may reach several waypoints within one step.
+    while (budget > 0.0) {
+      const geom::Vec2 to = waypoint_[i] - p;
+      const double len = geom::norm(to);
+      if (len <= budget) {
+        p = waypoint_[i];
+        budget -= len;
+        waypoint_[i] = {rng.uniform(arena_.lo.x, arena_.hi.x),
+                        rng.uniform(arena_.lo.y, arena_.hi.y)};
+      } else {
+        p += (budget / len) * to;
+        budget = 0.0;
+      }
+    }
+  }
+}
+
+GroupDrift::GroupDrift(const geom::BBox& arena, double drift_speed,
+                       double jitter)
+    : arena_(arena), drift_speed_(drift_speed), jitter_(jitter) {}
+
+void GroupDrift::step(double dt, topo::Deployment& d, geom::Rng& rng) {
+  heading_ = geom::normalize_angle(heading_ + 0.1 * dt * rng.normal());
+  const geom::Vec2 drift{drift_speed_ * dt * std::cos(heading_),
+                         drift_speed_ * dt * std::sin(heading_)};
+  const double w = arena_.width();
+  const double h = arena_.height();
+  for (geom::Vec2& p : d.positions) {
+    p += drift;
+    p.x += jitter_ * dt * rng.normal();
+    p.y += jitter_ * dt * rng.normal();
+    // Wrap around the arena so the convoy never leaves it.
+    while (p.x < arena_.lo.x) p.x += w;
+    while (p.x > arena_.hi.x) p.x -= w;
+    while (p.y < arena_.lo.y) p.y += h;
+    while (p.y > arena_.hi.y) p.y -= h;
+  }
+}
+
+}  // namespace thetanet::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Node mobility models. The paper's adversarial model subsumes mobility
+// ("the adversary can specify a new topology ... at any time step"); these
+// generators realize that adversary physically: nodes move, the deployment
+// changes, and the topology-control layer recomputes N. Used by the
+// mobile_convoy example and the dynamic-topology integration tests.
+
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/rng.h"
+#include "geom/vec2.h"
+#include "topology/deployment.h"
+
+namespace thetanet::sim {
+
+/// Random-waypoint model inside a rectangular arena: each node picks a
+/// waypoint uniformly in the arena, moves towards it at its speed, picks a
+/// new one on arrival.
+class RandomWaypoint {
+ public:
+  RandomWaypoint(const geom::BBox& arena, std::size_t num_nodes,
+                 double min_speed, double max_speed, geom::Rng& rng);
+
+  /// Advance all nodes by dt and write positions into the deployment.
+  void step(double dt, topo::Deployment& d, geom::Rng& rng);
+
+ private:
+  geom::BBox arena_;
+  std::vector<geom::Vec2> waypoint_;
+  std::vector<double> speed_;
+};
+
+/// Group drift: all nodes share a slowly rotating drift velocity plus i.i.d.
+/// jitter — a convoy moving across the arena (positions wrap at the edges).
+class GroupDrift {
+ public:
+  GroupDrift(const geom::BBox& arena, double drift_speed, double jitter);
+
+  void step(double dt, topo::Deployment& d, geom::Rng& rng);
+
+ private:
+  geom::BBox arena_;
+  double drift_speed_;
+  double jitter_;
+  double heading_ = 0.0;
+};
+
+}  // namespace thetanet::sim

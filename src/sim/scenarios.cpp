@@ -1,0 +1,136 @@
+#include "sim/scenarios.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace thetanet::sim {
+
+using core::BalancingRouter;
+using core::PlannedTx;
+using route::AdversaryTrace;
+using route::RunMetrics;
+using route::Time;
+
+namespace {
+
+/// Base per-edge costs of a graph (energy costs).
+std::vector<double> base_costs(const graph::Graph& g) {
+  std::vector<double> costs(g.num_edges());
+  for (graph::EdgeId e = 0; e < costs.size(); ++e) costs[e] = g.edge(e).cost;
+  return costs;
+}
+
+void inject_step(const AdversaryTrace& trace, Time t, BalancingRouter& router,
+                 RunMetrics& m) {
+  if (t >= trace.steps.size()) return;
+  for (const route::Injection& inj : trace.steps[t].injections)
+    router.inject(inj.packet, m);
+}
+
+}  // namespace
+
+ScenarioResult run_mac_given(const AdversaryTrace& trace,
+                             const core::BalancingParams& params,
+                             Time extra_drain,
+                             core::DestinationPredicate dest_pred) {
+  TN_ASSERT(trace.topology != nullptr);
+  const graph::Graph& topo = *trace.topology;
+  BalancingRouter router(topo.num_nodes(), params);
+  if (dest_pred) router.set_destination_predicate(std::move(dest_pred));
+  RunMetrics m;
+  if (trace.steps.empty()) return {m, trace.opt};  // nothing to run or drain
+  std::vector<double> costs = base_costs(topo);
+  const Time total = trace.horizon() + extra_drain;
+  const std::vector<bool> no_failures;
+
+  for (Time t = 0; t < total; ++t) {
+    // During drain we cycle through the trace's activation patterns so the
+    // network keeps the same per-step capacity shape it had online.
+    const Time src_step = t < trace.horizon()
+                              ? t
+                              : (trace.horizon() == 0
+                                     ? 0
+                                     : t % std::max<Time>(1, trace.horizon()));
+    const route::StepSpec& step = trace.steps[src_step];
+
+    // Apply this step's adversarial cost overrides (and undo afterwards).
+    for (const auto& [e, c] : step.cost_overrides) costs[e] = c;
+
+    const std::vector<PlannedTx> txs = router.plan(topo, step.active, costs);
+    router.execute(txs, no_failures, costs, t, m);
+    inject_step(trace, t, router, m);
+    router.end_step(m);
+
+    for (const auto& [e, c] : step.cost_overrides) costs[e] = topo.edge(e).cost;
+  }
+  m.leftover_packets = router.packets_in_flight();
+  return {m, trace.opt};
+}
+
+ScenarioResult run_custom_mac(const AdversaryTrace& trace,
+                              const graph::Graph& run_topo,
+                              const MacHooks& mac,
+                              const core::BalancingParams& params,
+                              geom::Rng& rng, Time extra_drain) {
+  BalancingRouter router(run_topo.num_nodes(), params);
+  RunMetrics m;
+  const std::vector<double> costs = base_costs(run_topo);
+  const Time total = trace.horizon() + extra_drain;
+
+  for (Time t = 0; t < total; ++t) {
+    const std::vector<graph::EdgeId> active = mac.activate(rng);
+    const std::vector<PlannedTx> txs = router.plan(run_topo, active, costs);
+    const std::vector<bool> failed = mac.resolve(txs);
+    router.execute(txs, failed, costs, t, m);
+    inject_step(trace, t, router, m);
+    router.end_step(m);
+  }
+  m.leftover_packets = router.packets_in_flight();
+  return {m, trace.opt};
+}
+
+ScenarioResult run_randomized_mac(const AdversaryTrace& trace,
+                                  const graph::Graph& run_topo,
+                                  const core::RandomizedMac& mac,
+                                  const core::BalancingParams& params,
+                                  geom::Rng& rng, Time extra_drain) {
+  MacHooks hooks;
+  hooks.activate = [&mac](geom::Rng& r) { return mac.activate(r); };
+  hooks.resolve = [&mac](std::span<const PlannedTx> txs) {
+    return mac.resolve(txs);
+  };
+  return run_custom_mac(trace, run_topo, hooks, params, rng, extra_drain);
+}
+
+ScenarioResult run_honeycomb(const AdversaryTrace& trace,
+                             const graph::Graph& unit_graph,
+                             const core::HoneycombMac& mac,
+                             const core::BalancingParams& params,
+                             geom::Rng& rng, Time extra_drain,
+                             HoneycombRunStats* hc_stats) {
+  BalancingRouter router(unit_graph.num_nodes(), params);
+  RunMetrics m;
+  const std::vector<double> costs = base_costs(unit_graph);
+  const Time total = trace.horizon() + extra_drain;
+  HoneycombRunStats hs;
+
+  for (Time t = 0; t < total; ++t) {
+    core::HoneycombMac::SelectionStats sel;
+    const std::vector<PlannedTx> chosen = mac.select(router, costs, rng, &sel);
+    const std::vector<bool> failed = mac.resolve(chosen);
+    router.execute(chosen, failed, costs, t, m);
+    inject_step(trace, t, router, m);
+    router.end_step(m);
+
+    if (sel.contestants > 0) ++hs.contestant_steps;
+    hs.contestants_total += sel.contestants;
+    hs.transmissions_total += chosen.size();
+    for (const bool f : failed) hs.collisions_total += f ? 1 : 0;
+  }
+  m.leftover_packets = router.packets_in_flight();
+  if (hc_stats != nullptr) *hc_stats = hs;
+  return {m, trace.opt};
+}
+
+}  // namespace thetanet::sim

@@ -1,0 +1,15 @@
+#include "sim/stats.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace thetanet::sim {
+
+std::string fmt_mean_sd(const Accumulator& acc, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << acc.mean() << "+-"
+     << acc.stddev();
+  return ss.str();
+}
+
+}  // namespace thetanet::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Streaming statistics for Monte-Carlo experiment rows: Welford mean /
+// variance, extrema, and percentile helpers. Benches report mean +- sd over
+// independent trials wherever a single draw would be noisy.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace thetanet::sim {
+
+/// Welford online accumulator (numerically stable single-pass mean/var).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d1 = x - mean_;
+    mean_ += d1 / static_cast<double>(n_);
+    m2_ += d1 * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double sem() const {
+    return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+  /// Half-width of a ~95% normal confidence interval for the mean.
+  double ci95() const { return 1.96 * sem(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0, 1]) by nearest-rank on a copy; empty -> 0.
+inline double percentile(std::vector<double> values, double p) {
+  TN_ASSERT(p >= 0.0 && p <= 1.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+/// "1.234+-0.056" rendering for table cells.
+std::string fmt_mean_sd(const Accumulator& acc, int precision = 3);
+
+}  // namespace thetanet::sim

@@ -1,0 +1,111 @@
+#include "sim/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+#include "geom/bbox.h"
+
+namespace thetanet::sim {
+namespace {
+
+std::string num(double v) {
+  std::ostringstream ss;
+  ss.precision(2);
+  ss << std::fixed << v;
+  return ss.str();
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(const topo::Deployment& d, double width_px)
+    : d_(&d), width_px_(width_px) {
+  TN_ASSERT(width_px > 0.0);
+  geom::BBox box = geom::BBox::of(d.positions);
+  if (box.empty()) {
+    box.expand({0.0, 0.0});
+    box.expand({1.0, 1.0});
+  }
+  const double margin = 0.05 * std::max({box.width(), box.height(), 1e-9});
+  box = box.inflated(margin);
+  scale_ = width_px_ / std::max(box.width(), 1e-12);
+  height_px_ = std::max(1.0, box.height() * scale_);
+  origin_ = box.lo;
+}
+
+SvgCanvas::Px SvgCanvas::to_px(geom::Vec2 p) const {
+  // SVG's y axis points down; flip so the plot is in standard orientation.
+  return {(p.x - origin_.x) * scale_, height_px_ - (p.y - origin_.y) * scale_};
+}
+
+void SvgCanvas::add_edges(const graph::Graph& g, const std::string& color,
+                          double stroke_width) {
+  std::ostringstream ss;
+  ss << "<g stroke=\"" << color << "\" stroke-width=\"" << num(stroke_width)
+     << "\" opacity=\"0.8\">\n";
+  for (const graph::Edge& e : g.edges()) {
+    const Px a = to_px(d_->positions[e.u]);
+    const Px b = to_px(d_->positions[e.v]);
+    ss << "  <line x1=\"" << num(a.x) << "\" y1=\"" << num(a.y) << "\" x2=\""
+       << num(b.x) << "\" y2=\"" << num(b.y) << "\"/>\n";
+  }
+  ss << "</g>\n";
+  body_ += ss.str();
+}
+
+void SvgCanvas::add_nodes(const std::string& color, double radius_px) {
+  std::ostringstream ss;
+  ss << "<g fill=\"" << color << "\">\n";
+  for (const geom::Vec2 p : d_->positions) {
+    const Px c = to_px(p);
+    ss << "  <circle cx=\"" << num(c.x) << "\" cy=\"" << num(c.y)
+       << "\" r=\"" << num(radius_px) << "\"/>\n";
+  }
+  ss << "</g>\n";
+  body_ += ss.str();
+}
+
+void SvgCanvas::add_marker(graph::NodeId v, const std::string& color,
+                           double radius_px) {
+  TN_ASSERT(v < d_->size());
+  const Px c = to_px(d_->positions[v]);
+  std::ostringstream ss;
+  ss << "<circle cx=\"" << num(c.x) << "\" cy=\"" << num(c.y) << "\" r=\""
+     << num(radius_px) << "\" fill=\"none\" stroke=\"" << color
+     << "\" stroke-width=\"2\"/>\n";
+  body_ += ss.str();
+}
+
+void SvgCanvas::add_path(const std::vector<graph::NodeId>& nodes,
+                         const std::string& color, double stroke_width) {
+  if (nodes.size() < 2) return;
+  std::ostringstream ss;
+  ss << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+     << num(stroke_width) << "\" points=\"";
+  for (const graph::NodeId v : nodes) {
+    TN_ASSERT(v < d_->size());
+    const Px p = to_px(d_->positions[v]);
+    ss << num(p.x) << ',' << num(p.y) << ' ';
+  }
+  ss << "\"/>\n";
+  body_ += ss.str();
+}
+
+std::string SvgCanvas::str() const {
+  std::ostringstream ss;
+  ss << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << num(width_px_)
+     << "\" height=\"" << num(height_px_) << "\" viewBox=\"0 0 "
+     << num(width_px_) << ' ' << num(height_px_) << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+     << body_ << "</svg>\n";
+  return ss.str();
+}
+
+bool SvgCanvas::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace thetanet::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Minimal SVG emitter for deployments and topologies. The examples use it to
+// write the networks they build (quick visual sanity check — ThetaALG's
+// constant-degree structure is striking next to the Yao graph's hubs), and
+// bench users can plot any Graph the library produces.
+
+#include <string>
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::sim {
+
+class SvgCanvas {
+ public:
+  /// Canvas mapped from the deployment's bounding box (plus a margin) onto
+  /// `width_px` pixels; the height is scaled to preserve aspect.
+  SvgCanvas(const topo::Deployment& d, double width_px = 800.0);
+
+  /// Draw every edge of `g` (positions from the deployment).
+  void add_edges(const graph::Graph& g, const std::string& color,
+                 double stroke_width = 1.0);
+
+  /// Draw all nodes as dots.
+  void add_nodes(const std::string& color, double radius_px = 2.5);
+
+  /// Highlight one node (e.g. a sink or a hub).
+  void add_marker(graph::NodeId v, const std::string& color,
+                  double radius_px = 6.0);
+
+  /// Draw a node path (e.g. a route) as a polyline.
+  void add_path(const std::vector<graph::NodeId>& nodes,
+                const std::string& color, double stroke_width = 2.0);
+
+  /// Complete SVG document.
+  std::string str() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Px {
+    double x;
+    double y;
+  };
+  Px to_px(geom::Vec2 p) const;
+
+  const topo::Deployment* d_;
+  double width_px_;
+  double height_px_;
+  double scale_;
+  geom::Vec2 origin_;
+  std::string body_;
+};
+
+}  // namespace thetanet::sim

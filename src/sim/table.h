@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text table emitter for the experiment harness. Every bench binary
+// prints its table(s) through this so EXPERIMENTS.md rows and bench output
+// line up exactly. Also writes CSV for downstream plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace thetanet::sim {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Aligned ASCII rendering with the title and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (headers first), no title.
+  void print_csv(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("1.234"), trailing-zero preserving.
+std::string fmt(double v, int precision = 3);
+std::string fmt(std::size_t v);
+std::string fmt(std::uint32_t v);
+std::string fmt(int v);
+
+}  // namespace thetanet::sim

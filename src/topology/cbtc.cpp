@@ -1,0 +1,89 @@
+#include "topology/cbtc.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.h"
+#include "geom/angles.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::topo {
+namespace {
+
+/// True iff the set of bearings (sorted, radians) leaves no angular gap of
+/// `alpha` or more. An empty set trivially fails.
+bool covers_all_cones(const std::vector<double>& sorted_bearings, double alpha) {
+  if (sorted_bearings.empty()) return false;
+  for (std::size_t i = 1; i < sorted_bearings.size(); ++i)
+    if (sorted_bearings[i] - sorted_bearings[i - 1] >= alpha) return false;
+  // Wrap-around gap.
+  const double wrap = sorted_bearings.front() + geom::kTwoPi -
+                      sorted_bearings.back();
+  return wrap < alpha;
+}
+
+}  // namespace
+
+std::vector<double> cbtc_radii(const Deployment& d, double alpha) {
+  TN_ASSERT_MSG(alpha > 0.0 && alpha < geom::kTwoPi,
+                "CBTC cone angle must be in (0, 2*pi)");
+  const std::size_t n = d.size();
+  std::vector<double> radii(n, d.max_range);
+  if (n < 2) return radii;
+  const geom::SpatialGrid grid(d.positions, d.max_range);
+
+  for (graph::NodeId u = 0; u < n; ++u) {
+    // Neighbours by increasing distance; grow the radius one neighbour at a
+    // time until the cone condition holds.
+    struct Nb {
+      double dist;
+      double bearing;
+    };
+    std::vector<Nb> nbs;
+    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
+      if (v == u) return;
+      nbs.push_back({geom::dist(d.positions[u], d.positions[v]),
+                     geom::bearing(d.positions[u], d.positions[v])});
+    });
+    std::sort(nbs.begin(), nbs.end(),
+              [](const Nb& a, const Nb& b) { return a.dist < b.dist; });
+    std::vector<double> bearings;
+    bearings.reserve(nbs.size());
+    double chosen = d.max_range;
+    bool covered = false;
+    for (const Nb& nb : nbs) {
+      bearings.insert(
+          std::upper_bound(bearings.begin(), bearings.end(), nb.bearing),
+          nb.bearing);
+      if (covers_all_cones(bearings, alpha)) {
+        chosen = nb.dist;
+        covered = true;
+        break;
+      }
+    }
+    radii[u] = covered ? chosen : d.max_range;
+  }
+  return radii;
+}
+
+graph::Graph cbtc_graph(const Deployment& d, double alpha) {
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n < 2) return g;
+  const std::vector<double> radii = cbtc_radii(d, alpha);
+  const geom::SpatialGrid grid(d.positions, d.max_range);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    grid.for_each_within(d.positions[u], radii[u], [&](std::uint32_t v) {
+      if (v == u) return;
+      edges.insert(std::minmax<graph::NodeId>(u, v));
+    });
+  }
+  for (const auto& [u, v] : edges) {
+    const double len = d.distance(u, v);
+    g.add_edge(u, v, len, d.cost_of_length(len));
+  }
+  return g;
+}
+
+}  // namespace thetanet::topo

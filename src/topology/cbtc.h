@@ -1,0 +1,31 @@
+#pragma once
+// Cone-Based Topology Control (CBTC) — the algorithm of Wattenhofer, Li,
+// Bahl and Wang [43] (also Li et al. [31]), cited by the paper as the main
+// alternative local topology-control scheme. Every node grows its
+// transmission power until it has a neighbour in every cone of angle alpha
+// (or hits maximum power); the kept edge set is the union of each node's
+// final neighbourhood, symmetrized. For alpha <= 2*pi/3 the result is
+// connected whenever G* is.
+//
+// The paper's criticism (Section 1.2): CBTC and the related Yao-graph
+// post-processing schemes need a *global ranking of edges* (or per-node
+// power search) to bound the degree, whereas ThetaALG's phase 2 is one
+// purely local round. Bench E10 compares the resulting topologies.
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+/// CBTC at cone angle `alpha` (radians). Returns the symmetric topology:
+/// edge (u, v) iff v is within u's final power radius or vice versa.
+/// Each node's radius is the smallest r such that every cone of angle alpha
+/// around u contains a neighbour within r — or d.max_range if no radius
+/// achieves full cone coverage (boundary nodes).
+graph::Graph cbtc_graph(const Deployment& d, double alpha);
+
+/// The per-node final power radius CBTC selects (exposed for tests and the
+/// energy accounting in E10).
+std::vector<double> cbtc_radii(const Deployment& d, double alpha);
+
+}  // namespace thetanet::topo

@@ -1,0 +1,27 @@
+#include "topology/deployment.h"
+
+#include <limits>
+
+namespace thetanet::topo {
+
+std::pair<double, double> min_max_pairwise_distance(const Deployment& d) {
+  const std::size_t n = d.size();
+  if (n < 2) return {0.0, 0.0};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      const double dd = d.distance(u, v);
+      if (dd < lo) lo = dd;
+      if (dd > hi) hi = dd;
+    }
+  }
+  return {lo, hi};
+}
+
+double civility(const Deployment& d) {
+  if (d.size() < 2) return 1.0;
+  return min_max_pairwise_distance(d).first / d.max_range;
+}
+
+}  // namespace thetanet::topo

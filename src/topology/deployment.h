@@ -1,0 +1,52 @@
+#pragma once
+// A deployment is the physical-layer ground truth of Section 2: node
+// positions in the plane, the maximum transmission range D, and the path-loss
+// exponent kappa of the energy model c(u,v) = |uv|^kappa (2 <= kappa <= 4 in
+// the standard attenuation model [35, 41]).
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "geom/vec2.h"
+
+namespace thetanet::topo {
+
+struct Deployment {
+  std::vector<geom::Vec2> positions;
+  double max_range = 1.0;  ///< D: maximum transmission distance of any node
+  double kappa = 2.0;      ///< path-loss exponent (energy = |uv|^kappa)
+
+  std::size_t size() const { return positions.size(); }
+
+  double distance(std::uint32_t u, std::uint32_t v) const {
+    return geom::dist(positions[u], positions[v]);
+  }
+
+  /// Transmission energy for a direct u -> v transmission (Section 2.2).
+  double energy(std::uint32_t u, std::uint32_t v) const {
+    return cost_of_length(distance(u, v));
+  }
+
+  double cost_of_length(double len) const {
+    TN_DCHECK(kappa >= 1.0);
+    return std::pow(len, kappa);
+  }
+
+  bool in_range(std::uint32_t u, std::uint32_t v) const {
+    return distance(u, v) <= max_range;
+  }
+};
+
+/// Minimum and maximum pairwise distance in the deployment — the civility
+/// witness for Section 2.3's lambda-precision model. O(n log n)-ish via the
+/// caller's index for large n; this brute-force version is for audits.
+std::pair<double, double> min_max_pairwise_distance(const Deployment& d);
+
+/// The lambda-precision constant of the deployment relative to its range:
+/// min pairwise distance / max_range. A civilized instance keeps this
+/// bounded below by a constant lambda in (0, 1].
+double civility(const Deployment& d);
+
+}  // namespace thetanet::topo

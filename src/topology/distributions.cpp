@@ -1,0 +1,177 @@
+#include "topology/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "geom/angles.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::topo {
+
+using geom::Rng;
+using geom::Vec2;
+
+std::vector<Vec2> uniform_square(std::size_t n, double side, Rng& rng) {
+  TN_ASSERT(side > 0.0);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return pts;
+}
+
+std::vector<Vec2> clustered(std::size_t n, std::size_t k, double sigma,
+                            double side, Rng& rng) {
+  TN_ASSERT(k >= 1);
+  const std::vector<Vec2> centers = uniform_square(k, side, rng);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 c = centers[rng.uniform_index(k)];
+    // Resample rather than clamp: clamping piles points onto the square
+    // boundary and creates exact duplicates at the corners, violating the
+    // unique-pairwise-distance assumption the topology layer relies on.
+    Vec2 p;
+    do {
+      p = {rng.normal(c.x, sigma), rng.normal(c.y, sigma)};
+    } while (p.x < 0.0 || p.x > side || p.y < 0.0 || p.y > side);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+std::vector<Vec2> grid_jitter(std::size_t n, double side, double jitter,
+                              Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  const std::size_t cols =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(std::sqrt(
+                                   static_cast<double>(n)))));
+  const double step = side / static_cast<double>(cols);
+  for (std::size_t i = 0; pts.size() < n; ++i) {
+    const double gx = (static_cast<double>(i % cols) + 0.5) * step;
+    const double gy = (static_cast<double>(i / cols) + 0.5) * step;
+    pts.push_back({gx + rng.uniform(-jitter, jitter),
+                   gy + rng.uniform(-jitter, jitter)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> civilized(std::size_t n, double side, double min_sep,
+                            Rng& rng) {
+  TN_ASSERT(min_sep > 0.0);
+  // Packing feasibility: disks of radius min_sep/2 must fit in the square
+  // with generous slack, otherwise dart throwing stalls.
+  const double capacity = (side / min_sep + 1.0) * (side / min_sep + 1.0);
+  TN_ASSERT_MSG(static_cast<double>(n) < 0.45 * capacity,
+                "civilized(): square too small for n points at min_sep");
+
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  // Grid of cell size min_sep: a conflict can only be in the 5x5 neighbourhood.
+  const auto cell = [&](Vec2 p) {
+    return std::pair<std::int64_t, std::int64_t>{
+        static_cast<std::int64_t>(p.x / min_sep),
+        static_cast<std::int64_t>(p.y / min_sep)};
+  };
+  const std::int64_t ncells =
+      static_cast<std::int64_t>(std::ceil(side / min_sep)) + 1;
+  std::vector<std::vector<std::uint32_t>> grid(
+      static_cast<std::size_t>(ncells * ncells));
+  const auto cell_index = [&](std::int64_t cx, std::int64_t cy) {
+    cx = std::clamp<std::int64_t>(cx, 0, ncells - 1);
+    cy = std::clamp<std::int64_t>(cy, 0, ncells - 1);
+    return static_cast<std::size_t>(cy * ncells + cx);
+  };
+
+  const double sep_sq = min_sep * min_sep;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 4000 * n + 100000;
+  while (pts.size() < n) {
+    TN_ASSERT_MSG(++attempts <= max_attempts,
+                  "civilized(): dart throwing failed to converge");
+    const Vec2 p{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    const auto [cx, cy] = cell(p);
+    bool ok = true;
+    for (std::int64_t dy = -1; dy <= 1 && ok; ++dy)
+      for (std::int64_t dx = -1; dx <= 1 && ok; ++dx)
+        for (const std::uint32_t id : grid[cell_index(cx + dx, cy + dy)])
+          if (geom::dist_sq(pts[id], p) < sep_sq) {
+            ok = false;
+            break;
+          }
+    if (!ok) continue;
+    grid[cell_index(cx, cy)].push_back(static_cast<std::uint32_t>(pts.size()));
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+std::vector<Vec2> hub_ring(std::size_t n, double radius, Rng& rng) {
+  TN_ASSERT(n >= 2);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  pts.push_back({0.0, 0.0});  // hub
+  const std::size_t rim = n - 1;
+  for (std::size_t i = 0; i < rim; ++i) {
+    // Evenly spread with a tiny random phase so distances are unique.
+    const double a = geom::kTwoPi * (static_cast<double>(i) +
+                                     0.25 * rng.uniform()) /
+                     static_cast<double>(rim);
+    // Tiny radial jitter keeps all rim-to-rim and rim-to-hub distances
+    // distinct without disturbing the sector structure.
+    const double r = radius * (1.0 + 1e-4 * rng.uniform());
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> exponential_chain(std::size_t n, double first_gap,
+                                    double growth, Rng& rng) {
+  TN_ASSERT(growth >= 1.0 && first_gap > 0.0);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  double x = 0.0;
+  double gap = first_gap;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({x, 0.01 * gap * rng.uniform()});
+    x += gap;
+    gap *= growth;
+  }
+  return pts;
+}
+
+std::vector<Vec2> nested_clusters(std::size_t n, int levels, double ratio,
+                                  double side, Rng& rng) {
+  TN_ASSERT(levels >= 1 && ratio > 1.0);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Walk down the hierarchy: at each level pick one of 3 fixed anchor
+    // offsets (scaled down by `ratio` per level) plus a final jitter at the
+    // smallest scale, so distances between points sharing a long prefix are
+    // tiny while distances across the top split are ~side.
+    Vec2 p{0.5 * side, 0.5 * side};
+    double scale = 0.5 * side;
+    for (int l = 0; l < levels; ++l) {
+      static constexpr Vec2 kAnchors[3] = {
+          {-0.8, -0.6}, {0.9, -0.2}, {-0.1, 0.85}};
+      p += scale * kAnchors[rng.uniform_index(3)];
+      scale /= ratio;
+    }
+    p.x += rng.uniform(-scale, scale);
+    p.y += rng.uniform(-scale, scale);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void perturb(std::vector<Vec2>& pts, double eps, Rng& rng) {
+  for (Vec2& p : pts) {
+    p.x += rng.uniform(-eps, eps);
+    p.y += rng.uniform(-eps, eps);
+  }
+}
+
+}  // namespace thetanet::topo

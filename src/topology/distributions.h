@@ -1,0 +1,63 @@
+#pragma once
+// Node-distribution generators. Theorem 2.2 is claimed for *arbitrary*
+// distributions, so the experiment suite sweeps several qualitatively
+// different families: uniform random (the model of Lemma 2.10 / Corollary
+// 3.5), clustered, jittered grid, civilized / lambda-precision (Section 2.3),
+// and adversarial constructions (the ring that drives Yao in-degree to
+// Omega(n), exercising exactly the weakness phase 2 of ThetaALG removes).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rng.h"
+#include "geom/vec2.h"
+
+namespace thetanet::topo {
+
+/// n i.i.d. uniform points in the square [0, side)^2 (Lemma 2.10's model).
+std::vector<geom::Vec2> uniform_square(std::size_t n, double side, geom::Rng& rng);
+
+/// n points in k Gaussian clusters; cluster centres uniform in the square,
+/// per-cluster stddev sigma. Points are clamped to the square.
+std::vector<geom::Vec2> clustered(std::size_t n, std::size_t k, double sigma,
+                                  double side, geom::Rng& rng);
+
+/// ~n points on a sqrt(n) x sqrt(n) grid over the square, each jittered
+/// uniformly by +-jitter in both coordinates. Exactly n points returned.
+std::vector<geom::Vec2> grid_jitter(std::size_t n, double side, double jitter,
+                                    geom::Rng& rng);
+
+/// n points with pairwise separation >= min_sep (Poisson-disk dart throwing).
+/// Produces a civilized (lambda-precision) instance with lambda =
+/// min_sep / max_range once wrapped in a Deployment. Aborts (assert) if the
+/// square cannot plausibly fit n such points.
+std::vector<geom::Vec2> civilized(std::size_t n, double side, double min_sep,
+                                  geom::Rng& rng);
+
+/// Adversarial construction: a hub at the centre plus n-1 nodes on the unit
+/// circle around it with small angular gaps. Every rim node's nearest
+/// neighbour in its sector towards the hub is the hub itself, so the Yao
+/// graph N_1 gives the hub in-degree n-1 while ThetaALG's phase 2 caps it at
+/// one admitted edge per hub sector. `radius` scales the circle.
+std::vector<geom::Vec2> hub_ring(std::size_t n, double radius, geom::Rng& rng);
+
+/// Exponentially spaced collinear-ish chain: distances between consecutive
+/// nodes grow geometrically (ratio `growth`), with slight perpendicular
+/// jitter to keep pairwise distances unique. Stresses the non-civilized
+/// regime (unbounded edge-length ratios) of Theorem 2.2.
+std::vector<geom::Vec2> exponential_chain(std::size_t n, double first_gap,
+                                          double growth, geom::Rng& rng);
+
+/// Fractal multi-scale clusters: `levels` levels of recursive clustering,
+/// each level `ratio` times smaller than its parent. Pairwise distances span
+/// ratio^levels orders of magnitude — a genuinely 2-D non-civilized family
+/// (unbounded edge-length ratios), unlike the quasi-1-D exponential chain.
+std::vector<geom::Vec2> nested_clusters(std::size_t n, int levels, double ratio,
+                                        double side, geom::Rng& rng);
+
+/// Nudge every point by a uniform offset in [-eps, eps]^2: the standard
+/// symbolic-perturbation stand-in that enforces the paper's "all pairwise
+/// distances are unique" assumption on structured inputs.
+void perturb(std::vector<geom::Vec2>& pts, double eps, geom::Rng& rng);
+
+}  // namespace thetanet::topo

@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text persistence for deployments and topologies, so experiments can
+// be pinned to exact instances, exchanged, and re-analyzed outside the
+// library. Formats are line-oriented TSV with a one-line header:
+//
+//   deployment v1 <n> <max_range> <kappa>
+//   <x> <y>                                  (n lines)
+//
+//   graph v1 <n> <m>
+//   <u> <v> <length> <cost>                  (m lines)
+//
+// Doubles round-trip exactly (hex-float free, max_digits10 precision).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+void save_deployment(std::ostream& os, const Deployment& d);
+bool save_deployment(const std::string& path, const Deployment& d);
+
+/// nullopt on parse error (malformed header, wrong counts, bad numbers).
+std::optional<Deployment> load_deployment(std::istream& is);
+std::optional<Deployment> load_deployment(const std::string& path);
+
+void save_graph(std::ostream& os, const graph::Graph& g);
+bool save_graph(const std::string& path, const graph::Graph& g);
+
+std::optional<graph::Graph> load_graph(std::istream& is);
+std::optional<graph::Graph> load_graph(const std::string& path);
+
+}  // namespace thetanet::topo

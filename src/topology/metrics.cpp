@@ -1,0 +1,35 @@
+#include "topology/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace thetanet::topo {
+
+DegreeStats degree_stats(const graph::Graph& g) {
+  DegreeStats s;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return s;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::size_t deg = g.degree(v);
+    s.max = std::max(s.max, deg);
+    if (deg >= s.histogram.size()) s.histogram.resize(deg + 1, 0);
+    ++s.histogram[deg];
+  }
+  s.mean = 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(n);
+  return s;
+}
+
+EdgeLengthStats edge_length_stats(const graph::Graph& g) {
+  EdgeLengthStats s;
+  if (g.num_edges() == 0) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  for (const graph::Edge& e : g.edges()) {
+    s.min = std::min(s.min, e.length);
+    s.max = std::max(s.max, e.length);
+    s.total += e.length;
+  }
+  s.mean = s.total / static_cast<double>(g.num_edges());
+  return s;
+}
+
+}  // namespace thetanet::topo

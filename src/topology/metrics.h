@@ -1,0 +1,30 @@
+#pragma once
+// Topology summary metrics reported by the experiment tables: degree
+// statistics (Lemma 2.1's 4*pi/theta bound), edge-length statistics, and
+// sparsity relative to G*.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace thetanet::topo {
+
+struct DegreeStats {
+  std::size_t max = 0;
+  double mean = 0.0;
+  std::vector<std::size_t> histogram;  ///< histogram[d] = #nodes of degree d
+};
+
+DegreeStats degree_stats(const graph::Graph& g);
+
+struct EdgeLengthStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double total = 0.0;
+};
+
+EdgeLengthStats edge_length_stats(const graph::Graph& g);
+
+}  // namespace thetanet::topo

@@ -1,0 +1,144 @@
+#include "topology/proximity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "geom/delaunay.h"
+#include "geom/kdtree.h"
+#include "geom/predicates.h"
+#include "geom/spatial_grid.h"
+#include "graph/mst.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::topo {
+namespace {
+
+using graph::NodeId;
+
+/// Shared scaffold for the disk/lune-emptiness graphs: consider every pair
+/// within range and keep it iff `empty_region(u, v)` holds.
+template <typename Keep>
+graph::Graph build_pairwise(const Deployment& d, const Keep& keep) {
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n < 2) return g;
+  const geom::SpatialGrid grid(d.positions, d.max_range);
+  for (NodeId u = 0; u < n; ++u) {
+    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
+      if (v <= u) return;
+      if (!keep(grid, u, v)) return;
+      const double len = d.distance(u, v);
+      g.add_edge(u, v, len, d.cost_of_length(len));
+    });
+  }
+  return g;
+}
+
+}  // namespace
+
+graph::Graph gabriel_graph(const Deployment& d) {
+  return build_pairwise(
+      d, [&](const geom::SpatialGrid& grid, NodeId u, NodeId v) {
+        const geom::Vec2 pu = d.positions[u], pv = d.positions[v];
+        const geom::Vec2 mid = geom::midpoint(pu, pv);
+        const double r = geom::dist(pu, pv) / 2.0;
+        bool empty = true;
+        grid.for_each_within(mid, r, [&](std::uint32_t w) {
+          if (w == u || w == v || !empty) return;
+          if (geom::in_gabriel_disk(pu, pv, d.positions[w])) empty = false;
+        });
+        return empty;
+      });
+}
+
+graph::Graph relative_neighborhood_graph(const Deployment& d) {
+  return build_pairwise(
+      d, [&](const geom::SpatialGrid& grid, NodeId u, NodeId v) {
+        const geom::Vec2 pu = d.positions[u], pv = d.positions[v];
+        const double len = geom::dist(pu, pv);
+        bool empty = true;
+        // The lune is contained in the disk of radius |uv| around either
+        // endpoint; query around the midpoint with radius 1.5*|uv| to cover it.
+        grid.for_each_within(geom::midpoint(pu, pv), 1.5 * len,
+                             [&](std::uint32_t w) {
+                               if (w == u || w == v || !empty) return;
+                               if (geom::in_rng_lune(pu, pv, d.positions[w]))
+                                 empty = false;
+                             });
+        return empty;
+      });
+}
+
+graph::Graph restricted_delaunay_graph(const Deployment& d) {
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n < 2) return g;
+  for (const auto& [u, v] : geom::delaunay_edges(d.positions)) {
+    const double len = d.distance(u, v);
+    if (len > d.max_range) continue;
+    g.add_edge(u, v, len, d.cost_of_length(len));
+  }
+  return g;
+}
+
+graph::Graph knn_graph(const Deployment& d, std::size_t k) {
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n < 2) return g;
+  const geom::KdTree tree(d.positions);
+  std::set<std::pair<NodeId, NodeId>> chosen;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const std::uint32_t v : tree.k_nearest(d.positions[u], k, u)) {
+      if (d.distance(u, v) > d.max_range) break;  // ordered by distance
+      chosen.insert(std::minmax<NodeId>(u, v));
+    }
+  }
+  for (const auto& [u, v] : chosen) {
+    const double len = d.distance(u, v);
+    g.add_edge(u, v, len, d.cost_of_length(len));
+  }
+  return g;
+}
+
+graph::Graph euclidean_mst(const Deployment& d) {
+  return graph::mst_subgraph(build_transmission_graph(d), graph::Weight::kLength);
+}
+
+graph::Graph beta_skeleton(const Deployment& d, double beta) {
+  TN_ASSERT(beta > 0.0);
+  return build_pairwise(
+      d, [&](const geom::SpatialGrid& grid, NodeId u, NodeId v) {
+        const geom::Vec2 pu = d.positions[u], pv = d.positions[v];
+        const double len = geom::dist(pu, pv);
+        geom::Vec2 c1, c2;
+        double r;
+        if (beta >= 1.0) {
+          // Lune-based: disks centred on the segment.
+          c1 = pu + (beta / 2.0) * (pv - pu);
+          c2 = pv + (beta / 2.0) * (pu - pv);
+          r = beta * len / 2.0;
+        } else {
+          // Circle-based: disks through u and v, centres on the bisector.
+          r = len / (2.0 * beta);
+          const geom::Vec2 mid = geom::midpoint(pu, pv);
+          const double h = std::sqrt(std::max(0.0, r * r - len * len / 4.0));
+          const geom::Vec2 perp =
+              geom::normalized(geom::rotated(pv - pu, std::numbers::pi / 2.0));
+          c1 = mid + h * perp;
+          c2 = mid - h * perp;
+        }
+        bool empty = true;
+        // The region is contained in both disks; query the larger extent.
+        grid.for_each_within(geom::midpoint(pu, pv), r + len, [&](std::uint32_t w) {
+          if (w == u || w == v || !empty) return;
+          const geom::Vec2 pw = d.positions[w];
+          if (geom::in_open_disk(c1, r, pw) && geom::in_open_disk(c2, r, pw))
+            empty = false;
+        });
+        return empty;
+      });
+}
+
+}  // namespace thetanet::topo

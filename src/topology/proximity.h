@@ -1,0 +1,48 @@
+#pragma once
+// Baseline proximity topologies from the paper's related-work section (1.2):
+// Gabriel graph (optimal energy paths, Omega(n) degree), relative
+// neighbourhood graph (polynomial energy-stretch), restricted Delaunay graph
+// [21] (spanner, Omega(n) degree), k-nearest-neighbour graph (energy-
+// efficient but neither connected nor constant degree in general), and the
+// Euclidean MST (sparsest connected, unbounded stretch). All are restricted
+// to the transmission range D, as a radio network must be.
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+/// Gabriel graph: edge (u,v) (with |uv| <= D) iff no other node lies in the
+/// closed disk with diameter (u, v). Contains all minimum-energy paths of G*
+/// for kappa >= 2, hence has energy-stretch exactly 1.
+graph::Graph gabriel_graph(const Deployment& d);
+
+/// Relative neighbourhood graph: edge iff no node is simultaneously closer
+/// to both endpoints than they are to each other (the "lune" is empty).
+/// Subgraph of the Gabriel graph.
+graph::Graph relative_neighborhood_graph(const Deployment& d);
+
+/// Restricted Delaunay graph: Delaunay edges no longer than D.
+graph::Graph restricted_delaunay_graph(const Deployment& d);
+
+/// Symmetric k-nearest-neighbour graph (union of directed k-NN pairs),
+/// range-restricted. The paper's introduction notes this guarantees neither
+/// connectivity nor constant degree — bench E10 demonstrates both failures.
+graph::Graph knn_graph(const Deployment& d, std::size_t k);
+
+/// Euclidean minimum spanning forest of G* (by length).
+graph::Graph euclidean_mst(const Deployment& d);
+
+/// Beta-skeleton (Section 2.2 mentions beta-skeletons with beta < 1 as
+/// examples of graphs with optimal-energy paths). Edge (u, v) is kept iff
+/// its beta-region is empty of other nodes:
+///   beta >= 1 (lune-based): intersection of the two disks of radius
+///     beta*|uv|/2 centred at u + (beta/2)(v-u) and v + (beta/2)(u-v);
+///     beta = 1 is the Gabriel graph, beta = 2 the relative neighbourhood
+///     graph.
+///   beta < 1 (circle-based): intersection of the two disks of radius
+///     |uv|/(2*beta) through u and v. Smaller beta keeps more edges.
+/// Range-restricted to |uv| <= D like every radio topology here.
+graph::Graph beta_skeleton(const Deployment& d, double beta);
+
+}  // namespace thetanet::topo

@@ -1,0 +1,22 @@
+#include "topology/transmission_graph.h"
+
+#include "geom/spatial_grid.h"
+
+namespace thetanet::topo {
+
+graph::Graph build_transmission_graph(const Deployment& d) {
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n < 2) return g;
+  const geom::SpatialGrid grid(d.positions, d.max_range);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
+      if (v <= u) return;  // each pair once, u < v
+      const double len = d.distance(u, v);
+      g.add_edge(u, v, len, d.cost_of_length(len));
+    });
+  }
+  return g;
+}
+
+}  // namespace thetanet::topo

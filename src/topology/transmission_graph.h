@@ -1,0 +1,17 @@
+#pragma once
+// The transmission graph G* = (V, E) of Section 2: an edge between every
+// pair of nodes within the maximum transmission range D, weighted by
+// Euclidean length and energy cost |uv|^kappa. This is the reference graph
+// against which every sparse topology's stretch and throughput is measured.
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+/// Build G* for the deployment. O(n * average neighbourhood size) via a
+/// uniform grid. Edge ids are assigned in (u, v) lexicographic order with
+/// u < v, so rebuilding the same deployment yields an identical graph.
+graph::Graph build_transmission_graph(const Deployment& d);
+
+}  // namespace thetanet::topo

@@ -1,0 +1,67 @@
+#include "topology/yao.h"
+
+#include <set>
+
+#include "geom/angles.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::topo {
+
+bool nearer(const Deployment& d, graph::NodeId from, graph::NodeId a,
+            graph::NodeId b) {
+  if (b == graph::kInvalidNode) return true;
+  if (a == graph::kInvalidNode) return false;
+  const double da = geom::dist_sq(d.positions[from], d.positions[a]);
+  const double db = geom::dist_sq(d.positions[from], d.positions[b]);
+  // Lexicographic (distance, id) order realizes the paper's assumption that
+  // all pairwise distances are unique.
+  return da < db || (da == db && a < b);
+}
+
+bool SectorTable::selects(graph::NodeId u, graph::NodeId v, const Deployment& d,
+                          double theta) const {
+  const int s = geom::sector_index(d.positions[u], d.positions[v], theta);
+  return nearest(u, s) == v;
+}
+
+SectorTable compute_sector_table(const Deployment& d, double theta) {
+  TN_ASSERT_MSG(theta > 0.0 && theta <= std::numbers::pi / 3.0 + 1e-12,
+                "ThetaALG requires theta <= pi/3");
+  const std::size_t n = d.size();
+  SectorTable table(n, geom::sector_count(theta));
+  if (n < 2) return table;
+  const geom::SpatialGrid grid(d.positions, d.max_range);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
+      if (v == u) return;
+      const int s = geom::sector_index(d.positions[u], d.positions[v], theta);
+      if (nearer(d, u, v, table.nearest(u, s))) table.set_nearest(u, s, v);
+    });
+  }
+  return table;
+}
+
+graph::Graph yao_graph(const Deployment& d, double theta) {
+  return yao_graph(d, theta, compute_sector_table(d, theta));
+}
+
+graph::Graph yao_graph(const Deployment& d, double theta,
+                       const SectorTable& table) {
+  (void)theta;
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (int s = 0; s < table.sectors(); ++s) {
+      const graph::NodeId v = table.nearest(u, s);
+      if (v == graph::kInvalidNode) continue;
+      const auto key = std::minmax(u, v);
+      if (!seen.insert(key).second) continue;
+      const double len = d.distance(u, v);
+      g.add_edge(key.first, key.second, len, d.cost_of_length(len));
+    }
+  }
+  return g;
+}
+
+}  // namespace thetanet::topo

@@ -1,0 +1,73 @@
+#pragma once
+// Yao-graph machinery (phase 1 of ThetaALG, Section 2.1). Each node u
+// partitions the plane around itself into sectors of angle theta and keeps,
+// per sector, the nearest node within transmission range:
+//
+//   N(u) = { v : v is the node nearest to u in sector S(u, v) }.
+//
+// The undirected graph N_1 with edges {u,v : u in N(v) or v in N(u)} is the
+// classical Yao / theta-graph — a spanner with O(1) energy-stretch but
+// worst-case Omega(n) in-degree (the hub_ring generator exhibits it).
+// ThetaALG's phase 2 (src/core/theta_algorithm.h) prunes N_1 to constant
+// degree; both phases consume the SectorTable computed here.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+/// Per-node, per-sector nearest neighbours within range.
+class SectorTable {
+ public:
+  SectorTable(std::size_t n, int sectors)
+      : sectors_(sectors),
+        nearest_(n * static_cast<std::size_t>(sectors), graph::kInvalidNode) {}
+
+  int sectors() const { return sectors_; }
+  std::size_t num_nodes() const {
+    return nearest_.size() / static_cast<std::size_t>(sectors_);
+  }
+
+  /// Nearest node to u within range in u's sector s; kInvalidNode if empty.
+  graph::NodeId nearest(graph::NodeId u, int s) const {
+    return nearest_[index(u, s)];
+  }
+
+  void set_nearest(graph::NodeId u, int s, graph::NodeId v) {
+    nearest_[index(u, s)] = v;
+  }
+
+  /// True iff v = nearest(u, S(u,v)), i.e. v is in N(u).
+  bool selects(graph::NodeId u, graph::NodeId v, const Deployment& d,
+               double theta) const;
+
+ private:
+  std::size_t index(graph::NodeId u, int s) const {
+    TN_ASSERT(s >= 0 && s < sectors_);
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(sectors_) +
+           static_cast<std::size_t>(s);
+  }
+
+  int sectors_;
+  std::vector<graph::NodeId> nearest_;
+};
+
+/// Deterministic "nearer" relation implementing the paper's unique-distance
+/// assumption: compare (squared distance, smaller id of the candidate pair).
+bool nearer(const Deployment& d, graph::NodeId from, graph::NodeId a,
+            graph::NodeId b);
+
+/// Compute the sector table for the deployment at sector angle theta.
+/// theta must be <= pi/3 (paper requirement; asserts).
+SectorTable compute_sector_table(const Deployment& d, double theta);
+
+/// Phase-1 graph N_1 (the Yao graph restricted to transmission range).
+graph::Graph yao_graph(const Deployment& d, double theta);
+
+/// As yao_graph but reusing a precomputed sector table.
+graph::Graph yao_graph(const Deployment& d, double theta,
+                       const SectorTable& table);
+
+}  // namespace thetanet::topo

@@ -1,0 +1,205 @@
+#include "core/balancing_router.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace thetanet::core {
+namespace {
+
+using route::Packet;
+using route::RunMetrics;
+
+Packet mk(std::uint64_t id, graph::NodeId src, graph::NodeId dst,
+          route::Time t = 0) {
+  return Packet{id, src, dst, t, 0.0, 0};
+}
+
+/// Path graph 0 - 1 - 2 with unit lengths/costs.
+graph::Graph path3() {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  g.add_edge(1, 2, 1.0, 1.0);
+  return g;
+}
+
+std::vector<double> costs_of(const graph::Graph& g) {
+  std::vector<double> c(g.num_edges());
+  for (graph::EdgeId e = 0; e < c.size(); ++e) c[e] = g.edge(e).cost;
+  return c;
+}
+
+TEST(BalancingRouter, NoTrafficNoPlan) {
+  const graph::Graph g = path3();
+  BalancingRouter r(3, {1.0, 0.0, 8});
+  const std::vector<graph::EdgeId> active{0, 1};
+  EXPECT_TRUE(r.plan(g, active, costs_of(g)).empty());
+}
+
+TEST(BalancingRouter, BenefitMustExceedThreshold) {
+  const graph::Graph g = path3();
+  RunMetrics m;
+  // T = 2: two packets queued gives benefit 2 (== T, not >) -> no send.
+  BalancingRouter r(3, {2.0, 0.0, 8});
+  r.inject(mk(1, 0, 2), m);
+  r.inject(mk(2, 0, 2), m);
+  const std::vector<graph::EdgeId> active{0};
+  EXPECT_TRUE(r.plan(g, active, costs_of(g)).empty());
+  // A third packet pushes the difference to 3 > T.
+  r.inject(mk(3, 0, 2), m);
+  const auto txs = r.plan(g, active, costs_of(g));
+  ASSERT_EQ(txs.size(), 1U);
+  EXPECT_EQ(txs[0].from, 0U);
+  EXPECT_EQ(txs[0].to, 1U);
+  EXPECT_EQ(txs[0].dest, 2U);
+  EXPECT_DOUBLE_EQ(txs[0].benefit, 3.0);
+}
+
+TEST(BalancingRouter, GammaPenalizesExpensiveEdges) {
+  // Same heights; with gamma > 0 the costlier edge needs a higher gradient.
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);   // cheap
+  g.add_edge(0, 2, 2.0, 10.0);  // expensive
+  RunMetrics m;
+  BalancingRouter r(3, {1.0, 0.5, 16});  // gamma = 0.5
+  for (int i = 0; i < 4; ++i) r.inject(mk(static_cast<std::uint64_t>(i), 0, 2), m);
+  // Benefit over edge (0,1) towards dest 2: 4 - 0 - 0.5*1 = 3.5 > T.
+  // Benefit over edge (0,2): 4 - 0 - 0.5*10 = -1 < T.
+  const std::vector<graph::EdgeId> active{0, 1};
+  const auto txs = r.plan(g, active, costs_of(g));
+  ASSERT_EQ(txs.size(), 1U);
+  EXPECT_EQ(txs[0].edge, 0U);
+  EXPECT_DOUBLE_EQ(txs[0].benefit, 3.5);
+}
+
+TEST(BalancingRouter, PicksDestinationWithMaxBenefit) {
+  const graph::Graph g = path3();
+  RunMetrics m;
+  BalancingRouter r(3, {0.5, 0.0, 16});
+  r.inject(mk(1, 0, 1), m);
+  for (int i = 0; i < 3; ++i) r.inject(mk(static_cast<std::uint64_t>(10 + i), 0, 2), m);
+  const std::vector<graph::EdgeId> active{0};
+  const auto txs = r.plan(g, active, costs_of(g));
+  ASSERT_EQ(txs.size(), 1U);
+  EXPECT_EQ(txs[0].dest, 2U);  // height 3 beats height 1
+}
+
+TEST(BalancingRouter, DirectionWithHigherBenefitWins) {
+  const graph::Graph g = path3();
+  RunMetrics m;
+  BalancingRouter r(3, {0.5, 0.0, 16});
+  // 2 packets at node 0 for dest 2; 5 packets at node 1 for dest 0.
+  r.inject(mk(1, 0, 2), m);
+  r.inject(mk(2, 0, 2), m);
+  for (int i = 0; i < 5; ++i) r.inject(mk(static_cast<std::uint64_t>(10 + i), 1, 0), m);
+  const std::vector<graph::EdgeId> active{0};
+  const auto txs = r.plan(g, active, costs_of(g));
+  ASSERT_EQ(txs.size(), 1U);
+  EXPECT_EQ(txs[0].from, 1U);  // gradient 5 towards node 0
+  EXPECT_EQ(txs[0].dest, 0U);
+}
+
+TEST(BalancingRouter, ExecuteMovesAndDelivers) {
+  const graph::Graph g = path3();
+  RunMetrics m;
+  BalancingRouter r(3, {0.5, 0.0, 16});
+  r.inject(mk(1, 1, 2), m);  // one hop from its destination
+  const std::vector<graph::EdgeId> active{1};
+  const auto txs = r.plan(g, active, costs_of(g));
+  ASSERT_EQ(txs.size(), 1U);
+  r.execute(txs, {}, costs_of(g), /*now=*/5, m);
+  EXPECT_EQ(m.deliveries, 1U);
+  EXPECT_EQ(m.total_hops_delivered, 1U);
+  EXPECT_DOUBLE_EQ(m.delivered_cost, 1.0);
+  EXPECT_EQ(m.sum_latency, 5U);
+  EXPECT_EQ(r.packets_in_flight(), 0U);
+}
+
+TEST(BalancingRouter, FailedTransmissionKeepsPacketAndWastesEnergy) {
+  const graph::Graph g = path3();
+  RunMetrics m;
+  BalancingRouter r(3, {0.5, 0.0, 16});
+  r.inject(mk(1, 1, 2), m);
+  const std::vector<graph::EdgeId> active{1};
+  const auto txs = r.plan(g, active, costs_of(g));
+  const std::vector<bool> failed{true};
+  r.execute(txs, failed, costs_of(g), 0, m);
+  EXPECT_EQ(m.deliveries, 0U);
+  EXPECT_EQ(m.failed_tx, 1U);
+  EXPECT_DOUBLE_EQ(m.wasted_energy, 1.0);
+  EXPECT_EQ(r.packets_in_flight(), 1U);
+  EXPECT_EQ(r.buffers().height(1, 2), 1U);
+}
+
+TEST(BalancingRouter, InjectionOverflowIsDeleted) {
+  RunMetrics m;
+  BalancingRouter r(2, {0.5, 0.0, 2});  // H = 2
+  r.inject(mk(1, 0, 1), m);
+  r.inject(mk(2, 0, 1), m);
+  r.inject(mk(3, 0, 1), m);  // buffer full -> deleted
+  EXPECT_EQ(m.injected_offered, 3U);
+  EXPECT_EQ(m.injected_accepted, 2U);
+  EXPECT_EQ(m.dropped_at_injection, 1U);
+}
+
+TEST(BalancingRouter, SkipsWhenEarlierTxDrainedTheBuffer) {
+  // Node 0 has one packet but two active edges both plan to move it.
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  g.add_edge(0, 2, 1.0, 1.0);
+  RunMetrics m;
+  BalancingRouter r(3, {0.0, 0.0, 16});  // T = 0: any positive gradient sends
+  // One packet at node 0 for destination 1. Both active edges see a
+  // positive gradient for dest 1 (over (0,2): h(0,1) - h(2,1) = 1 > 0), so
+  // both plan to move the same single packet.
+  r.inject(mk(1, 0, 1), m);
+  const std::vector<graph::EdgeId> active{0, 1};
+  const auto txs = r.plan(g, active, costs_of(g));
+  ASSERT_EQ(txs.size(), 2U);
+  r.execute(txs, {}, costs_of(g), 0, m);
+  // One transmission moved the packet (and delivered it at node 1), the
+  // other found the buffer empty and was skipped.
+  EXPECT_EQ(m.skipped_tx + m.deliveries + m.dropped_in_transit, 2U);
+  EXPECT_EQ(m.skipped_tx, 1U);
+}
+
+TEST(BalancingRouter, ConservationInvariant) {
+  // injected_accepted = deliveries + in-flight + dropped_in_transit.
+  const graph::Graph g = path3();
+  RunMetrics m;
+  BalancingRouter r(3, {0.5, 0.0, 4});
+  geom::Rng rng(5);
+  std::uint64_t id = 0;
+  const auto costs = costs_of(g);
+  for (route::Time t = 0; t < 200; ++t) {
+    const std::vector<graph::EdgeId> active{0, 1};
+    const auto txs = r.plan(g, active, costs);
+    r.execute(txs, {}, costs, t, m);
+    if (rng.bernoulli(0.7)) {
+      const auto src = static_cast<graph::NodeId>(rng.uniform_index(2));
+      r.inject(mk(++id, src, 2), m);
+    }
+    r.end_step(m);
+  }
+  EXPECT_EQ(m.injected_accepted,
+            m.deliveries + r.packets_in_flight() + m.dropped_in_transit);
+  EXPECT_GT(m.deliveries, 0U);
+  EXPECT_LE(m.peak_buffer, 4U);
+}
+
+TEST(TheoremParams, RecipesMatchFormulas) {
+  route::OptStats opt;
+  opt.max_buffer = 4;
+  opt.avg_path_length = 5.0;
+  opt.avg_cost = 2.0;
+  const BalancingParams p31 = theorem31_params(opt, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(p31.threshold, 4.0 + 2.0);                 // B + 2(delta-1)
+  EXPECT_DOUBLE_EQ(p31.gamma, (6.0 + 4.0 + 2.0) * 5.0 / 2.0); // (T+B+d)L/C
+  const BalancingParams p33 = theorem33_params(opt, 0.5);
+  EXPECT_DOUBLE_EQ(p33.threshold, 9.0);                       // 2B + 1
+  EXPECT_DOUBLE_EQ(p33.gamma, (9.0 + 4.0) * 5.0 / 2.0);
+  EXPECT_GT(p33.max_height, opt.max_buffer);
+}
+
+}  // namespace
+}  // namespace thetanet::core

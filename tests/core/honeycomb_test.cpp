@@ -1,0 +1,173 @@
+#include "core/honeycomb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::core {
+namespace {
+
+struct HcFixture {
+  topo::Deployment d;
+  graph::Graph unit;
+
+  explicit HcFixture(std::uint64_t seed, std::size_t n = 120,
+                     double side = 5.0) {
+    geom::Rng rng(seed);
+    d.positions = topo::uniform_square(n, side, rng);
+    d.max_range = 1.0;  // fixed transmission strength (Section 3.4)
+    d.kappa = 2.0;
+    unit = topo::build_transmission_graph(d);
+  }
+
+  std::vector<double> costs() const {
+    std::vector<double> c(unit.num_edges());
+    for (graph::EdgeId e = 0; e < c.size(); ++e) c[e] = unit.edge(e).cost;
+    return c;
+  }
+};
+
+TEST(Honeycomb, TilingSideMatchesPaper) {
+  const HcFixture f(81);
+  const HoneycombParams p{0.75, 1.0 / 6.0};
+  const HoneycombMac mac(f.d, f.unit, p);
+  EXPECT_DOUBLE_EQ(mac.tiling().side(), 3.0 + 2.0 * 0.75);
+  EXPECT_DOUBLE_EQ(mac.tiling().diameter(), 2.0 * (3.0 + 2.0 * 0.75));
+}
+
+TEST(Honeycomb, RejectsInvalidParameters) {
+  const HcFixture f(82);
+  EXPECT_DEATH(HoneycombMac(f.d, f.unit, HoneycombParams{0.0, 1.0 / 6.0}),
+               "Delta");
+  EXPECT_DEATH(HoneycombMac(f.d, f.unit, HoneycombParams{0.5, 0.5}), "p_t");
+}
+
+TEST(Honeycomb, AtMostOneContestantPerHexagon) {
+  const HcFixture f(83);
+  const HoneycombParams p{0.5, 1.0 / 6.0};
+  const HoneycombMac mac(f.d, f.unit, p);
+  BalancingRouter router(f.d.size(), {0.5, 0.0, 64});
+  route::RunMetrics m;
+  geom::Rng rng(1);
+  // Load several buffers to create many candidate pairs.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_index(f.d.size()));
+    auto t = static_cast<graph::NodeId>(rng.uniform_index(f.d.size() - 1));
+    if (t >= s) ++t;
+    router.inject(route::Packet{i, s, t, 0, 0.0, 0}, m);
+  }
+  // With p_t forced to its max, selected contestants are still one per cell.
+  for (int round = 0; round < 50; ++round) {
+    const auto chosen = mac.select(router, f.costs(), rng);
+    std::map<std::pair<std::int32_t, std::int32_t>, int> per_cell;
+    for (const PlannedTx& tx : chosen) {
+      const geom::HexCell c = mac.tiling().cell_of(f.d.positions[tx.from]);
+      const int count = ++per_cell[std::pair{c.q, c.r}];
+      ASSERT_EQ(count, 1) << "two contestants in one hexagon";
+    }
+  }
+}
+
+TEST(Honeycomb, SelectionRespectsThreshold) {
+  const HcFixture f(84);
+  const HoneycombMac mac(f.d, f.unit, HoneycombParams{0.5, 1.0 / 6.0});
+  // Threshold higher than any height difference -> no contestants ever.
+  BalancingRouter router(f.d.size(), {100.0, 0.0, 64});
+  route::RunMetrics m;
+  geom::Rng rng(2);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_index(f.d.size()));
+    auto t = static_cast<graph::NodeId>(rng.uniform_index(f.d.size() - 1));
+    if (t >= s) ++t;
+    router.inject(route::Packet{i, s, t, 0, 0.0, 0}, m);
+  }
+  HoneycombMac::SelectionStats stats;
+  const auto chosen = mac.select(router, f.costs(), rng, &stats);
+  EXPECT_TRUE(chosen.empty());
+  EXPECT_EQ(stats.contestants, 0U);
+  EXPECT_EQ(stats.candidate_pairs, 0U);
+}
+
+TEST(Honeycomb, TransmissionRateMatchesPt) {
+  const HcFixture f(85);
+  const double pt = 1.0 / 6.0;
+  const HoneycombMac mac(f.d, f.unit, HoneycombParams{0.5, pt});
+  BalancingRouter router(f.d.size(), {0.5, 0.0, 512});
+  route::RunMetrics m;
+  geom::Rng rng(3);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_index(f.d.size()));
+    auto t = static_cast<graph::NodeId>(rng.uniform_index(f.d.size() - 1));
+    if (t >= s) ++t;
+    router.inject(route::Packet{i, s, t, 0, 0.0, 0}, m);
+  }
+  std::size_t contestants = 0, transmissions = 0;
+  for (int round = 0; round < 3000; ++round) {
+    HoneycombMac::SelectionStats stats;
+    const auto chosen = mac.select(router, f.costs(), rng, &stats);
+    contestants += stats.contestants;
+    transmissions += chosen.size();
+  }
+  ASSERT_GT(contestants, 1000U);
+  const double rate =
+      static_cast<double>(transmissions) / static_cast<double>(contestants);
+  EXPECT_NEAR(rate, pt, 0.02);
+}
+
+// Lemma 3.7 (empirical): with p_t <= 1/6, each selected contestant survives
+// interference with probability at least 1/2.
+TEST(Honeycomb, Lemma37CollisionProbabilityAtMostHalf) {
+  const HcFixture f(86, 200, 6.0);
+  const HoneycombMac mac(f.d, f.unit, HoneycombParams{0.5, 1.0 / 6.0});
+  BalancingRouter router(f.d.size(), {0.5, 0.0, 512});
+  route::RunMetrics m;
+  geom::Rng rng(4);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_index(f.d.size()));
+    auto t = static_cast<graph::NodeId>(rng.uniform_index(f.d.size() - 1));
+    if (t >= s) ++t;
+    router.inject(route::Packet{i, s, t, 0, 0.0, 0}, m);
+  }
+  std::size_t chosen_total = 0, failed_total = 0;
+  for (int round = 0; round < 4000; ++round) {
+    const auto chosen = mac.select(router, f.costs(), rng);
+    const auto failed = mac.resolve(chosen);
+    chosen_total += chosen.size();
+    for (const bool b : failed) failed_total += b ? 1 : 0;
+  }
+  ASSERT_GT(chosen_total, 500U);
+  EXPECT_LE(static_cast<double>(failed_total) /
+                static_cast<double>(chosen_total),
+            0.5);
+}
+
+TEST(Honeycomb, ResolveUsesFixedGuardDistance) {
+  topo::Deployment d;
+  // Two pairs separated by slightly more than 1 + Delta = 1.5: independent.
+  d.positions = {{0, 0}, {1, 0}, {2.51, 0}, {3.51, 0}};
+  d.max_range = 1.0;
+  d.kappa = 2.0;
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0, 1.0);
+  g.add_edge(2, 3, 1.0, 1.0);
+  const HoneycombMac mac(d, g, HoneycombParams{0.5, 1.0 / 6.0});
+  std::vector<PlannedTx> txs(2);
+  txs[0] = {0, 0, 1, 3, 1.0};
+  txs[1] = {1, 2, 3, 0, 1.0};
+  auto failed = mac.resolve(txs);
+  EXPECT_FALSE(failed[0]);
+  EXPECT_FALSE(failed[1]);
+  // Move the second pair closer: receiver 1 within 1.5 of sender 2 -> kill.
+  topo::Deployment d2 = d;
+  d2.positions[2] = {2.4, 0};
+  const HoneycombMac mac2(d2, g, HoneycombParams{0.5, 1.0 / 6.0});
+  failed = mac2.resolve(txs);
+  EXPECT_TRUE(failed[0]);
+  EXPECT_TRUE(failed[1]);
+}
+
+}  // namespace
+}  // namespace thetanet::core

@@ -1,0 +1,173 @@
+#include "core/interference_mac.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "core/theta_topology.h"
+#include "topology/distributions.h"
+
+namespace thetanet::core {
+namespace {
+
+struct MacFixture {
+  topo::Deployment d;
+  graph::Graph topo;
+  interf::InterferenceModel model{1.0};
+
+  explicit MacFixture(std::uint64_t seed, std::size_t n = 150,
+                      double range = 0.18) {
+    geom::Rng rng(seed);
+    d.positions = topo::uniform_square(n, 1.0, rng);
+    d.max_range = range;
+    d.kappa = 2.0;
+    topo = ThetaTopology(d, std::numbers::pi / 6.0).graph();
+  }
+};
+
+TEST(RandomizedMac, BoundsDominatePerEdgeSetSizes) {
+  const MacFixture f(71);
+  const RandomizedMac mac(f.topo, f.d, f.model);
+  const auto sets = interf::interference_sets(f.topo, f.d, f.model);
+  std::uint32_t max_size = 0;
+  for (graph::EdgeId e = 0; e < f.topo.num_edges(); ++e) {
+    // I_e >= |I(e')| for every e' in I(e) (and >= |I(e)| itself via e in
+    // I(e')); in particular I_e >= |I(e)|.
+    const double p = mac.activation_prob(e);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 0.5);
+    EXPECT_LE(sets[e].size(), 1.0 / (2.0 * p) + 1e-9);
+    max_size = std::max(max_size, static_cast<std::uint32_t>(sets[e].size()));
+  }
+  EXPECT_GE(mac.interference_bound(), max_size);
+}
+
+TEST(RandomizedMac, ActivationFrequencyMatchesProbability) {
+  const MacFixture f(72, 80, 0.22);
+  const RandomizedMac mac(f.topo, f.d, f.model);
+  ASSERT_GT(f.topo.num_edges(), 0U);
+  geom::Rng rng(99);
+  std::vector<std::size_t> activations(f.topo.num_edges(), 0);
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i)
+    for (const graph::EdgeId e : mac.activate(rng)) ++activations[e];
+  for (graph::EdgeId e = 0; e < f.topo.num_edges(); e += 5) {
+    const double expected = mac.activation_prob(e);
+    const double observed =
+        static_cast<double>(activations[e]) / static_cast<double>(rounds);
+    EXPECT_NEAR(observed, expected, 5.0 * std::sqrt(expected / rounds) + 1e-3)
+        << "edge " << e;
+  }
+}
+
+// Lemma 3.2: an active edge interferes with other *active* edges with
+// probability at most 1/2.
+TEST(RandomizedMac, Lemma32CollisionProbabilityAtMostHalf) {
+  const MacFixture f(73);
+  const RandomizedMac mac(f.topo, f.d, f.model);
+  const auto sets = interf::interference_sets(f.topo, f.d, f.model);
+  geom::Rng rng(7);
+  std::vector<std::size_t> active_count(f.topo.num_edges(), 0);
+  std::vector<std::size_t> collided(f.topo.num_edges(), 0);
+  const int rounds = 30000;
+  std::vector<bool> is_active(f.topo.num_edges());
+  for (int round = 0; round < rounds; ++round) {
+    const auto active = mac.activate(rng);
+    std::fill(is_active.begin(), is_active.end(), false);
+    for (const graph::EdgeId e : active) is_active[e] = true;
+    for (const graph::EdgeId e : active) {
+      ++active_count[e];
+      for (const graph::EdgeId ep : sets[e])
+        if (is_active[ep]) {
+          ++collided[e];
+          break;
+        }
+    }
+  }
+  // Aggregate check (per-edge samples are small for rarely-active edges).
+  std::size_t total_active = 0, total_collided = 0;
+  for (graph::EdgeId e = 0; e < f.topo.num_edges(); ++e) {
+    total_active += active_count[e];
+    total_collided += collided[e];
+    if (active_count[e] >= 200) {
+      EXPECT_LE(static_cast<double>(collided[e]) /
+                    static_cast<double>(active_count[e]),
+                0.55)
+          << "edge " << e;
+    }
+  }
+  ASSERT_GT(total_active, 0U);
+  EXPECT_LE(static_cast<double>(total_collided) /
+                static_cast<double>(total_active),
+            0.5);
+}
+
+TEST(RandomizedMac, ResolveFlagsInterferingPlannedTransmissions) {
+  topo::Deployment d;
+  d.positions = {{0, 0}, {0.5, 0}, {0.7, 0}, {1.2, 0}, {10, 0}, {10.5, 0}};
+  d.max_range = 0.6;
+  d.kappa = 2.0;
+  graph::Graph g(6);
+  g.add_edge(0, 1, 0.5, 0.25);
+  g.add_edge(2, 3, 0.5, 0.25);
+  g.add_edge(4, 5, 0.5, 0.25);
+  const RandomizedMac mac(g, d, interf::InterferenceModel{1.0});
+  std::vector<PlannedTx> txs(3);
+  txs[0] = {0, 0, 1, 5, 1.0};
+  txs[1] = {1, 2, 3, 5, 1.0};
+  txs[2] = {2, 4, 5, 0, 1.0};
+  const auto failed = mac.resolve(txs);
+  EXPECT_TRUE(failed[0]);   // edges 0 and 1 are 0.2 apart: mutual kill
+  EXPECT_TRUE(failed[1]);
+  EXPECT_FALSE(failed[2]);  // edge 2 is 9 units away
+}
+
+TEST(SlottedAloha, ActivationFrequencyMatchesP) {
+  const MacFixture f(74, 60, 0.25);
+  const SlottedAlohaMac mac(f.topo, f.d, f.model, 0.1);
+  geom::Rng rng(1);
+  std::size_t total = 0;
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i) total += mac.activate(rng).size();
+  const double per_edge = static_cast<double>(total) /
+                          (static_cast<double>(rounds) *
+                           static_cast<double>(f.topo.num_edges()));
+  EXPECT_NEAR(per_edge, 0.1, 0.01);
+}
+
+TEST(SlottedAloha, ResolveUsesSameInterferenceModel) {
+  const MacFixture f(75, 60, 0.25);
+  const SlottedAlohaMac amac(f.topo, f.d, f.model, 0.5);
+  const RandomizedMac imac(f.topo, f.d, f.model);
+  // Same planned transmissions must fail identically under both MACs (the
+  // collision physics is shared; only activation policy differs).
+  std::vector<PlannedTx> txs;
+  for (graph::EdgeId e = 0;
+       e < std::min<graph::EdgeId>(
+               10, static_cast<graph::EdgeId>(f.topo.num_edges()));
+       ++e)
+    txs.push_back({e, f.topo.edge(e).u, f.topo.edge(e).v, 0, 1.0});
+  EXPECT_EQ(amac.resolve(txs), imac.resolve(txs));
+}
+
+TEST(SlottedAloha, FullProbabilityActivatesEverything) {
+  const MacFixture f(76, 40, 0.3);
+  const SlottedAlohaMac mac(f.topo, f.d, f.model, 1.0);
+  geom::Rng rng(2);
+  EXPECT_EQ(mac.activate(rng).size(), f.topo.num_edges());
+}
+
+TEST(RandomizedMac, DegenerateSingleEdge) {
+  topo::Deployment d;
+  d.positions = {{0, 0}, {0.5, 0}};
+  d.max_range = 1.0;
+  d.kappa = 2.0;
+  graph::Graph g(2);
+  g.add_edge(0, 1, 0.5, 0.25);
+  const RandomizedMac mac(g, d, interf::InterferenceModel{1.0});
+  EXPECT_EQ(mac.interference_bound(), 1U);  // floor of 1, never divides by 0
+  EXPECT_DOUBLE_EQ(mac.activation_prob(0), 0.5);
+}
+
+}  // namespace
+}  // namespace thetanet::core

@@ -1,0 +1,79 @@
+#include "core/local_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geom/angles.h"
+#include "topology/distributions.h"
+
+namespace thetanet::core {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+topo::Deployment make_deployment(std::size_t n, double range, std::uint64_t seed) {
+  geom::Rng rng(seed);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = range;
+  d.kappa = 2.0;
+  return d;
+}
+
+TEST(LocalProtocol, MatchesCentralizedConstruction) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const topo::Deployment d = make_deployment(150, 0.3, seed);
+    const ProtocolStats s = run_local_protocol(d, kPi / 6.0);
+    EXPECT_TRUE(s.matches_centralized) << "seed " << seed;
+    EXPECT_GT(s.edges, 0U);
+  }
+}
+
+TEST(LocalProtocol, MessageComplexityIsLocal) {
+  const std::size_t n = 200;
+  const topo::Deployment d = make_deployment(n, 0.3, 9);
+  const double theta = kPi / 6.0;
+  const ProtocolStats s = run_local_protocol(d, theta);
+  const auto sectors = static_cast<std::uint64_t>(geom::sector_count(theta));
+  // Round 1: exactly one broadcast per node.
+  EXPECT_EQ(s.position_msgs, n);
+  // Rounds 2 and 3: at most one unicast per (node, sector).
+  EXPECT_LE(s.neighborhood_msgs, n * sectors);
+  EXPECT_LE(s.connection_msgs, n * sectors);
+  // Phase-2 admissions can only shrink the phase-1 selection set.
+  EXPECT_LE(s.connection_msgs, s.neighborhood_msgs);
+  // Each edge required at least one connection message.
+  EXPECT_LE(s.edges, s.connection_msgs);
+}
+
+TEST(LocalProtocol, SmallAndDegenerateInputs) {
+  topo::Deployment d;
+  d.max_range = 1.0;
+  d.kappa = 2.0;
+  // Two nodes in range: a single edge, 2 messages per round at most.
+  d.positions = {{0, 0}, {0.5, 0}};
+  ProtocolStats s = run_local_protocol(d, kPi / 6.0);
+  EXPECT_TRUE(s.matches_centralized);
+  EXPECT_EQ(s.edges, 1U);
+  EXPECT_EQ(s.position_msgs, 2U);
+  EXPECT_EQ(s.neighborhood_msgs, 2U);
+  EXPECT_EQ(s.connection_msgs, 2U);
+  // Out-of-range pair: empty topology.
+  d.positions = {{0, 0}, {5, 0}};
+  s = run_local_protocol(d, kPi / 6.0);
+  EXPECT_TRUE(s.matches_centralized);
+  EXPECT_EQ(s.edges, 0U);
+  EXPECT_EQ(s.neighborhood_msgs, 0U);
+}
+
+TEST(LocalProtocol, AgreesAcrossThetaValues) {
+  const topo::Deployment d = make_deployment(100, 0.35, 12);
+  for (const double theta : {kPi / 3.0, kPi / 6.0, kPi / 12.0}) {
+    const ProtocolStats s = run_local_protocol(d, theta);
+    EXPECT_TRUE(s.matches_centralized) << "theta " << theta;
+  }
+}
+
+}  // namespace
+}  // namespace thetanet::core

@@ -1,0 +1,115 @@
+// Property suite for the theta-path machinery across generators and theta
+// values: every transmission-graph edge must map to a valid N path whose
+// energy stays within the Theorem 2.2 constant, and random non-interfering
+// matchings must respect Lemma 2.9's reuse bound.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <tuple>
+
+#include "core/theta_topology.h"
+#include "graph/connectivity.h"
+#include "interference/model.h"
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::core {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+topo::Deployment make(int gen, std::size_t n, geom::Rng& rng) {
+  topo::Deployment d;
+  d.kappa = 2.0;
+  switch (gen) {
+    case 0:
+      d.positions = topo::uniform_square(n, 1.0, rng);
+      d.max_range = 0.3;
+      break;
+    case 1:
+      d.positions = topo::clustered(n, 5, 0.05, 1.0, rng);
+      d.max_range = 0.4;
+      break;
+    case 2:
+      d.positions = topo::hub_ring(n, 0.5, rng);
+      d.max_range = 0.8;
+      break;
+    default:
+      d.positions = topo::nested_clusters(n, 3, 6.0, 1.0, rng);
+      d.max_range = 2.0;
+      break;
+  }
+  return d;
+}
+
+class ReplacementPathProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ReplacementPathProperty, AllGStarEdgesHaveValidPaths) {
+  const auto [gen, theta] = GetParam();
+  geom::Rng rng(4000 + static_cast<std::uint64_t>(gen));
+  const topo::Deployment d = make(gen, 100, rng);
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  const ThetaTopology tt(d, theta);
+  for (graph::EdgeId e = 0; e < gstar.num_edges(); e += 3) {
+    const graph::Edge& ge = gstar.edge(e);
+    const auto path = tt.replacement_path(ge.u, ge.v);
+    ASSERT_FALSE(path.empty());
+    graph::NodeId at = ge.u;
+    double energy = 0.0;
+    for (const graph::EdgeId pe : path) {
+      const graph::Edge& ne = tt.graph().edge(pe);
+      ASSERT_TRUE(ne.u == at || ne.v == at);
+      at = ne.other(at);
+      energy += ne.cost;
+      // Every hop respects the transmission range.
+      ASSERT_LE(ne.length, d.max_range + 1e-12);
+    }
+    ASSERT_EQ(at, ge.v);
+    // Theorem 2.2 constant: generous fixed ceiling.
+    EXPECT_LE(energy, 8.0 * ge.cost + 1e-12) << "edge " << e;
+  }
+}
+
+TEST_P(ReplacementPathProperty, ReuseBoundHolds) {
+  const auto [gen, theta] = GetParam();
+  geom::Rng rng(5000 + static_cast<std::uint64_t>(gen));
+  const topo::Deployment d = make(gen, 120, rng);
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  const ThetaTopology tt(d, theta);
+  const interf::InterferenceModel m{0.25};
+  // Greedy maximal non-interfering matching in random order.
+  std::vector<graph::EdgeId> order(gstar.num_edges());
+  for (graph::EdgeId e = 0; e < order.size(); ++e) order[e] = e;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform_index(i)]);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> matching;
+  std::vector<graph::EdgeId> chosen;
+  for (const graph::EdgeId e : order) {
+    const graph::Edge& ge = gstar.edge(e);
+    bool ok = true;
+    for (const graph::EdgeId f : chosen) {
+      const graph::Edge& fe = gstar.edge(f);
+      if (m.in_interference_set(d.positions[ge.u], d.positions[ge.v],
+                                d.positions[fe.u], d.positions[fe.v])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      chosen.push_back(e);
+      matching.push_back({ge.u, ge.v});
+    }
+  }
+  if (matching.empty()) GTEST_SKIP();
+  EXPECT_LE(tt.max_replacement_reuse(matching), 6U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorsAndThetas, ReplacementPathProperty,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(kPi / 6.0, kPi / 12.0)));
+
+}  // namespace
+}  // namespace thetanet::core

@@ -1,0 +1,89 @@
+#include "core/theta_maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "graph/connectivity.h"
+#include "sim/mobility.h"
+#include "topology/distributions.h"
+
+namespace thetanet::core {
+namespace {
+
+constexpr double kTheta = std::numbers::pi / 9.0;
+
+topo::Deployment make_deployment(std::size_t n, double range,
+                                 std::uint64_t seed) {
+  geom::Rng rng(seed);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = range;
+  d.kappa = 2.0;
+  return d;
+}
+
+TEST(ThetaMaintainer, InitialStateMatchesFullBuild) {
+  const topo::Deployment d = make_deployment(100, 0.3, 1);
+  const ThetaMaintainer maintainer(d, kTheta);
+  EXPECT_TRUE(maintainer.matches_full_rebuild());
+  const ThetaTopology fresh(d, kTheta);
+  EXPECT_EQ(maintainer.graph().num_edges(), fresh.graph().num_edges());
+}
+
+TEST(ThetaMaintainer, SingleMovesStayCorrect) {
+  ThetaMaintainer maintainer(make_deployment(120, 0.3, 2), kTheta);
+  geom::Rng rng(3);
+  for (int move = 0; move < 30; ++move) {
+    const auto v = static_cast<graph::NodeId>(rng.uniform_index(120));
+    const geom::Vec2 p{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    maintainer.move_node(v, p);
+    ASSERT_TRUE(maintainer.matches_full_rebuild()) << "move " << move;
+  }
+}
+
+TEST(ThetaMaintainer, SmallMovesTouchOnlyTheNeighbourhood) {
+  const std::size_t n = 400;
+  ThetaMaintainer maintainer(make_deployment(n, 0.15, 4), kTheta);
+  geom::Rng rng(5);
+  for (int move = 0; move < 10; ++move) {
+    const auto v = static_cast<graph::NodeId>(rng.uniform_index(n));
+    // Nudge within a fraction of the range: the affected set is ~ one
+    // neighbourhood, far below n.
+    geom::Vec2 p = maintainer.deployment().positions[v];
+    p.x = std::clamp(p.x + rng.uniform(-0.03, 0.03), 0.0, 1.0);
+    p.y = std::clamp(p.y + rng.uniform(-0.03, 0.03), 0.0, 1.0);
+    const std::size_t touched = maintainer.move_node(v, p);
+    EXPECT_LT(touched, n / 4) << "move " << move;
+    ASSERT_TRUE(maintainer.matches_full_rebuild());
+  }
+}
+
+TEST(ThetaMaintainer, LongJumpStillCorrect) {
+  ThetaMaintainer maintainer(make_deployment(150, 0.25, 6), kTheta);
+  // Teleport a node across the arena (old and new neighbourhoods disjoint).
+  maintainer.move_node(7, {0.98, 0.97});
+  EXPECT_TRUE(maintainer.matches_full_rebuild());
+  maintainer.move_node(7, {0.02, 0.01});
+  EXPECT_TRUE(maintainer.matches_full_rebuild());
+}
+
+TEST(ThetaMaintainer, SustainedMobilityEpoch) {
+  // A random-waypoint burst of moves, applied one node at a time, must end
+  // in exactly the topology a full rebuild of the final deployment gives.
+  const std::size_t n = 80;
+  ThetaMaintainer maintainer(make_deployment(n, 0.3, 7), kTheta);
+  geom::Rng rng(8);
+  for (int step = 0; step < 100; ++step) {
+    const auto v = static_cast<graph::NodeId>(rng.uniform_index(n));
+    geom::Vec2 p = maintainer.deployment().positions[v];
+    p.x = std::clamp(p.x + rng.normal(0.0, 0.02), 0.0, 1.0);
+    p.y = std::clamp(p.y + rng.normal(0.0, 0.02), 0.0, 1.0);
+    maintainer.move_node(v, p);
+  }
+  EXPECT_TRUE(maintainer.matches_full_rebuild());
+  EXPECT_TRUE(graph::is_connected(maintainer.graph()));
+}
+
+}  // namespace
+}  // namespace thetanet::core

@@ -1,0 +1,169 @@
+// Monte-Carlo validation of the technical geometry lemmas behind Theorem 2.2
+// (Lemmas 2.3-2.6) and fixtures reproducing the proof's case analysis
+// (Figures 1-4 of the paper). These are the paper's "figures" — proof
+// illustrations — turned into executable checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+#include "geom/angles.h"
+#include "geom/vec2.h"
+#include "geom/rng.h"
+
+namespace thetanet::core {
+namespace {
+
+using geom::Vec2;
+constexpr double kPi = std::numbers::pi;
+
+// Lemma 2.3: in triangle ABC with |AC| <= |BC| and angle ACB <= pi/3,
+//   c*|AB|^2 + |AC|^2 <= c*|BC|^2   for c >= 1 / (2*cos(angle ACB) - 1).
+TEST(ProofLemmas, Lemma23) {
+  geom::Rng rng(23);
+  int checked = 0;
+  for (int i = 0; i < 200000 && checked < 20000; ++i) {
+    const Vec2 c{0, 0};
+    const Vec2 a{rng.uniform(0.1, 2.0), 0.0};
+    const double ang = rng.uniform(0.0, kPi / 3.0 - 1e-6);
+    const double rb = rng.uniform(geom::norm(a), 3.0);  // |BC| >= |AC|
+    const Vec2 b = geom::rotated({rb, 0.0}, ang);
+    const double cos_acb = std::cos(geom::interior_angle(c, a, b));
+    if (2.0 * cos_acb - 1.0 <= 1e-9) continue;  // angle too close to pi/3
+    const double cc = 1.0 / (2.0 * cos_acb - 1.0);
+    const double lhs = cc * geom::dist_sq(a, b) + geom::dist_sq(a, c);
+    const double rhs = cc * geom::dist_sq(b, c);
+    ASSERT_LE(lhs, rhs + 1e-9 * rhs)
+        << "AC=" << geom::norm(a) << " BC=" << rb << " ang=" << ang;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10000);
+}
+
+// Lemma 2.4: |BC| <= |AC| <= |AB| and angle BAC <= pi/6 implies
+//   |BC| <= |AB| / (2*cos(angle BAC)).
+TEST(ProofLemmas, Lemma24) {
+  geom::Rng rng(24);
+  int checked = 0;
+  for (int i = 0; i < 200000 && checked < 20000; ++i) {
+    // Triangle anchored at A = origin along the x-axis.
+    const Vec2 b{rng.uniform(0.5, 2.0), 0.0};
+    const double ang = rng.uniform(0.0, kPi / 6.0);
+    const double rc = rng.uniform(0.0, geom::norm(b));  // |AC| <= |AB|
+    const Vec2 cpt = geom::rotated({rc, 0.0}, ang);
+    if (!(geom::dist(b, cpt) <= rc)) continue;  // require |BC| <= |AC|
+    const double bound = geom::norm(b) / (2.0 * std::cos(ang));
+    ASSERT_LE(geom::dist(b, cpt), bound + 1e-12) << "ang=" << ang;
+    ++checked;
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+// Lemma 2.5: points A_1..A_k with decreasing distance from A and consecutive
+// angular gaps in [0, theta]; if the total angle is alpha then
+//   sum |A_i A_{i+1}|^2 <= (|AA_1| - |AA_k|)^2 + 2|AA_1|^2 (alpha/theta)(1 - cos theta).
+TEST(ProofLemmas, Lemma25) {
+  geom::Rng rng(25);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double theta = rng.uniform(0.05, kPi / 3.0);
+    const int k = static_cast<int>(rng.uniform_int(2, 12));
+    double r = rng.uniform(0.5, 2.0);
+    double phi = 0.0;
+    std::vector<Vec2> pts;
+    const double r1 = r;
+    double alpha = 0.0;  // total angle spanned A_1 -> A_k (sum of ccw gaps)
+    for (int i = 0; i < k; ++i) {
+      pts.push_back(geom::rotated({r, 0.0}, phi));
+      const double gap = rng.uniform(0.0, theta);
+      if (i + 1 < k) alpha += gap;
+      phi += gap;
+      r *= rng.uniform(0.5, 1.0);  // non-increasing distances from A = origin
+    }
+    double lhs = 0.0;
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i)
+      lhs += geom::dist_sq(pts[i], pts[i + 1]);
+    const double rk = geom::norm(pts.back());
+    const double rhs = (r1 - rk) * (r1 - rk) +
+                       2.0 * r1 * r1 * (alpha / theta) * (1.0 - std::cos(theta));
+    ASSERT_LE(lhs, rhs + 1e-9 + 1e-9 * rhs) << "trial " << trial;
+  }
+}
+
+std::optional<Vec2> segment_circle_intersection_near(Vec2 from, Vec2 to,
+                                                     Vec2 center, double r,
+                                                     bool nearest_to_to) {
+  // Solve |from + t*(to-from) - center|^2 = r^2 for t in [0, 1].
+  const Vec2 d = to - from;
+  const Vec2 f = from - center;
+  const double aa = geom::dot(d, d);
+  const double bb = 2.0 * geom::dot(f, d);
+  const double cc = geom::dot(f, f) - r * r;
+  const double disc = bb * bb - 4.0 * aa * cc;
+  if (disc < 0.0 || aa == 0.0) return std::nullopt;
+  const double sq = std::sqrt(disc);
+  const double t1 = (-bb - sq) / (2.0 * aa);
+  const double t2 = (-bb + sq) / (2.0 * aa);
+  std::optional<double> best;
+  for (const double t : {t1, t2}) {
+    if (t < -1e-12 || t > 1.0 + 1e-12) continue;
+    if (!best || (nearest_to_to ? t > *best : t < *best)) best = t;
+  }
+  if (!best) return std::nullopt;
+  return from + *best * d;
+}
+
+// Lemma 2.6 (Figure setup): A, B; O the midpoint; D with |BD| = |AB| and
+// angle DBA = pi/6; C outside circle C(O,|OA|) with |AC| <= |AB|, angle
+// CAB < pi/12, C and D on the same side of (A,B). E = intersection of
+// segment (C,D) with the circle. Then angle EAB <= 2 * angle CAB.
+TEST(ProofLemmas, Lemma26) {
+  geom::Rng rng(26);
+  int checked = 0;
+  for (int i = 0; i < 400000 && checked < 5000; ++i) {
+    const Vec2 a{0, 0}, b{1, 0};
+    const Vec2 o = geom::midpoint(a, b);
+    const double r = 0.5;
+    // D above the x-axis: rotate A around B by -pi/6 scaled to |BD| = |AB|.
+    const Vec2 d_pt = b + geom::rotated(a - b, -kPi / 6.0);
+    ASSERT_GT(d_pt.y, 0.0);
+    // Random C above the axis satisfying the preconditions.
+    const double ang = rng.uniform(0.0, kPi / 12.0 - 1e-9);
+    const double rc = rng.uniform(0.0, 1.0);  // |AC| <= |AB| = 1
+    const Vec2 c_pt = geom::rotated({rc, 0.0}, ang);
+    if (geom::dist(c_pt, o) <= r) continue;  // must be outside the circle
+    const auto e =
+        segment_circle_intersection_near(c_pt, d_pt, o, r, /*to D*/ false);
+    if (!e) continue;  // segment misses the circle; lemma precondition void
+    const double ang_eab = geom::interior_angle(a, *e, b);
+    ASSERT_LE(ang_eab, 2.0 * ang + 1e-9)
+        << "C=(" << c_pt.x << "," << c_pt.y << ") ang=" << ang;
+    ++checked;
+  }
+  EXPECT_GE(checked, 1000);
+}
+
+// Figure-1/2 fixture: the Case-1 geometry of Theorem 2.2's proof — when u
+// selects v but the edge is displaced by a nearer selector w in S(v, u),
+// the detour (u..w) + (w, v) is energy-bounded: c|uw|^2 + |wv|^2 <= c|uv|^2
+// via Lemma 2.3 with the roles (A,B,C) = (w, u, v).
+TEST(ProofCases, Case1DetourIsEnergyBounded) {
+  geom::Rng rng(27);
+  const double theta = kPi / 9.0;
+  const double c = 1.0 / (2.0 * std::cos(theta) - 1.0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Vec2 v{0, 0};
+    const Vec2 u{rng.uniform(0.2, 1.0), 0.0};
+    // w in the sector of v containing u (angle <= theta) and |vw| <= |vu|.
+    const double ang = rng.uniform(0.0, theta);
+    const double rw = rng.uniform(0.0, geom::norm(u));
+    const Vec2 w = geom::rotated({rw, 0.0}, ang);
+    const double lhs = c * geom::dist_sq(u, w) + geom::dist_sq(w, v);
+    const double rhs = c * geom::dist_sq(u, v);
+    ASSERT_LE(lhs, rhs + 1e-9 * std::max(1.0, rhs)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace thetanet::core

@@ -1,0 +1,109 @@
+#include "geom/angles.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geom/rng.h"
+
+namespace thetanet::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Angles, NormalizeIntoRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(-kPi / 2.0), 1.5 * kPi);
+  EXPECT_DOUBLE_EQ(normalize_angle(5.0 * kTwoPi + 1.0), 1.0);
+  EXPECT_NEAR(normalize_angle(-7.0 * kTwoPi - 0.25), kTwoPi - 0.25, 1e-9);
+}
+
+TEST(Angles, NormalizeAlwaysInHalfOpenInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = normalize_angle(rng.uniform(-100.0, 100.0));
+    ASSERT_GE(a, 0.0);
+    ASSERT_LT(a, kTwoPi);
+  }
+}
+
+TEST(Angles, AngleOfCardinalDirections) {
+  EXPECT_DOUBLE_EQ(angle_of({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(angle_of({0.0, 1.0}), kPi / 2.0);
+  EXPECT_DOUBLE_EQ(angle_of({-1.0, 0.0}), kPi);
+  EXPECT_DOUBLE_EQ(angle_of({0.0, -1.0}), 1.5 * kPi);
+  EXPECT_DOUBLE_EQ(angle_of({0.0, 0.0}), 0.0);
+}
+
+TEST(Angles, BearingMatchesAngleOfDifference) {
+  const Vec2 u{2.0, 3.0};
+  const Vec2 v{5.0, 7.0};
+  EXPECT_DOUBLE_EQ(bearing(u, v), angle_of(v - u));
+}
+
+TEST(Angles, CcwDeltaAndAngleBetween) {
+  EXPECT_DOUBLE_EQ(ccw_delta(0.0, kPi / 2.0), kPi / 2.0);
+  EXPECT_DOUBLE_EQ(ccw_delta(kPi / 2.0, 0.0), 1.5 * kPi);
+  EXPECT_DOUBLE_EQ(angle_between(0.0, kPi / 2.0), kPi / 2.0);
+  EXPECT_DOUBLE_EQ(angle_between(kPi / 2.0, 0.0), kPi / 2.0);
+  EXPECT_NEAR(angle_between(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+}
+
+TEST(Angles, InteriorAngleOfRightTriangle) {
+  // Right angle at the origin between the axes.
+  EXPECT_NEAR(interior_angle({0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}), kPi / 2.0,
+              1e-12);
+  // Equilateral triangle: all interior angles pi/3.
+  const Vec2 a{0.0, 0.0}, b{1.0, 0.0}, c{0.5, std::sqrt(3.0) / 2.0};
+  EXPECT_NEAR(interior_angle(a, b, c), kPi / 3.0, 1e-12);
+  EXPECT_NEAR(interior_angle(b, a, c), kPi / 3.0, 1e-12);
+  EXPECT_NEAR(interior_angle(c, a, b), kPi / 3.0, 1e-12);
+}
+
+TEST(Angles, SectorCountCeils) {
+  EXPECT_EQ(sector_count(kPi / 3.0), 6);
+  EXPECT_EQ(sector_count(kPi / 6.0), 12);
+  EXPECT_EQ(sector_count(1.0), 7);  // ceil(2*pi)
+}
+
+class SectorIndexProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SectorIndexProperty, IndexInRangeAndConsistentWithSpan) {
+  const double theta = GetParam();
+  const int k = sector_count(theta);
+  Rng rng(7);
+  const Vec2 u{0.5, -0.25};
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 v{u.x + rng.uniform(-1.0, 1.0), u.y + rng.uniform(-1.0, 1.0)};
+    if (v == u) continue;
+    const int s = sector_index(u, v, theta);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, k);
+    const SectorSpan span = sector_span(s, theta);
+    const double b = bearing(u, v);
+    ASSERT_GE(b, span.lo - 1e-12);
+    ASSERT_LT(b, span.hi + 1e-12);
+  }
+}
+
+TEST_P(SectorIndexProperty, SectorsPartitionTheCircle) {
+  const double theta = GetParam();
+  const int k = sector_count(theta);
+  double covered = 0.0;
+  for (int s = 0; s < k; ++s) {
+    const SectorSpan span = sector_span(s, theta);
+    covered += span.hi - span.lo;
+    if (s > 0) {
+      EXPECT_DOUBLE_EQ(span.lo, sector_span(s - 1, theta).hi);
+    }
+  }
+  EXPECT_NEAR(covered, kTwoPi, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaSweep, SectorIndexProperty,
+                         ::testing::Values(kPi / 3.0, kPi / 4.0, kPi / 6.0,
+                                           kPi / 9.0, kPi / 12.0, kPi / 60.0));
+
+}  // namespace
+}  // namespace thetanet::geom

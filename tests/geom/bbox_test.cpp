@@ -1,0 +1,57 @@
+#include "geom/bbox.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace thetanet::geom {
+namespace {
+
+TEST(BBox, DefaultIsEmpty) {
+  const BBox b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.width(), 0.0);
+  EXPECT_DOUBLE_EQ(b.height(), 0.0);
+}
+
+TEST(BBox, ExpandAndContain) {
+  BBox b;
+  b.expand({1.0, 2.0});
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains({1.0, 2.0}));
+  b.expand({-1.0, 4.0});
+  EXPECT_TRUE(b.contains({0.0, 3.0}));
+  EXPECT_FALSE(b.contains({0.0, 5.0}));
+  EXPECT_DOUBLE_EQ(b.width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.height(), 2.0);
+  EXPECT_EQ(b.center(), (Vec2{0.0, 3.0}));
+}
+
+TEST(BBox, OfPointSpan) {
+  const std::vector<Vec2> pts{{0, 0}, {2, 1}, {1, 3}};
+  const BBox b = BBox::of(pts);
+  EXPECT_EQ(b.lo, (Vec2{0.0, 0.0}));
+  EXPECT_EQ(b.hi, (Vec2{2.0, 3.0}));
+}
+
+TEST(BBox, Inflated) {
+  BBox b;
+  b.expand({0, 0});
+  b.expand({1, 1});
+  const BBox big = b.inflated(0.5);
+  EXPECT_EQ(big.lo, (Vec2{-0.5, -0.5}));
+  EXPECT_EQ(big.hi, (Vec2{1.5, 1.5}));
+}
+
+TEST(BBox, DistSqToPoints) {
+  BBox b;
+  b.expand({0, 0});
+  b.expand({2, 2});
+  EXPECT_DOUBLE_EQ(b.dist_sq_to({1, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(b.dist_sq_to({3, 1}), 1.0);   // right of the box
+  EXPECT_DOUBLE_EQ(b.dist_sq_to({3, 3}), 2.0);   // diagonal corner
+  EXPECT_DOUBLE_EQ(b.dist_sq_to({-2, 1}), 4.0);  // left
+}
+
+}  // namespace
+}  // namespace thetanet::geom

@@ -1,0 +1,67 @@
+// Property suite: the two spatial indexes (uniform grid, k-d tree) must
+// answer every query identically — they are interchangeable backends for
+// neighbour discovery.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "geom/kdtree.h"
+#include "geom/rng.h"
+#include "geom/spatial_grid.h"
+
+namespace thetanet::geom {
+namespace {
+
+class IndexEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(IndexEquivalence, WithinQueriesAgree) {
+  const auto [n, cell] = GetParam();
+  Rng rng(1000 + n);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  const SpatialGrid grid(pts, cell);
+  const KdTree tree(pts);
+  for (int q = 0; q < 100; ++q) {
+    const Vec2 c{rng.uniform(-0.1, 1.1), rng.uniform(-0.1, 1.1)};
+    const double r = rng.uniform(0.02, 0.7);
+    ASSERT_EQ(grid.within(c, r), tree.within(c, r)) << "n=" << n;
+  }
+}
+
+TEST_P(IndexEquivalence, NearestQueriesAgree) {
+  const auto [n, cell] = GetParam();
+  Rng rng(2000 + n);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  const SpatialGrid grid(pts, cell);
+  const KdTree tree(pts);
+  for (int q = 0; q < 200; ++q) {
+    const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    ASSERT_EQ(grid.nearest(c), tree.nearest(c)) << "n=" << n;
+  }
+}
+
+TEST_P(IndexEquivalence, ExcludedNearestAgrees) {
+  const auto [n, cell] = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Rng rng(3000 + n);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  const SpatialGrid grid(pts, cell);
+  const KdTree tree(pts);
+  for (std::uint32_t e = 0; e < std::min<std::size_t>(n, 50); ++e)
+    ASSERT_EQ(grid.nearest(pts[e], e), tree.nearest(pts[e], e));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCells, IndexEquivalence,
+    ::testing::Combine(::testing::Values(1UL, 2UL, 17UL, 100UL, 500UL),
+                       ::testing::Values(0.05, 0.2, 1.5)));
+
+}  // namespace
+}  // namespace thetanet::geom

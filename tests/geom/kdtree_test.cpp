@@ -1,0 +1,116 @@
+#include "geom/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/rng.h"
+
+namespace thetanet::geom {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  return pts;
+}
+
+std::vector<std::uint32_t> brute_knn(const std::vector<Vec2>& pts, Vec2 q,
+                                     std::size_t k, std::uint32_t exclude) {
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < pts.size(); ++i)
+    if (i != exclude) ids.push_back(i);
+  std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double da = dist_sq(pts[a], q), db = dist_sq(pts[b], q);
+    return da < db || (da == db && a < b);
+  });
+  if (ids.size() > k) ids.resize(k);
+  return ids;
+}
+
+TEST(KdTree, EmptyTree) {
+  const std::vector<Vec2> pts;
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({0, 0}), KdTree::kNone);
+  EXPECT_TRUE(tree.k_nearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.within({0, 0}, 1.0).empty());
+}
+
+TEST(KdTree, NearestMatchesBruteForce) {
+  Rng rng(201);
+  const std::vector<Vec2> pts = random_points(400, rng);
+  const KdTree tree(pts);
+  for (int q = 0; q < 300; ++q) {
+    const Vec2 c{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)};
+    ASSERT_EQ(tree.nearest(c), brute_knn(pts, c, 1, KdTree::kNone).front());
+  }
+}
+
+TEST(KdTree, KNearestMatchesBruteForce) {
+  Rng rng(202);
+  const std::vector<Vec2> pts = random_points(200, rng);
+  const KdTree tree(pts);
+  for (const std::size_t k : {1U, 2U, 5U, 16U, 199U, 200U, 300U}) {
+    for (int q = 0; q < 50; ++q) {
+      const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+      ASSERT_EQ(tree.k_nearest(c, k), brute_knn(pts, c, k, KdTree::kNone))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(KdTree, KNearestOrderedByDistance) {
+  Rng rng(203);
+  const std::vector<Vec2> pts = random_points(150, rng);
+  const KdTree tree(pts);
+  const Vec2 c{0.5, 0.5};
+  const auto knn = tree.k_nearest(c, 20);
+  for (std::size_t i = 1; i < knn.size(); ++i)
+    ASSERT_LE(dist_sq(pts[knn[i - 1]], c), dist_sq(pts[knn[i]], c));
+}
+
+TEST(KdTree, KNearestExcludesSelf) {
+  Rng rng(204);
+  const std::vector<Vec2> pts = random_points(100, rng);
+  const KdTree tree(pts);
+  for (std::uint32_t e = 0; e < 30; ++e) {
+    const auto knn = tree.k_nearest(pts[e], 10, e);
+    EXPECT_EQ(std::count(knn.begin(), knn.end(), e), 0);
+    EXPECT_EQ(knn, brute_knn(pts, pts[e], 10, e));
+  }
+}
+
+TEST(KdTree, WithinMatchesBruteForce) {
+  Rng rng(205);
+  const std::vector<Vec2> pts = random_points(250, rng);
+  const KdTree tree(pts);
+  for (int q = 0; q < 100; ++q) {
+    const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    const double r = rng.uniform(0.05, 0.6);
+    std::vector<std::uint32_t> expect;
+    for (std::uint32_t i = 0; i < pts.size(); ++i)
+      if (dist_sq(pts[i], c) <= r * r) expect.push_back(i);
+    ASSERT_EQ(tree.within(c, r), expect);
+  }
+}
+
+TEST(KdTree, DuplicatePointsAreAllFound) {
+  const std::vector<Vec2> pts{{0.1, 0.1}, {0.1, 0.1}, {0.9, 0.9}};
+  const KdTree tree(pts);
+  const auto knn = tree.k_nearest({0.1, 0.1}, 2);
+  EXPECT_EQ(knn, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(KdTree, CollinearPoints) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.nearest({25.2, 0.0}), 25U);
+  EXPECT_EQ(tree.within({10.0, 0.0}, 2.0),
+            (std::vector<std::uint32_t>{8, 9, 10, 11, 12}));
+}
+
+}  // namespace
+}  // namespace thetanet::geom

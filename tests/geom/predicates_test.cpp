@@ -1,0 +1,82 @@
+#include "geom/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.h"
+
+namespace thetanet::geom {
+namespace {
+
+TEST(Predicates, Orient2dSign) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0.0);  // ccw
+  EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0.0);  // cw
+  EXPECT_DOUBLE_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(Predicates, OrientationClassification) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {0, 1}), Orientation::kCounterClockwise);
+  EXPECT_EQ(orientation({0, 0}, {0, 1}, {1, 0}), Orientation::kClockwise);
+  EXPECT_EQ(orientation({0, 0}, {1, 1}, {3, 3}), Orientation::kCollinear);
+}
+
+TEST(Predicates, InCircumcircleUnitTriangle) {
+  // ccw triangle on the unit circle.
+  const Vec2 a{1, 0}, b{0, 1}, c{-1, 0};
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0.0, 0.0}));
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0.5, -0.5}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {2.0, 0.0}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {0.0, -1.5}));
+}
+
+TEST(Predicates, InCircumcircleBoundaryIsOutside) {
+  const Vec2 a{1, 0}, b{0, 1}, c{-1, 0};
+  // (0, -1) lies exactly on the circle: strict test must say "not inside".
+  EXPECT_FALSE(in_circumcircle(a, b, c, {0.0, -1.0}));
+}
+
+TEST(Predicates, OpenAndClosedDisks) {
+  EXPECT_TRUE(in_open_disk({0, 0}, 1.0, {0.5, 0.0}));
+  EXPECT_FALSE(in_open_disk({0, 0}, 1.0, {1.0, 0.0}));  // boundary excluded
+  EXPECT_TRUE(in_closed_disk({0, 0}, 1.0, {1.0, 0.0}));
+  EXPECT_FALSE(in_closed_disk({0, 0}, 1.0, {1.0001, 0.0}));
+}
+
+TEST(Predicates, GabrielDisk) {
+  const Vec2 u{0, 0}, v{2, 0};
+  EXPECT_TRUE(in_gabriel_disk(u, v, {1.0, 0.5}));    // inside diameter disk
+  EXPECT_TRUE(in_gabriel_disk(u, v, {1.0, 1.0}));    // on the boundary (closed)
+  EXPECT_FALSE(in_gabriel_disk(u, v, {1.0, 1.01}));  // just outside
+  EXPECT_FALSE(in_gabriel_disk(u, v, {-0.5, 0.0}));
+}
+
+TEST(Predicates, RngLune) {
+  const Vec2 u{0, 0}, v{2, 0};
+  // Lune = points closer to both endpoints than |uv| = 2.
+  EXPECT_TRUE(in_rng_lune(u, v, {1.0, 0.5}));
+  EXPECT_FALSE(in_rng_lune(u, v, {-0.5, 0.0}));  // too far from v
+  EXPECT_FALSE(in_rng_lune(u, v, {1.0, 2.0}));   // too far from both
+  // A Gabriel-disk point is always a lune point (disk subset of lune)...
+  EXPECT_TRUE(in_rng_lune(u, v, {1.0, 0.99}));
+  // ...but not conversely.
+  EXPECT_TRUE(in_rng_lune(u, v, {1.0, 1.2}));
+  EXPECT_FALSE(in_gabriel_disk(u, v, {1.0, 1.2}));
+}
+
+TEST(Predicates, GabrielDiskSubsetOfLuneProperty) {
+  Rng rng(77);
+  const Vec2 u{0, 0}, v{1, 0};
+  for (int i = 0; i < 5000; ++i) {
+    const Vec2 w{rng.uniform(-1.0, 2.0), rng.uniform(-1.5, 1.5)};
+    if (in_gabriel_disk(u, v, w) && w != u && w != v) {
+      // Strict-interior Gabriel points are lune points except the endpoints'
+      // boundary degeneracies.
+      if (dist_sq(u, w) > 0 && dist_sq(v, w) > 0 &&
+          in_open_disk(midpoint(u, v), dist(u, v) / 2.0, w)) {
+        ASSERT_TRUE(in_rng_lune(u, v, w)) << w.x << "," << w.y;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetanet::geom

@@ -1,0 +1,134 @@
+#include "geom/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/rng.h"
+
+namespace thetanet::geom {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, Rng& rng, double side = 1.0) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return pts;
+}
+
+std::vector<std::uint32_t> brute_within(const std::vector<Vec2>& pts,
+                                        Vec2 center, double radius,
+                                        std::uint32_t exclude) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < pts.size(); ++i)
+    if (i != exclude && dist_sq(pts[i], center) <= radius * radius)
+      out.push_back(i);
+  return out;
+}
+
+TEST(SpatialGrid, EmptyPointSet) {
+  const std::vector<Vec2> pts;
+  const SpatialGrid grid(pts, 1.0);
+  EXPECT_EQ(grid.size(), 0U);
+  EXPECT_TRUE(grid.within({0, 0}, 10.0).empty());
+  EXPECT_EQ(grid.nearest({0, 0}), SpatialGrid::kNone);
+}
+
+TEST(SpatialGrid, SinglePoint) {
+  const std::vector<Vec2> pts{{0.5, 0.5}};
+  const SpatialGrid grid(pts, 0.1);
+  EXPECT_EQ(grid.nearest({0, 0}), 0U);
+  EXPECT_EQ(grid.within({0.5, 0.5}, 0.01), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(grid.nearest({0.5, 0.5}, /*exclude=*/0), SpatialGrid::kNone);
+}
+
+TEST(SpatialGrid, WithinMatchesBruteForce) {
+  Rng rng(101);
+  const std::vector<Vec2> pts = random_points(300, rng);
+  const SpatialGrid grid(pts, 0.15);
+  for (int q = 0; q < 200; ++q) {
+    const Vec2 c{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)};
+    const double r = rng.uniform(0.01, 0.5);
+    const auto expect = brute_within(pts, c, r, SpatialGrid::kNone);
+    const auto got = grid.within(c, r);
+    ASSERT_EQ(got, expect) << "query " << q;
+  }
+}
+
+TEST(SpatialGrid, WithinRespectsExclude) {
+  Rng rng(102);
+  const std::vector<Vec2> pts = random_points(100, rng);
+  const SpatialGrid grid(pts, 0.2);
+  const auto got = grid.within(pts[17], 0.3, 17);
+  EXPECT_EQ(std::count(got.begin(), got.end(), 17U), 0);
+  EXPECT_EQ(got, brute_within(pts, pts[17], 0.3, 17));
+}
+
+TEST(SpatialGrid, NearestMatchesBruteForce) {
+  Rng rng(103);
+  const std::vector<Vec2> pts = random_points(250, rng);
+  const SpatialGrid grid(pts, 0.07);
+  for (int q = 0; q < 300; ++q) {
+    const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    std::uint32_t best = SpatialGrid::kNone;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      const double d = dist_sq(pts[i], c);
+      if (d < best_d || (d == best_d && i < best)) {
+        best_d = d;
+        best = i;
+      }
+    }
+    ASSERT_EQ(grid.nearest(c), best) << "query " << q;
+  }
+}
+
+TEST(SpatialGrid, NearestWithExcludeMatchesBruteForce) {
+  Rng rng(104);
+  const std::vector<Vec2> pts = random_points(150, rng);
+  const SpatialGrid grid(pts, 0.25);
+  for (std::uint32_t e = 0; e < 50; ++e) {
+    std::uint32_t best = SpatialGrid::kNone;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (i == e) continue;
+      const double d = dist_sq(pts[i], pts[e]);
+      if (d < best_d || (d == best_d && i < best)) {
+        best_d = d;
+        best = i;
+      }
+    }
+    ASSERT_EQ(grid.nearest(pts[e], e), best);
+  }
+}
+
+TEST(SpatialGrid, ForEachWithinVisitsSameSetAsWithin) {
+  Rng rng(105);
+  const std::vector<Vec2> pts = random_points(120, rng);
+  const SpatialGrid grid(pts, 0.3);
+  std::vector<std::uint32_t> visited;
+  grid.for_each_within({0.5, 0.5}, 0.4,
+                       [&](std::uint32_t id) { visited.push_back(id); });
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(visited, grid.within({0.5, 0.5}, 0.4));
+}
+
+TEST(SpatialGrid, CoincidentPointsAllReturned) {
+  const std::vector<Vec2> pts{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}};
+  const SpatialGrid grid(pts, 0.1);
+  EXPECT_EQ(grid.within({0.5, 0.5}, 0.001).size(), 3U);
+  // Nearest tie broken towards the smallest id.
+  EXPECT_EQ(grid.nearest({0.5, 0.5}, 0), 1U);
+}
+
+TEST(SpatialGrid, QueryRadiusLargerThanDomain) {
+  Rng rng(106);
+  const std::vector<Vec2> pts = random_points(64, rng);
+  const SpatialGrid grid(pts, 0.05);
+  EXPECT_EQ(grid.within({0.5, 0.5}, 10.0).size(), 64U);
+}
+
+}  // namespace
+}  // namespace thetanet::geom

@@ -1,0 +1,78 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace thetanet::geom {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{-3.0, 0.5};
+  EXPECT_EQ((a + b), (Vec2{-2.0, 2.5}));
+  EXPECT_EQ((a - b), (Vec2{4.0, 1.5}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v *= 0.5;
+  EXPECT_EQ(v, (Vec2{1.0, 1.5}));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(dot({2.0, 3.0}, {4.0, 5.0}), 23.0);
+  // cross > 0 when the second vector is counter-clockwise of the first.
+  EXPECT_GT(cross({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_LT(cross({0.0, 1.0}, {1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(cross({2.0, 2.0}, {4.0, 4.0}), 0.0);
+}
+
+TEST(Vec2, NormsAndDistances) {
+  EXPECT_DOUBLE_EQ(norm_sq({3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dist({1.0, 1.0}, {4.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dist_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZeroVector) {
+  EXPECT_EQ(normalized({0.0, 0.0}), (Vec2{0.0, 0.0}));
+  const Vec2 u = normalized({3.0, 4.0});
+  EXPECT_NEAR(norm(u), 1.0, kEps);
+  EXPECT_NEAR(u.x, 0.6, kEps);
+  EXPECT_NEAR(u.y, 0.8, kEps);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = rotated({1.0, 0.0}, std::numbers::pi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, kEps);
+  EXPECT_NEAR(r.y, 1.0, kEps);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.5, -1.25};
+  for (int k = 0; k < 16; ++k) {
+    const double angle = 2.0 * std::numbers::pi * k / 16.0;
+    EXPECT_NEAR(norm(rotated(v, angle)), norm(v), 1e-9) << "angle " << angle;
+  }
+}
+
+TEST(Vec2, Midpoint) {
+  EXPECT_EQ(midpoint({0.0, 0.0}, {2.0, 4.0}), (Vec2{1.0, 2.0}));
+  EXPECT_EQ(midpoint({-1.0, -1.0}, {1.0, 1.0}), (Vec2{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace thetanet::geom

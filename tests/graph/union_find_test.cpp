@@ -1,0 +1,45 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace thetanet::graph {
+namespace {
+
+TEST(UnionFind, InitiallyAllSeparate) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5U);
+  for (std::uint32_t i = 0; i < 5; ++i)
+    for (std::uint32_t j = i + 1; j < 5; ++j)
+      EXPECT_FALSE(uf.connected(i, j));
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already together
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_components(), 2U);
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.num_components(), 1U);
+  EXPECT_TRUE(uf.connected(1, 2));
+}
+
+TEST(UnionFind, TransitiveConnectivityChain) {
+  UnionFind uf(100);
+  for (std::uint32_t i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_components(), 1U);
+  EXPECT_TRUE(uf.connected(0, 99));
+}
+
+TEST(UnionFind, FindIsStableWithinComponent) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 1);
+  const std::uint32_t root = uf.find(0);
+  EXPECT_EQ(uf.find(1), root);
+  EXPECT_EQ(uf.find(2), root);
+  EXPECT_NE(uf.find(3), root);
+}
+
+}  // namespace
+}  // namespace thetanet::graph

@@ -1,0 +1,100 @@
+// Remaining edge cases of the adversarial substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/anycast.h"
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::route {
+namespace {
+
+graph::Graph test_topology(std::uint64_t seed, std::size_t n = 50) {
+  geom::Rng rng(seed);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = 0.45;
+  d.kappa = 2.0;
+  return topo::build_transmission_graph(d);
+}
+
+TEST(AdversaryEdge, ActiveSetsAreSortedAndDeduplicated) {
+  const graph::Graph topo = test_topology(1);
+  TraceParams p;
+  p.horizon = 200;
+  p.injections_per_step = 2.0;
+  p.extra_active_fraction = 0.3;  // noise path also goes through the dedup
+  geom::Rng rng(2);
+  const AdversaryTrace trace = make_certified_trace(topo, p, rng);
+  for (const StepSpec& step : trace.steps) {
+    ASSERT_TRUE(std::is_sorted(step.active.begin(), step.active.end()));
+    ASSERT_TRUE(std::adjacent_find(step.active.begin(), step.active.end()) ==
+                step.active.end());
+  }
+}
+
+TEST(AdversaryEdge, DrainStepsCarryNoInjections) {
+  const graph::Graph topo = test_topology(3);
+  TraceParams p;
+  p.horizon = 100;
+  p.drain = 50;
+  p.injections_per_step = 2.0;
+  geom::Rng rng(4);
+  const AdversaryTrace trace = make_certified_trace(topo, p, rng);
+  ASSERT_EQ(trace.steps.size(), 150U);
+  for (Time t = 100; t < 150; ++t)
+    EXPECT_TRUE(trace.steps[t].injections.empty()) << t;
+}
+
+TEST(AdversaryEdge, ZeroRateYieldsEmptyTrace) {
+  const graph::Graph topo = test_topology(5);
+  TraceParams p;
+  p.horizon = 100;
+  p.injections_per_step = 0.0;
+  geom::Rng rng(6);
+  const AdversaryTrace trace = make_certified_trace(topo, p, rng);
+  EXPECT_EQ(trace.opt.deliveries, 0U);
+  EXPECT_DOUBLE_EQ(trace.opt.avg_cost, 0.0);
+}
+
+TEST(AnycastEdge, GroupOfAllNodesInjectsNothing) {
+  const graph::Graph topo = test_topology(7, 30);
+  std::vector<graph::NodeId> everyone(30);
+  for (graph::NodeId v = 0; v < 30; ++v) everyone[v] = v;
+  const AnycastGroups groups({everyone});
+  TraceParams p;
+  p.horizon = 100;
+  p.injections_per_step = 2.0;
+  geom::Rng rng(8);
+  const AdversaryTrace trace = make_anycast_trace(topo, groups, p, rng);
+  // Every source is already a member: all attempts are skipped.
+  EXPECT_EQ(trace.opt.deliveries, 0U);
+}
+
+TEST(AnycastEdge, SingletonGroupMatchesUnicastPathLengths) {
+  const graph::Graph topo = test_topology(9);
+  const graph::NodeId target = 11;
+  const AnycastGroups groups(
+      std::vector<std::vector<graph::NodeId>>{{target}});
+  TraceParams pa;
+  pa.horizon = 300;
+  pa.injections_per_step = 1.0;
+  pa.source_pool = {3};
+  geom::Rng rng_a(10);
+  const AdversaryTrace anycast = make_anycast_trace(topo, groups, pa, rng_a);
+
+  TraceParams pu = pa;
+  pu.dest_pool = {target};
+  geom::Rng rng_b(10);
+  const AdversaryTrace unicast = make_certified_trace(topo, pu, rng_b);
+
+  ASSERT_GT(anycast.opt.deliveries, 0U);
+  ASSERT_GT(unicast.opt.deliveries, 0U);
+  // Same source/destination pair and metric: identical path lengths.
+  EXPECT_DOUBLE_EQ(anycast.opt.avg_path_length, unicast.opt.avg_path_length);
+}
+
+}  // namespace
+}  // namespace thetanet::route

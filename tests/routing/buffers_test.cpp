@@ -1,0 +1,93 @@
+#include "routing/buffers.h"
+
+#include <gtest/gtest.h>
+
+namespace thetanet::route {
+namespace {
+
+Packet mk(std::uint64_t id, graph::NodeId src, DestId dst) {
+  return Packet{id, src, dst, 0, 0.0, 0};
+}
+
+TEST(BufferBank, StartsEmpty) {
+  const BufferBank b(4, 8);
+  EXPECT_EQ(b.height(0, 1), 0U);
+  EXPECT_EQ(b.total_packets(), 0U);
+  EXPECT_EQ(b.peak_height(), 0U);
+  EXPECT_TRUE(b.has_space(0, 1));
+}
+
+TEST(BufferBank, PushPopLifo) {
+  BufferBank b(4, 8);
+  EXPECT_TRUE(b.push(0, mk(1, 0, 3)));
+  EXPECT_TRUE(b.push(0, mk(2, 0, 3)));
+  EXPECT_EQ(b.height(0, 3), 2U);
+  const auto p = b.pop(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->id, 2U);  // LIFO
+  EXPECT_EQ(b.height(0, 3), 1U);
+}
+
+TEST(BufferBank, PopEmptyReturnsNullopt) {
+  BufferBank b(2, 4);
+  EXPECT_FALSE(b.pop(0, 1).has_value());
+  b.push(0, mk(1, 0, 1));
+  b.pop(0, 1);
+  EXPECT_FALSE(b.pop(0, 1).has_value());
+}
+
+TEST(BufferBank, CapacityEnforced) {
+  BufferBank b(2, 2);
+  EXPECT_TRUE(b.push(0, mk(1, 0, 1)));
+  EXPECT_TRUE(b.push(0, mk(2, 0, 1)));
+  EXPECT_FALSE(b.has_space(0, 1));
+  EXPECT_FALSE(b.push(0, mk(3, 0, 1)));  // full: the "delete" of step 2
+  EXPECT_EQ(b.height(0, 1), 2U);
+}
+
+TEST(BufferBank, PerDestinationIsolation) {
+  BufferBank b(3, 2);
+  EXPECT_TRUE(b.push(0, mk(1, 0, 1)));
+  EXPECT_TRUE(b.push(0, mk(2, 0, 2)));
+  EXPECT_TRUE(b.push(0, mk(3, 0, 1)));
+  EXPECT_FALSE(b.push(0, mk(4, 0, 1)));  // dest-1 buffer full
+  EXPECT_TRUE(b.push(0, mk(5, 0, 2)));   // dest-2 buffer still has room
+  EXPECT_EQ(b.height(0, 1), 2U);
+  EXPECT_EQ(b.height(0, 2), 2U);
+}
+
+TEST(BufferBank, DestinationsAtSortedAndLive) {
+  BufferBank b(2, 8);
+  b.push(0, mk(1, 0, 5));
+  b.push(0, mk(2, 0, 1));
+  b.push(0, mk(3, 0, 3));
+  EXPECT_EQ(b.destinations_at(0), (std::vector<DestId>{1, 3, 5}));
+  b.pop(0, 3);
+  EXPECT_EQ(b.destinations_at(0), (std::vector<DestId>{1, 5}));
+}
+
+TEST(BufferBank, ForEachDestinationMatches) {
+  BufferBank b(2, 8);
+  b.push(1, mk(1, 1, 0));
+  b.push(1, mk(2, 1, 0));
+  b.push(1, mk(3, 1, 4));
+  std::vector<std::pair<DestId, std::size_t>> seen;
+  b.for_each_destination(1, [&](DestId d, std::size_t h) {
+    seen.push_back({d, h});
+  });
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0], (std::pair<DestId, std::size_t>{0, 2}));
+  EXPECT_EQ(seen[1], (std::pair<DestId, std::size_t>{4, 1}));
+}
+
+TEST(BufferBank, TotalsAndPeak) {
+  BufferBank b(3, 8);
+  b.push(0, mk(1, 0, 2));
+  b.push(0, mk(2, 0, 2));
+  b.push(1, mk(3, 1, 2));
+  EXPECT_EQ(b.total_packets(), 3U);
+  EXPECT_EQ(b.peak_height(), 2U);
+}
+
+}  // namespace
+}  // namespace thetanet::route

@@ -1,0 +1,94 @@
+// Property suite for the certified adversary across its parameter grid:
+// schedule slack is honoured, realized injection volume tracks the nominal
+// rate (minus booking rejections), and replay always agrees with the
+// generator's own OptStats.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "routing/adversary.h"
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::route {
+namespace {
+
+class TraceProperty
+    : public ::testing::TestWithParam<std::tuple<double, Time, bool>> {};
+
+TEST_P(TraceProperty, SlackAndRateAndReplay) {
+  const auto [rate, slack, min_cost] = GetParam();
+  geom::Rng rng(42);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(60, 1.0, rng);
+  d.max_range = 0.45;
+  d.kappa = 2.0;
+  const graph::Graph topo = topo::build_transmission_graph(d);
+
+  TraceParams p;
+  p.horizon = 600;
+  p.injections_per_step = rate;
+  p.max_schedule_slack = slack;
+  p.route_min_cost = min_cost;
+  geom::Rng trace_rng(43);
+  const AdversaryTrace trace = make_certified_trace(topo, p, trace_rng);
+
+  // Slack: no hop waits more than slack+1 steps after the previous one.
+  std::size_t injections = 0;
+  for (const StepSpec& step : trace.steps) {
+    for (const Injection& inj : step.injections) {
+      ++injections;
+      Time prev = inj.schedule.t0;
+      for (const auto& [e, t] : inj.schedule.hops) {
+        ASSERT_LE(t, prev + 1 + slack);
+        prev = t;
+      }
+    }
+  }
+  // Rate: realized injections cannot exceed the nominal budget, and unless
+  // the network is saturated they land within 50% of it.
+  const double nominal = rate * static_cast<double>(p.horizon);
+  EXPECT_LE(static_cast<double>(injections), nominal + 3.0 * std::sqrt(nominal) + 1.0);
+  if (rate <= 1.0)
+    EXPECT_GE(static_cast<double>(injections), 0.5 * nominal);
+
+  // Replay agreement.
+  const OptStats replayed = replay_schedules(trace);
+  EXPECT_EQ(replayed.deliveries, trace.opt.deliveries);
+  EXPECT_EQ(replayed.max_buffer, trace.opt.max_buffer);
+  EXPECT_DOUBLE_EQ(replayed.total_cost, trace.opt.total_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TraceProperty,
+    ::testing::Combine(::testing::Values(0.2, 1.0, 4.0),
+                       ::testing::Values(Time{4}, Time{32}, Time{128}),
+                       ::testing::Bool()));
+
+TEST(TracePools, ExplicitPoolsAreHonoured) {
+  geom::Rng rng(44);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(40, 1.0, rng);
+  d.max_range = 0.5;
+  d.kappa = 2.0;
+  const graph::Graph topo = topo::build_transmission_graph(d);
+  TraceParams p;
+  p.horizon = 300;
+  p.injections_per_step = 1.0;
+  p.source_pool = {3, 7, 11};
+  p.dest_pool = {20};
+  const AdversaryTrace trace = make_certified_trace(topo, p, rng);
+  std::size_t count = 0;
+  for (const StepSpec& step : trace.steps)
+    for (const Injection& inj : step.injections) {
+      ++count;
+      EXPECT_TRUE(inj.packet.src == 3 || inj.packet.src == 7 ||
+                  inj.packet.src == 11);
+      EXPECT_EQ(inj.packet.dst, 20U);
+    }
+  EXPECT_GT(count, 0U);
+}
+
+}  // namespace
+}  // namespace thetanet::route

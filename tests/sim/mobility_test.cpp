@@ -1,0 +1,92 @@
+#include "sim/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/distributions.h"
+
+namespace thetanet::sim {
+namespace {
+
+geom::BBox unit_arena() {
+  geom::BBox b;
+  b.expand({0, 0});
+  b.expand({1, 1});
+  return b;
+}
+
+TEST(RandomWaypoint, NodesStayInsideArena) {
+  geom::Rng rng(91);
+  const geom::BBox arena = unit_arena();
+  topo::Deployment d;
+  d.positions = topo::uniform_square(50, 1.0, rng);
+  d.max_range = 0.3;
+  RandomWaypoint model(arena, d.size(), 0.01, 0.05, rng);
+  for (int step = 0; step < 500; ++step) {
+    model.step(1.0, d, rng);
+    for (const geom::Vec2 p : d.positions) {
+      ASSERT_GE(p.x, -1e-9);
+      ASSERT_LE(p.x, 1.0 + 1e-9);
+      ASSERT_GE(p.y, -1e-9);
+      ASSERT_LE(p.y, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypoint, SpeedBoundsDisplacementPerStep) {
+  geom::Rng rng(92);
+  const geom::BBox arena = unit_arena();
+  topo::Deployment d;
+  d.positions = topo::uniform_square(30, 1.0, rng);
+  const double vmax = 0.04;
+  RandomWaypoint model(arena, d.size(), 0.01, vmax, rng);
+  for (int step = 0; step < 100; ++step) {
+    const auto before = d.positions;
+    model.step(1.0, d, rng);
+    for (std::size_t i = 0; i < d.size(); ++i)
+      ASSERT_LE(geom::dist(before[i], d.positions[i]), vmax + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, NodesActuallyMove) {
+  geom::Rng rng(93);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(20, 1.0, rng);
+  const auto before = d.positions;
+  RandomWaypoint model(unit_arena(), d.size(), 0.05, 0.1, rng);
+  for (int step = 0; step < 50; ++step) model.step(1.0, d, rng);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i)
+    moved += geom::dist(before[i], d.positions[i]);
+  EXPECT_GT(moved / static_cast<double>(d.size()), 0.05);
+}
+
+TEST(GroupDrift, WrapsAroundArena) {
+  geom::Rng rng(94);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(40, 1.0, rng);
+  GroupDrift model(unit_arena(), 0.2, 0.001);
+  for (int step = 0; step < 200; ++step) {
+    model.step(1.0, d, rng);
+    for (const geom::Vec2 p : d.positions) {
+      ASSERT_GE(p.x, -1e-9);
+      ASSERT_LE(p.x, 1.0 + 1e-9);
+      ASSERT_GE(p.y, -1e-9);
+      ASSERT_LE(p.y, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(GroupDrift, PreservesRelativeStructureApproximately) {
+  // With zero jitter the convoy moves rigidly (modulo wrap): pairwise
+  // distances of nearby nodes are preserved.
+  geom::Rng rng(95);
+  topo::Deployment d;
+  d.positions = {{0.4, 0.4}, {0.45, 0.45}, {0.42, 0.47}};
+  GroupDrift model(unit_arena(), 0.01, 0.0);
+  const double d01 = geom::dist(d.positions[0], d.positions[1]);
+  for (int step = 0; step < 20; ++step) model.step(1.0, d, rng);
+  EXPECT_NEAR(geom::dist(d.positions[0], d.positions[1]), d01, 1e-9);
+}
+
+}  // namespace
+}  // namespace thetanet::sim

@@ -1,0 +1,146 @@
+// Edge-case coverage for the scenario drivers: cost-override accounting,
+// drain-cycling semantics, custom-MAC hooks, and the ratio helpers.
+
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.h"
+
+namespace thetanet::sim {
+namespace {
+
+using route::AdversaryTrace;
+using route::Injection;
+using route::Packet;
+using route::StepSpec;
+using route::Time;
+
+/// Two-node, one-edge world with a single packet.
+struct Tiny {
+  graph::Graph g{2};
+  AdversaryTrace trace;
+
+  explicit Tiny(Time horizon = 4) {
+    g.add_edge(0, 1, 1.0, 2.0);  // base cost 2
+    trace.topology = &g;
+    trace.steps.resize(horizon);
+    for (auto& s : trace.steps) s.active = {0};
+    Injection inj;
+    inj.packet = Packet{1, 0, 1, 0, 0.0, 0};
+    inj.schedule.t0 = 0;
+    inj.schedule.hops = {{0, 1}};
+    trace.steps[0].injections.push_back(inj);
+    trace.opt = route::replay_schedules(trace);
+  }
+};
+
+TEST(ScenarioEdge, CostOverrideIsChargedAndRestored) {
+  Tiny w;
+  // Override the edge cost to 10 in step 1 (when the packet moves: injected
+  // at step 0 end, transmitted at step 1).
+  w.trace.steps[1].cost_overrides.push_back({0, 10.0});
+  w.trace.opt = route::replay_schedules(w.trace);  // re-audit with override
+  const core::BalancingParams params{0.5, 0.0, 8};
+  const auto res = run_mac_given(w.trace, params, 0);
+  ASSERT_EQ(res.metrics.deliveries, 1U);
+  EXPECT_DOUBLE_EQ(res.metrics.delivered_cost, 10.0);  // the override applied
+  // OPT replay also uses the override (same step).
+  EXPECT_DOUBLE_EQ(res.opt.total_cost, 10.0);
+}
+
+TEST(ScenarioEdge, BaseCostUsedWithoutOverride) {
+  Tiny w;
+  const core::BalancingParams params{0.5, 0.0, 8};
+  const auto res = run_mac_given(w.trace, params, 0);
+  ASSERT_EQ(res.metrics.deliveries, 1U);
+  EXPECT_DOUBLE_EQ(res.metrics.delivered_cost, 2.0);
+}
+
+TEST(ScenarioEdge, DrainCyclesTheActivationPattern) {
+  // Edge active ONLY in step 1 of a 2-step trace; the packet is injected at
+  // the end of step 1, so it can move only during drain steps whose cycled
+  // pattern re-activates the edge (odd steps). Delivery therefore requires
+  // the drain to cycle activations.
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1.0, 1.0);
+  AdversaryTrace trace;
+  trace.topology = &g;
+  trace.steps.resize(2);
+  trace.steps[1].active = {0};
+  Injection inj;
+  inj.packet = Packet{1, 0, 1, 1, 0.0, 0};
+  inj.schedule.t0 = 1;
+  // No certified schedule needed for this mechanical test; set opt by hand.
+  inj.schedule.hops = {};  // replay not invoked
+  trace.steps[1].injections.push_back(inj);
+  trace.opt.deliveries = 1;
+
+  const core::BalancingParams params{0.5, 0.0, 8};
+  const auto blocked = run_mac_given(trace, params, /*extra_drain=*/0);
+  EXPECT_EQ(blocked.metrics.deliveries, 0U);
+  const auto drained = run_mac_given(trace, params, /*extra_drain=*/4);
+  EXPECT_EQ(drained.metrics.deliveries, 1U);
+}
+
+TEST(ScenarioEdge, CustomMacHooksDriveTheRun) {
+  Tiny w(8);
+  // A hook MAC that activates the edge only on even steps and fails every
+  // second transmission.
+  int resolve_calls = 0;
+  Time step = 0;
+  MacHooks hooks;
+  hooks.activate = [&step](geom::Rng&) {
+    const bool on = (step % 2) == 0;
+    ++step;
+    return on ? std::vector<graph::EdgeId>{0} : std::vector<graph::EdgeId>{};
+  };
+  hooks.resolve = [&resolve_calls](std::span<const core::PlannedTx> txs) {
+    std::vector<bool> failed(txs.size(), false);
+    if (!txs.empty() && (++resolve_calls % 2) == 1) failed[0] = true;
+    return failed;
+  };
+  geom::Rng rng(1);
+  const core::BalancingParams params{0.5, 0.0, 8};
+  const auto res = run_custom_mac(w.trace, w.g, hooks, params, rng, 8);
+  EXPECT_EQ(res.metrics.deliveries, 1U);
+  EXPECT_GE(res.metrics.failed_tx, 1U);  // the first attempt collided
+  EXPECT_GT(res.metrics.wasted_energy, 0.0);
+}
+
+TEST(ScenarioEdge, EmptyTraceIsANoOp) {
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1.0, 1.0);
+  AdversaryTrace trace;
+  trace.topology = &g;  // zero steps
+  const core::BalancingParams params{0.5, 0.0, 8};
+  const auto res = run_mac_given(trace, params, /*extra_drain=*/100);
+  EXPECT_EQ(res.metrics.deliveries, 0U);
+  EXPECT_EQ(res.metrics.attempted_tx, 0U);
+}
+
+TEST(ScenarioEdge, RatioHelpersHandleZeroOpt) {
+  ScenarioResult res;
+  res.opt = route::OptStats{};  // zero deliveries / cost / buffer
+  EXPECT_DOUBLE_EQ(res.throughput_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(res.cost_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(res.buffer_ratio(), 0.0);
+}
+
+TEST(ScenarioEdge, MetricsAverageHelpers) {
+  route::RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.avg_cost_per_delivery(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_hops(), 0.0);
+  m.deliveries = 2;
+  m.total_energy = 6.0;
+  m.wasted_energy = 2.0;
+  m.delivered_cost = 5.0;
+  m.sum_latency = 10;
+  m.total_hops_delivered = 7;
+  EXPECT_DOUBLE_EQ(m.avg_cost_per_delivery(), 4.0);
+  EXPECT_DOUBLE_EQ(m.avg_delivered_cost(), 2.5);
+  EXPECT_DOUBLE_EQ(m.avg_latency(), 5.0);
+  EXPECT_DOUBLE_EQ(m.avg_hops(), 3.5);
+}
+
+}  // namespace
+}  // namespace thetanet::sim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "geom/rng.h"
+#include "sim/stats.h"
+#include "sim/svg.h"
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator a;
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sem(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8U);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, MatchesTwoPassOnRandomData) {
+  geom::Rng rng(5);
+  Accumulator a;
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    a.add(x);
+  }
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(a.mean(), mean, 1e-9);
+  EXPECT_NEAR(a.variance(), ss / static_cast<double>(xs.size() - 1), 1e-6);
+}
+
+TEST(Accumulator, Ci95Shrinks) {
+  geom::Rng rng(6);
+  Accumulator small, big;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) big.add(rng.normal());
+  EXPECT_GT(small.ci95(), big.ci95());
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(FmtMeanSd, Format) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  EXPECT_EQ(fmt_mean_sd(a, 2), "1.50+-0.71");
+}
+
+TEST(Svg, DocumentStructureAndCounts) {
+  geom::Rng rng(7);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(20, 1.0, rng);
+  d.max_range = 0.5;
+  d.kappa = 2.0;
+  const graph::Graph g = topo::build_transmission_graph(d);
+
+  SvgCanvas canvas(d, 400.0);
+  canvas.add_edges(g, "#888");
+  canvas.add_nodes("black");
+  canvas.add_marker(0, "red");
+  canvas.add_path({0, 1, 2}, "blue");
+  const std::string svg = canvas.str();
+
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One <line> per edge, one filled <circle> per node plus the marker.
+  std::size_t lines = 0, circles = 0, polylines = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<line", pos)) != std::string::npos;
+       ++pos)
+    ++lines;
+  for (std::size_t pos = 0;
+       (pos = svg.find("<circle", pos)) != std::string::npos; ++pos)
+    ++circles;
+  for (std::size_t pos = 0;
+       (pos = svg.find("<polyline", pos)) != std::string::npos; ++pos)
+    ++polylines;
+  EXPECT_EQ(lines, g.num_edges());
+  EXPECT_EQ(circles, d.size() + 1);
+  EXPECT_EQ(polylines, 1U);
+}
+
+TEST(Svg, WritesFile) {
+  topo::Deployment d;
+  d.positions = {{0, 0}, {1, 1}};
+  d.max_range = 2.0;
+  d.kappa = 2.0;
+  SvgCanvas canvas(d);
+  canvas.add_nodes("black");
+  const std::string path = "/tmp/thetanet_svg_test.svg";
+  ASSERT_TRUE(canvas.write(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+}
+
+TEST(Svg, DegenerateDeployment) {
+  topo::Deployment d;  // empty
+  SvgCanvas canvas(d);
+  EXPECT_NE(canvas.str().find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thetanet::sim

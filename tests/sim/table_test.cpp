@@ -1,0 +1,54 @@
+#include "sim/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace thetanet::sim {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("demo", {"n", "value"});
+  t.row({"1", "10.5"}).row({"1000", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo", {"a", "b"});
+  t.row({"1", "2"}).row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowWidthMismatchDies) {
+  Table t("demo", {"a", "b"});
+  EXPECT_DEATH(t.row({"only-one"}), "width");
+}
+
+TEST(Table, NumRows) {
+  Table t("demo", {"x"});
+  EXPECT_EQ(t.num_rows(), 0U);
+  t.row({"1"});
+  EXPECT_EQ(t.num_rows(), 1U);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt(1.0, 2), "1.00");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(std::size_t{42}), "42");
+  EXPECT_EQ(fmt(std::uint32_t{7}), "7");
+  EXPECT_EQ(fmt(-3), "-3");
+}
+
+}  // namespace
+}  // namespace thetanet::sim

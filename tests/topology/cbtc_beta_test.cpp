@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "geom/angles.h"
+#include "graph/connectivity.h"
+#include "graph/stretch.h"
+#include "topology/cbtc.h"
+#include "topology/distributions.h"
+#include "topology/proximity.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::topo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+Deployment random_deployment(std::size_t n, double range, std::uint64_t seed) {
+  geom::Rng rng(seed);
+  Deployment d;
+  d.positions = uniform_square(n, 1.0, rng);
+  d.max_range = range;
+  d.kappa = 2.0;
+  return d;
+}
+
+std::set<std::pair<graph::NodeId, graph::NodeId>> edge_set(
+    const graph::Graph& g) {
+  std::set<std::pair<graph::NodeId, graph::NodeId>> s;
+  for (const graph::Edge& e : g.edges()) s.insert(std::minmax(e.u, e.v));
+  return s;
+}
+
+TEST(Cbtc, RadiiCoverEveryCone) {
+  const Deployment d = random_deployment(120, 0.4, 61);
+  const double alpha = 2.0 * kPi / 3.0;
+  const auto radii = cbtc_radii(d, alpha);
+  ASSERT_EQ(radii.size(), d.size());
+  for (graph::NodeId u = 0; u < d.size(); ++u) {
+    ASSERT_LE(radii[u], d.max_range);
+    if (radii[u] >= d.max_range) continue;  // boundary node, gave up
+    // Verify: neighbours within radii[u] leave no angular gap >= alpha.
+    std::vector<double> bearings;
+    for (graph::NodeId v = 0; v < d.size(); ++v) {
+      if (v == u || d.distance(u, v) > radii[u] + 1e-12) continue;
+      bearings.push_back(geom::bearing(d.positions[u], d.positions[v]));
+    }
+    ASSERT_FALSE(bearings.empty());
+    std::sort(bearings.begin(), bearings.end());
+    double max_gap = bearings.front() + geom::kTwoPi - bearings.back();
+    for (std::size_t i = 1; i < bearings.size(); ++i)
+      max_gap = std::max(max_gap, bearings[i] - bearings[i - 1]);
+    EXPECT_LT(max_gap, alpha) << "node " << u;
+  }
+}
+
+TEST(Cbtc, RadiiAreMinimal) {
+  // Shrinking any node's radius below the chosen one must break coverage.
+  const Deployment d = random_deployment(80, 0.5, 62);
+  const double alpha = 2.0 * kPi / 3.0;
+  const auto radii = cbtc_radii(d, alpha);
+  for (graph::NodeId u = 0; u < d.size(); ++u) {
+    if (radii[u] >= d.max_range) continue;
+    std::vector<double> bearings;
+    for (graph::NodeId v = 0; v < d.size(); ++v) {
+      if (v == u) continue;
+      // Strictly closer than the chosen radius (exclude the radius-setting
+      // neighbour itself).
+      if (d.distance(u, v) < radii[u] - 1e-12)
+        bearings.push_back(geom::bearing(d.positions[u], d.positions[v]));
+    }
+    std::sort(bearings.begin(), bearings.end());
+    bool covered = !bearings.empty();
+    if (covered) {
+      double max_gap = bearings.front() + geom::kTwoPi - bearings.back();
+      for (std::size_t i = 1; i < bearings.size(); ++i)
+        max_gap = std::max(max_gap, bearings[i] - bearings[i - 1]);
+      covered = max_gap < alpha;
+    }
+    EXPECT_FALSE(covered) << "node " << u << " radius not minimal";
+  }
+}
+
+TEST(Cbtc, ConnectedAtTwoPiOverThree) {
+  for (const std::uint64_t seed : {63ULL, 64ULL, 65ULL}) {
+    const Deployment d = random_deployment(150, 0.25, seed);
+    const graph::Graph gstar = build_transmission_graph(d);
+    if (!graph::is_connected(gstar)) continue;
+    const graph::Graph g = cbtc_graph(d, 2.0 * kPi / 3.0);
+    EXPECT_TRUE(graph::is_connected(g)) << "seed " << seed;
+  }
+}
+
+TEST(Cbtc, SubgraphOfGStarAndSparser) {
+  const Deployment d = random_deployment(150, 0.35, 66);
+  const graph::Graph gstar = build_transmission_graph(d);
+  const graph::Graph g = cbtc_graph(d, 2.0 * kPi / 3.0);
+  EXPECT_LT(g.num_edges(), gstar.num_edges());
+  for (const graph::Edge& e : g.edges()) EXPECT_TRUE(gstar.has_edge(e.u, e.v));
+}
+
+TEST(Cbtc, SmallerAlphaKeepsMoreEdges) {
+  const Deployment d = random_deployment(120, 0.4, 67);
+  const graph::Graph wide = cbtc_graph(d, 2.0 * kPi / 3.0);
+  const graph::Graph narrow = cbtc_graph(d, kPi / 3.0);
+  // Smaller cones require more neighbours -> larger radii -> more edges.
+  EXPECT_GE(narrow.num_edges(), wide.num_edges());
+}
+
+TEST(BetaSkeleton, BetaOneMatchesGabrielModuloBoundary) {
+  const Deployment d = random_deployment(100, 0.5, 68);
+  const auto gabriel = edge_set(gabriel_graph(d));
+  const auto beta1 = edge_set(beta_skeleton(d, 1.0));
+  // Open vs closed disk: beta-skeleton(1) keeps every Gabriel edge; random
+  // instances have no boundary coincidences, so the sets are equal.
+  EXPECT_EQ(beta1, gabriel);
+}
+
+TEST(BetaSkeleton, BetaTwoMatchesRng) {
+  const Deployment d = random_deployment(100, 0.5, 69);
+  EXPECT_EQ(edge_set(beta_skeleton(d, 2.0)),
+            edge_set(relative_neighborhood_graph(d)));
+}
+
+TEST(BetaSkeleton, MonotoneInBeta) {
+  // Larger beta -> larger empty region required -> fewer edges.
+  const Deployment d = random_deployment(120, 0.45, 70);
+  const auto b05 = beta_skeleton(d, 0.5);
+  const auto b1 = beta_skeleton(d, 1.0);
+  const auto b2 = beta_skeleton(d, 2.0);
+  EXPECT_GE(b05.num_edges(), b1.num_edges());
+  EXPECT_GE(b1.num_edges(), b2.num_edges());
+  // Subset chain: every b2 edge is a b1 edge is a b05 edge.
+  const auto s05 = edge_set(b05), s1 = edge_set(b1), s2 = edge_set(b2);
+  for (const auto& e : s2) EXPECT_TRUE(s1.count(e));
+  for (const auto& e : s1) EXPECT_TRUE(s05.count(e));
+}
+
+TEST(BetaSkeleton, SmallBetaHasOptimalEnergyPaths) {
+  // beta < 1 skeletons contain the Gabriel graph, hence minimum-energy
+  // paths (the property the paper cites in Section 2.2).
+  const Deployment d = random_deployment(90, 0.5, 71);
+  const graph::Graph gstar = build_transmission_graph(d);
+  if (!graph::is_connected(gstar)) GTEST_SKIP();
+  const graph::Graph b = beta_skeleton(d, 0.8);
+  const auto s = graph::pairwise_stretch(b, gstar, graph::Weight::kCost);
+  EXPECT_FALSE(s.disconnected);
+  EXPECT_NEAR(s.max, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace thetanet::topo

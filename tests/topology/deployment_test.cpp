@@ -1,0 +1,66 @@
+#include "topology/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace thetanet::topo {
+namespace {
+
+Deployment square_corners(double kappa = 2.0) {
+  Deployment d;
+  d.positions = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  d.max_range = 1.5;
+  d.kappa = kappa;
+  return d;
+}
+
+TEST(Deployment, DistancesAndRange) {
+  const Deployment d = square_corners();
+  EXPECT_DOUBLE_EQ(d.distance(0, 1), 1.0);
+  EXPECT_NEAR(d.distance(0, 2), std::sqrt(2.0), 1e-12);
+  EXPECT_TRUE(d.in_range(0, 1));
+  EXPECT_TRUE(d.in_range(0, 2));  // sqrt(2) < 1.5
+  Deployment tight = d;
+  tight.max_range = 1.2;
+  EXPECT_FALSE(tight.in_range(0, 2));
+}
+
+TEST(Deployment, EnergyFollowsPowerLaw) {
+  const Deployment d2 = square_corners(2.0);
+  EXPECT_DOUBLE_EQ(d2.energy(0, 1), 1.0);
+  EXPECT_NEAR(d2.energy(0, 2), 2.0, 1e-12);  // (sqrt 2)^2
+  const Deployment d4 = square_corners(4.0);
+  EXPECT_NEAR(d4.energy(0, 2), 4.0, 1e-12);  // (sqrt 2)^4
+}
+
+TEST(Deployment, CostOfLengthMonotone) {
+  const Deployment d = square_corners(3.0);
+  EXPECT_LT(d.cost_of_length(0.5), d.cost_of_length(0.6));
+  EXPECT_DOUBLE_EQ(d.cost_of_length(2.0), 8.0);
+}
+
+TEST(Deployment, MinMaxPairwiseDistance) {
+  const Deployment d = square_corners();
+  const auto [lo, hi] = min_max_pairwise_distance(d);
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_NEAR(hi, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Deployment, CivilityIsMinSeparationOverRange) {
+  Deployment d = square_corners();
+  d.max_range = 2.0;
+  EXPECT_DOUBLE_EQ(civility(d), 0.5);
+  Deployment tiny;
+  tiny.positions = {{0, 0}};
+  EXPECT_DOUBLE_EQ(civility(tiny), 1.0);  // degenerate: vacuously civilized
+}
+
+TEST(Deployment, EmptyDeployment) {
+  const Deployment d;
+  EXPECT_EQ(d.size(), 0U);
+  const auto [lo, hi] = min_max_pairwise_distance(d);
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 0.0);
+}
+
+}  // namespace
+}  // namespace thetanet::topo

@@ -1,0 +1,169 @@
+#include "topology/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/angles.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+namespace {
+
+using geom::Rng;
+using geom::Vec2;
+
+double min_pairwise(const std::vector<Vec2>& pts) {
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      lo = std::min(lo, geom::dist(pts[i], pts[j]));
+  return lo;
+}
+
+TEST(Distributions, UniformSquareBounds) {
+  Rng rng(1);
+  const auto pts = uniform_square(500, 2.5, rng);
+  ASSERT_EQ(pts.size(), 500U);
+  for (const Vec2 p : pts) {
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LT(p.x, 2.5);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LT(p.y, 2.5);
+  }
+}
+
+TEST(Distributions, UniformSquareIsDeterministicPerSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(uniform_square(50, 1.0, a), uniform_square(50, 1.0, b));
+}
+
+TEST(Distributions, ClusteredStaysInSquareAndClusters) {
+  Rng rng(2);
+  const double side = 1.0, sigma = 0.02;
+  const auto pts = clustered(400, 4, sigma, side, rng);
+  ASSERT_EQ(pts.size(), 400U);
+  for (const Vec2 p : pts) {
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LE(p.x, side);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LE(p.y, side);
+  }
+  // Clustering: the average nearest-neighbour distance should be far below
+  // the uniform expectation (~ 0.5 / sqrt(n)).
+  double sum_nn = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    double nn = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < pts.size(); ++j)
+      if (i != j) nn = std::min(nn, geom::dist(pts[i], pts[j]));
+    sum_nn += nn;
+  }
+  EXPECT_LT(sum_nn / static_cast<double>(pts.size()),
+            0.5 / std::sqrt(400.0));
+}
+
+TEST(Distributions, GridJitterCountAndSpacing) {
+  Rng rng(3);
+  const auto pts = grid_jitter(100, 1.0, 0.001, rng);
+  ASSERT_EQ(pts.size(), 100U);
+  // With tiny jitter on a 10x10 grid, min separation ~ grid step 0.1.
+  EXPECT_GT(min_pairwise(pts), 0.09);
+}
+
+TEST(Distributions, GridJitterNonSquareCount) {
+  Rng rng(4);
+  EXPECT_EQ(grid_jitter(37, 1.0, 0.01, rng).size(), 37U);
+}
+
+TEST(Distributions, CivilizedRespectsMinSeparation) {
+  Rng rng(5);
+  const double min_sep = 0.04;
+  const auto pts = civilized(200, 1.0, min_sep, rng);
+  ASSERT_EQ(pts.size(), 200U);
+  EXPECT_GE(min_pairwise(pts), min_sep);
+}
+
+TEST(Distributions, CivilizedLambdaPrecisionWitness) {
+  Rng rng(6);
+  Deployment d;
+  d.positions = civilized(150, 1.0, 0.05, rng);
+  d.max_range = 0.25;
+  EXPECT_GE(civility(d), 0.05 / 0.25 - 1e-12);
+}
+
+TEST(Distributions, HubRingGeometry) {
+  Rng rng(7);
+  const auto pts = hub_ring(64, 1.0, rng);
+  ASSERT_EQ(pts.size(), 64U);
+  EXPECT_EQ(pts[0], (Vec2{0.0, 0.0}));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double r = geom::norm(pts[i]);
+    ASSERT_GE(r, 1.0);
+    ASSERT_LE(r, 1.001);
+  }
+  // Rim nodes must be closer to the hub than to any antipodal rim node,
+  // so that the hub is the in-sector nearest neighbour for everyone.
+  EXPECT_GT(min_pairwise(pts), 0.0);
+}
+
+TEST(Distributions, HubRingDistancesUnique) {
+  Rng rng(8);
+  const auto pts = hub_ring(32, 1.0, rng);
+  std::vector<double> dists;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      dists.push_back(geom::dist_sq(pts[i], pts[j]));
+  std::sort(dists.begin(), dists.end());
+  for (std::size_t i = 1; i < dists.size(); ++i)
+    ASSERT_NE(dists[i - 1], dists[i]);
+}
+
+TEST(Distributions, ExponentialChainGapsGrow) {
+  Rng rng(9);
+  const auto pts = exponential_chain(10, 1.0, 2.0, rng);
+  ASSERT_EQ(pts.size(), 10U);
+  for (std::size_t i = 2; i < pts.size(); ++i) {
+    const double prev = pts[i - 1].x - pts[i - 2].x;
+    const double cur = pts[i].x - pts[i - 1].x;
+    EXPECT_NEAR(cur / prev, 2.0, 1e-9);
+  }
+}
+
+TEST(Distributions, NestedClustersSpanScales) {
+  Rng rng(11);
+  const auto pts = nested_clusters(400, 4, 8.0, 1.0, rng);
+  ASSERT_EQ(pts.size(), 400U);
+  // Pairwise distances must span several orders of magnitude: that is the
+  // generator's purpose (non-civilized instances).
+  double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double d = geom::dist(pts[i], pts[j]);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi / lo, 1e3);
+}
+
+TEST(Distributions, NestedClustersDeterministic) {
+  Rng a(3), b(3);
+  EXPECT_EQ(nested_clusters(64, 3, 8.0, 1.0, a),
+            nested_clusters(64, 3, 8.0, 1.0, b));
+}
+
+TEST(Distributions, PerturbStaysWithinEps) {
+  Rng rng(10);
+  auto pts = grid_jitter(64, 1.0, 0.0, rng);
+  const auto orig = pts;
+  perturb(pts, 0.01, rng);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_LE(std::abs(pts[i].x - orig[i].x), 0.01);
+    EXPECT_LE(std::abs(pts[i].y - orig[i].y), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace thetanet::topo

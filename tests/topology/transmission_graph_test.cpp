@@ -1,0 +1,82 @@
+#include "topology/transmission_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/distributions.h"
+
+namespace thetanet::topo {
+namespace {
+
+TEST(TransmissionGraph, SmallHandCase) {
+  Deployment d;
+  d.positions = {{0, 0}, {1, 0}, {3, 0}};
+  d.max_range = 1.5;
+  d.kappa = 2.0;
+  const graph::Graph g = build_transmission_graph(d);
+  EXPECT_EQ(g.num_edges(), 1U);  // only (0,1); (1,2) is 2.0 > 1.5
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(TransmissionGraph, EdgeWeightsMatchModel) {
+  Deployment d;
+  d.positions = {{0, 0}, {0.5, 0}};
+  d.max_range = 1.0;
+  d.kappa = 3.0;
+  const graph::Graph g = build_transmission_graph(d);
+  ASSERT_EQ(g.num_edges(), 1U);
+  EXPECT_DOUBLE_EQ(g.edge(0).length, 0.5);
+  EXPECT_DOUBLE_EQ(g.edge(0).cost, 0.125);
+}
+
+TEST(TransmissionGraph, MatchesBruteForceOnRandomInstances) {
+  geom::Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    Deployment d;
+    d.positions = uniform_square(150, 1.0, rng);
+    d.max_range = rng.uniform(0.1, 0.4);
+    d.kappa = 2.0;
+    const graph::Graph g = build_transmission_graph(d);
+    std::size_t expect = 0;
+    for (std::uint32_t u = 0; u < d.size(); ++u)
+      for (std::uint32_t v = u + 1; v < d.size(); ++v)
+        if (d.distance(u, v) <= d.max_range) {
+          ++expect;
+          ASSERT_TRUE(g.has_edge(u, v)) << u << "," << v;
+        }
+    ASSERT_EQ(g.num_edges(), expect);
+  }
+}
+
+TEST(TransmissionGraph, BoundaryDistanceIncluded) {
+  Deployment d;
+  d.positions = {{0, 0}, {1, 0}};
+  d.max_range = 1.0;  // exactly at range: edge exists (<= D)
+  EXPECT_EQ(build_transmission_graph(d).num_edges(), 1U);
+}
+
+TEST(TransmissionGraph, DeterministicEdgeIds) {
+  geom::Rng rng(22);
+  Deployment d;
+  d.positions = uniform_square(100, 1.0, rng);
+  d.max_range = 0.3;
+  const graph::Graph a = build_transmission_graph(d);
+  const graph::Graph b = build_transmission_graph(d);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(TransmissionGraph, TrivialSizes) {
+  Deployment d;
+  EXPECT_EQ(build_transmission_graph(d).num_nodes(), 0U);
+  d.positions = {{0, 0}};
+  EXPECT_EQ(build_transmission_graph(d).num_edges(), 0U);
+}
+
+}  // namespace
+}  // namespace thetanet::topo

@@ -1,0 +1,53 @@
+# Integration test for thetanet_cli: generate -> build -> stats round trip.
+# Invoked by CTest as
+#   cmake -DCLI=<path-to-binary> -DWORKDIR=<scratch> -P cli_test.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "CLI and WORKDIR must be defined")
+endif()
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV}
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_step(${CLI} generate --n 120 --dist uniform --seed 5 --out dep.tsv)
+run_step(${CLI} build --in dep.tsv --topology theta --theta 20
+         --out topo.tsv --svg topo.svg)
+run_step(${CLI} stats --in dep.tsv --graph topo.tsv)
+run_step(${CLI} build --in dep.tsv --topology gabriel --out gg.tsv)
+run_step(${CLI} build --in dep.tsv --topology beta --beta 0.8 --out beta.tsv)
+run_step(${CLI} build --in dep.tsv --topology cbtc --alpha 120 --out cbtc.tsv)
+run_step(${CLI} build --in dep.tsv --topology knn --k 4 --out knn.tsv)
+run_step(${CLI} build --in dep.tsv --topology mst --out mst.tsv)
+run_step(${CLI} generate --n 40 --dist hub --seed 2 --out hub.tsv)
+run_step(${CLI} build --in hub.tsv --topology yao --theta 30 --out hubyao.tsv)
+
+foreach(f dep.tsv topo.tsv topo.svg gg.tsv beta.tsv cbtc.tsv knn.tsv mst.tsv hub.tsv hubyao.tsv)
+  if(NOT EXISTS ${WORKDIR}/${f})
+    message(FATAL_ERROR "expected output ${f} missing")
+  endif()
+endforeach()
+
+# Unknown subcommand / malformed input must fail loudly.
+execute_process(COMMAND ${CLI} frobnicate
+  WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand should fail")
+endif()
+execute_process(COMMAND ${CLI} build --in does-not-exist.tsv
+  WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "missing input should fail")
+endif()
+
+message(STATUS "cli pipeline OK")

@@ -1,0 +1,217 @@
+// thetanet_cli — build and inspect ad hoc network topologies from the shell.
+//
+//   thetanet_cli generate --n 256 --dist uniform --seed 7 --out dep.tsv
+//   thetanet_cli build    --in dep.tsv --topology theta --theta 20 \
+//                         --out topo.tsv --svg topo.svg
+//   thetanet_cli stats    --in dep.tsv --graph topo.tsv
+//
+// generate: node distributions (uniform | clustered | grid | civilized |
+//           hub). --range defaults to the connectivity radius
+//           1.6*sqrt(ln n / n); --kappa defaults to 2.
+// build:    topologies (theta | yao | gabriel | rng | rdelaunay | knn |
+//           mst | cbtc | beta). --theta in degrees (default 20);
+//           --beta, --k, --alpha for the respective baselines.
+// stats:    degree / stretch / interference summary of a graph against the
+//           deployment's transmission graph.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <numbers>
+#include <string>
+
+#include "core/theta_topology.h"
+#include "graph/connectivity.h"
+#include "graph/stretch.h"
+#include "interference/model.h"
+#include "sim/svg.h"
+#include "sim/table.h"
+#include "topology/cbtc.h"
+#include "topology/distributions.h"
+#include "topology/io.h"
+#include "topology/metrics.h"
+#include "topology/proximity.h"
+#include "topology/transmission_graph.h"
+
+namespace {
+
+using namespace thetanet;
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string get(const Args& a, const std::string& key,
+                const std::string& fallback) {
+  const auto it = a.find(key);
+  return it == a.end() ? fallback : it->second;
+}
+
+double get_num(const Args& a, const std::string& key, double fallback) {
+  const auto it = a.find(key);
+  return it == a.end() ? fallback : std::stod(it->second);
+}
+
+int cmd_generate(const Args& args) {
+  const std::size_t n = static_cast<std::size_t>(get_num(args, "n", 256));
+  const std::string dist = get(args, "dist", "uniform");
+  geom::Rng rng(static_cast<std::uint64_t>(get_num(args, "seed", 1)));
+  topo::Deployment d;
+  d.kappa = get_num(args, "kappa", 2.0);
+  const double auto_range =
+      1.6 * std::sqrt(std::log(static_cast<double>(std::max<std::size_t>(2, n))) /
+                      static_cast<double>(n));
+  d.max_range = get_num(args, "range", auto_range);
+  if (dist == "uniform") {
+    d.positions = topo::uniform_square(n, 1.0, rng);
+  } else if (dist == "clustered") {
+    d.positions = topo::clustered(n, 8, 0.04, 1.0, rng);
+  } else if (dist == "grid") {
+    d.positions = topo::grid_jitter(
+        n, 1.0, 0.3 / std::sqrt(static_cast<double>(n)), rng);
+  } else if (dist == "civilized") {
+    d.positions =
+        topo::civilized(n, 1.0, 0.5 / std::sqrt(static_cast<double>(n)), rng);
+  } else if (dist == "hub") {
+    d.positions = topo::hub_ring(n, 1.0, rng);
+    d.max_range = get_num(args, "range", 1.2);
+  } else {
+    std::fprintf(stderr, "unknown --dist '%s'\n", dist.c_str());
+    return 2;
+  }
+  const std::string out = get(args, "out", "deployment.tsv");
+  if (!topo::save_deployment(out, d)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, range %.4f, kappa %.1f (%s)\n",
+              out.c_str(), d.size(), d.max_range, d.kappa, dist.c_str());
+  return 0;
+}
+
+int cmd_build(const Args& args) {
+  const std::string in = get(args, "in", "deployment.tsv");
+  const auto d = topo::load_deployment(in);
+  if (!d) {
+    std::fprintf(stderr, "cannot read deployment %s\n", in.c_str());
+    return 1;
+  }
+  const std::string kind = get(args, "topology", "theta");
+  const double theta =
+      get_num(args, "theta", 20.0) * std::numbers::pi / 180.0;
+  graph::Graph g;
+  if (kind == "theta") {
+    g = core::ThetaTopology(*d, theta).graph();
+  } else if (kind == "yao") {
+    g = topo::yao_graph(*d, theta);
+  } else if (kind == "gabriel") {
+    g = topo::gabriel_graph(*d);
+  } else if (kind == "rng") {
+    g = topo::relative_neighborhood_graph(*d);
+  } else if (kind == "rdelaunay") {
+    g = topo::restricted_delaunay_graph(*d);
+  } else if (kind == "knn") {
+    g = topo::knn_graph(*d, static_cast<std::size_t>(get_num(args, "k", 3)));
+  } else if (kind == "mst") {
+    g = topo::euclidean_mst(*d);
+  } else if (kind == "cbtc") {
+    g = topo::cbtc_graph(*d, get_num(args, "alpha", 120.0) *
+                                 std::numbers::pi / 180.0);
+  } else if (kind == "beta") {
+    g = topo::beta_skeleton(*d, get_num(args, "beta", 1.0));
+  } else if (kind == "gstar") {
+    g = topo::build_transmission_graph(*d);
+  } else {
+    std::fprintf(stderr, "unknown --topology '%s'\n", kind.c_str());
+    return 2;
+  }
+  const std::string out = get(args, "out", "topology.tsv");
+  if (!topo::save_graph(out, g)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu edges, max degree %zu, %s\n",
+              out.c_str(), g.num_nodes(), g.num_edges(), g.max_degree(),
+              graph::is_connected(g) ? "connected" : "DISCONNECTED");
+  const std::string svg = get(args, "svg", "");
+  if (!svg.empty()) {
+    sim::SvgCanvas canvas(*d);
+    canvas.add_edges(g, "#1f77b4", 1.0);
+    canvas.add_nodes("#222222");
+    if (canvas.write(svg)) std::printf("wrote %s\n", svg.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto d = topo::load_deployment(get(args, "in", "deployment.tsv"));
+  if (!d) {
+    std::fprintf(stderr, "cannot read deployment\n");
+    return 1;
+  }
+  const auto g = topo::load_graph(get(args, "graph", "topology.tsv"));
+  if (!g) {
+    std::fprintf(stderr, "cannot read graph\n");
+    return 1;
+  }
+  if (g->num_nodes() != d->size()) {
+    std::fprintf(stderr, "graph/deployment node-count mismatch\n");
+    return 1;
+  }
+  const graph::Graph gstar = topo::build_transmission_graph(*d);
+  const auto deg = topo::degree_stats(*g);
+  const auto len = topo::edge_length_stats(*g);
+  const auto sc = graph::edge_stretch(*g, gstar, graph::Weight::kCost);
+  const auto sl = graph::edge_stretch(*g, gstar, graph::Weight::kLength);
+  const auto inum = interf::interference_number(
+      *g, *d, interf::InterferenceModel{get_num(args, "delta", 1.0)});
+
+  sim::Table t("topology stats", {"metric", "value"});
+  t.row({"nodes", sim::fmt(g->num_nodes())})
+      .row({"edges", sim::fmt(g->num_edges())})
+      .row({"connected", graph::is_connected(*g) ? "yes" : "no"})
+      .row({"max degree", sim::fmt(deg.max)})
+      .row({"mean degree", sim::fmt(deg.mean, 2)})
+      .row({"edge length mean/max",
+            sim::fmt(len.mean, 4) + " / " + sim::fmt(len.max, 4)})
+      .row({"energy-stretch vs G*",
+            sc.disconnected ? "inf" : sim::fmt(sc.max, 3)})
+      .row({"distance-stretch vs G*",
+            sl.disconnected ? "inf" : sim::fmt(sl.max, 3)})
+      .row({"interference number", sim::fmt(inum)});
+  t.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: thetanet_cli <generate|build|stats> [--flag value]...\n"
+               "see the header comment of tools/thetanet_cli.cpp\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "build") return cmd_build(args);
+  if (cmd == "stats") return cmd_stats(args);
+  usage();
+  return 2;
+}
