@@ -2,10 +2,26 @@
 // construction, transmission-graph build, interference sets, Dijkstra, the
 // balancing step, and the local message protocol. These are throughput
 // numbers for the library itself (not paper claims).
+//
+// After the google-benchmark suite, main() runs a thread-count sweep
+// (TN_NUM_THREADS 1/2/4/max) of the parallelized construction kernels over
+// n in {1k, 10k, 100k} and writes machine-readable BENCH_kernels.json to
+// the working directory, including a per-(kernel, n) bit-identity check
+// across thread counts. TN_BENCH_SWEEP=0 skips the sweep;
+// TN_BENCH_SWEEP_MAX_N caps the largest n (e.g. 10000 for a quick pass).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <numbers>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
 
 #include "core/balancing_router.h"
 #include "core/local_protocol.h"
@@ -162,6 +178,206 @@ void BM_ContentionProtocolSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_ContentionProtocolSmall);
 
+// ---------------------------------------------------------------------------
+// Thread-count sweep -> BENCH_kernels.json
+
+// FNV-1a over the output so the sweep can assert bit-identical results
+// across thread counts (the parallel layer's determinism contract).
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+};
+
+std::uint64_t graph_checksum(const graph::Graph& g) {
+  Fnv f;
+  f.mix(g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    f.mix(e.u);
+    f.mix(e.v);
+    f.mix_double(e.length);
+  }
+  return f.h;
+}
+
+struct SweepResult {
+  const char* kernel;
+  std::size_t n;
+  int threads;
+  double ms;
+  std::uint64_t checksum;
+};
+
+struct SweepKernel {
+  const char* name;
+  // Runs the kernel once and returns an output checksum. `theta` is the
+  // prebuilt ThetaALG topology (input to the interference kernels, built
+  // outside the timed region).
+  std::uint64_t (*run)(const topo::Deployment& d, const graph::Graph& theta);
+};
+
+std::uint64_t run_sector_table(const topo::Deployment& d,
+                               const graph::Graph&) {
+  const topo::SectorTable t = topo::compute_sector_table(d, kTheta);
+  Fnv f;
+  for (graph::NodeId u = 0; u < d.size(); ++u)
+    for (int s = 0; s < t.sectors(); ++s) f.mix(t.nearest(u, s));
+  return f.h;
+}
+
+std::uint64_t run_theta_build(const topo::Deployment& d,
+                              const graph::Graph&) {
+  return graph_checksum(core::ThetaTopology(d, kTheta).graph());
+}
+
+std::uint64_t run_transmission(const topo::Deployment& d,
+                               const graph::Graph&) {
+  return graph_checksum(topo::build_transmission_graph(d));
+}
+
+std::uint64_t run_gabriel(const topo::Deployment& d, const graph::Graph&) {
+  return graph_checksum(topo::gabriel_graph(d));
+}
+
+std::uint64_t run_interference_sets(const topo::Deployment& d,
+                                    const graph::Graph& theta) {
+  const interf::InterferenceModel m{1.0};
+  const auto sets = interf::interference_sets(theta, d, m);
+  Fnv f;
+  f.mix(sets.size());
+  for (const auto& s : sets) {
+    f.mix(s.size());
+    for (const graph::EdgeId e : s) f.mix(e);
+  }
+  return f.h;
+}
+
+std::uint64_t run_interference_sizes(const topo::Deployment& d,
+                                     const graph::Graph& theta) {
+  const interf::InterferenceModel m{1.0};
+  Fnv f;
+  for (const std::uint32_t s : interf::interference_set_sizes(theta, d, m))
+    f.mix(s);
+  return f.h;
+}
+
+// Time one run; repeat small sizes and keep the minimum.
+SweepResult time_kernel(const SweepKernel& k, const topo::Deployment& d,
+                        const graph::Graph& theta, std::size_t n,
+                        int threads) {
+  tn::set_num_threads(threads);
+  const int reps = n <= 10000 ? 3 : 1;
+  double best_ms = 0.0;
+  std::uint64_t checksum = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    checksum = k.run(d, theta);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  return {k.name, n, threads, best_ms, checksum};
+}
+
+void run_thread_sweep() {
+  if (const char* s = std::getenv("TN_BENCH_SWEEP"))
+    if (std::string(s) == "0") return;
+  std::size_t max_n = 100000;
+  if (const char* s = std::getenv("TN_BENCH_SWEEP_MAX_N"))
+    max_n = static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
+
+  std::vector<int> threads{1, 2, 4, tn::hardware_threads()};
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+
+  const SweepKernel kernels[] = {
+      {"sector_table", run_sector_table},
+      {"theta_build", run_theta_build},
+      {"transmission_graph", run_transmission},
+      {"gabriel", run_gabriel},
+      {"interference_sets", run_interference_sets},
+      {"interference_set_sizes", run_interference_sizes},
+  };
+
+  std::vector<SweepResult> results;
+  bool all_identical = true;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}}) {
+    if (n > max_n) continue;
+    const topo::Deployment d = deployment(n);
+    tn::set_num_threads(1);
+    const graph::Graph theta = core::ThetaTopology(d, kTheta).graph();
+    for (const SweepKernel& k : kernels) {
+      std::uint64_t baseline = 0;
+      for (const int t : threads) {
+        const SweepResult r = time_kernel(k, d, theta, n, t);
+        if (t == 1) baseline = r.checksum;
+        if (r.checksum != baseline) {
+          all_identical = false;
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %s n=%zu threads=%d\n",
+                       k.name, n, t);
+        }
+        results.push_back(r);
+        std::printf("sweep %-24s n=%-7zu threads=%-2d %10.2f ms\n", k.name, n,
+                    t, r.ms);
+        std::fflush(stdout);
+      }
+    }
+  }
+  tn::set_num_threads(1);
+
+  std::FILE* out = std::fopen("BENCH_kernels.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"hardware_concurrency\": %d,\n",
+               tn::hardware_threads());
+  std::fprintf(out, "  \"outputs_bit_identical_across_threads\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(out, "  \"thread_counts\": [");
+  for (std::size_t i = 0; i < threads.size(); ++i)
+    std::fprintf(out, "%s%d", i ? ", " : "", threads[i]);
+  std::fprintf(out, "],\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    // speedup vs the 1-thread entry of the same (kernel, n)
+    double base_ms = r.ms;
+    for (const SweepResult& b : results)
+      if (b.kernel == r.kernel && b.n == r.n && b.threads == 1) base_ms = b.ms;
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"n\": %zu, \"threads\": %d, "
+                 "\"ms\": %.3f, \"speedup_vs_1\": %.3f, "
+                 "\"checksum\": \"%016llx\"}%s\n",
+                 r.kernel, r.n, r.threads, r.ms,
+                 r.ms > 0.0 ? base_ms / r.ms : 0.0,
+                 static_cast<unsigned long long>(r.checksum),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_kernels.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_thread_sweep();
+  return 0;
+}

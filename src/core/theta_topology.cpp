@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
 
@@ -28,14 +29,39 @@ void ThetaTopology::build() {
     return static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
            static_cast<std::size_t>(s);
   };
-  for (NodeId u = 0; u < n; ++u) {
-    for (int s = 0; s < k; ++s) {
-      const NodeId v = table_.nearest(u, s);
-      if (v == kInvalidNode) continue;
-      const int sv = geom::sector_index(d.positions[v], d.positions[u], theta_);
-      NodeId& cur = admitted_[slot(v, sv)];
-      if (topo::nearer(d, v, u, cur)) cur = u;
-    }
+  // Candidate discovery (the sector_index trigonometry) runs in parallel
+  // over selectors u; the admission min-merge is a serial fold. The fold is
+  // order-insensitive anyway — topo::nearer is a strict total order, so the
+  // admitted candidate per slot is the unique minimum — but chunk-ordered
+  // concatenation makes the merge sequence itself deterministic too.
+  struct Candidate {
+    std::size_t slot;
+    NodeId u;
+  };
+  const std::vector<Candidate> candidates = tn::parallel_reduce(
+      n, 256, std::vector<Candidate>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<Candidate> out;
+        for (std::size_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<NodeId>(ui);
+          for (int s = 0; s < k; ++s) {
+            const NodeId v = table_.nearest(u, s);
+            if (v == kInvalidNode) continue;
+            const int sv =
+                geom::sector_index(d.positions[v], d.positions[u], theta_);
+            out.push_back({slot(v, sv), u});
+          }
+        }
+        return out;
+      },
+      [](std::vector<Candidate> acc, std::vector<Candidate> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  for (const Candidate& c : candidates) {
+    const NodeId v = static_cast<NodeId>(c.slot / static_cast<std::size_t>(k));
+    NodeId& cur = admitted_[c.slot];
+    if (topo::nearer(d, v, c.u, cur)) cur = c.u;
   }
 
   // Materialize N: one edge per admission, deduplicated (an edge can be

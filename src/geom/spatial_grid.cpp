@@ -54,6 +54,28 @@ std::size_t SpatialGrid::cell_index(std::int32_t cx, std::int32_t cy) const {
          static_cast<std::size_t>(cx);
 }
 
+bool SpatialGrid::for_each_within_until(
+    Vec2 center, double radius, const std::function<bool(NodeId)>& visit) const {
+  if (points_.empty()) return true;
+  const double r2 = radius * radius;
+  const std::int32_t span = static_cast<std::int32_t>(std::ceil(radius / cell_));
+  const CellCoord c0 = cell_of(center);
+  const std::int32_t x_lo = std::max(0, c0.cx - span);
+  const std::int32_t x_hi = std::min(nx_ - 1, c0.cx + span);
+  const std::int32_t y_lo = std::max(0, c0.cy - span);
+  const std::int32_t y_hi = std::min(ny_ - 1, c0.cy + span);
+  for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
+    for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
+      const std::size_t c = cell_index(cx, cy);
+      for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
+        const NodeId id = ids_[k];
+        if (dist_sq(points_[id], center) <= r2 && !visit(id)) return false;
+      }
+    }
+  }
+  return true;
+}
+
 void SpatialGrid::for_each_within(
     Vec2 center, double radius, const std::function<void(NodeId)>& visit) const {
   if (points_.empty()) return;

@@ -36,6 +36,12 @@ class SpatialGrid {
   void for_each_within(Vec2 center, double radius,
                        const std::function<void(NodeId)>& visit) const;
 
+  /// As for_each_within, but the visitor returns false to stop the scan
+  /// early (emptiness tests stop at the first witness instead of finishing
+  /// the disk). Returns true iff the scan ran to completion.
+  bool for_each_within_until(Vec2 center, double radius,
+                             const std::function<bool(NodeId)>& visit) const;
+
   /// Nearest point to `center` excluding `exclude`; kNone when empty.
   NodeId nearest(Vec2 center, NodeId exclude = kNone) const;
 

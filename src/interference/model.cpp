@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/parallel.h"
 #include "geom/predicates.h"
 #include "geom/spatial_grid.h"
 
@@ -21,40 +22,59 @@ bool InterferenceModel::interferes(geom::Vec2 x1, geom::Vec2 x2, geom::Vec2 y1,
 
 namespace {
 
-/// Visit, for every edge e, the ids of edges in I(e), calling
-/// visit(e, e') once per unordered interfering pair discovery direction.
-/// Strategy: for each edge e' = (x, y), nodes inside IR(e') are found by two
-/// grid disk queries; every edge incident to such a node is interfered-with
-/// by e'. Symmetrized by the caller.
-template <typename Visit>
-void for_each_directed_interference(const graph::Graph& g,
-                                    const topo::Deployment& d,
-                                    const InterferenceModel& m,
-                                    const geom::SpatialGrid& grid,
-                                    const Visit& visit) {
-  std::vector<std::uint32_t> touched;  // nodes in IR(e'), deduped
-  for (graph::EdgeId ep = 0; ep < g.num_edges(); ++ep) {
-    const graph::Edge& edge = g.edge(ep);
-    const geom::Vec2 x = d.positions[edge.u];
-    const geom::Vec2 y = d.positions[edge.v];
-    const double r = m.guard_radius(edge.length);
-    touched.clear();
-    // Grid queries use closed-disk tests; refine with the open-disk predicate.
-    grid.for_each_within(x, r, [&](std::uint32_t w) {
-      if (geom::in_open_disk(x, r, d.positions[w])) touched.push_back(w);
-    });
-    grid.for_each_within(y, r, [&](std::uint32_t w) {
-      if (geom::in_open_disk(y, r, d.positions[w])) touched.push_back(w);
-    });
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-    for (const std::uint32_t w : touched) {
-      for (const graph::Half& h : g.neighbors(w)) {
-        if (h.edge == ep) continue;
-        visit(ep, h.edge);  // ep interferes with h.edge
-      }
-    }
-  }
+using InterferencePair = std::pair<graph::EdgeId, graph::EdgeId>;
+
+/// All unordered interfering pairs {e, e'}, normalized to first < second,
+/// sorted lexicographically, deduplicated. Strategy per source edge
+/// e' = (x, y): nodes inside IR(e') are found by two grid disk queries;
+/// every edge incident to such a node is interfered-with by e'. The per-edge
+/// discovery is read-only, so edge ranges run in parallel with per-chunk
+/// pair lists concatenated in chunk order; one global sort+unique replaces
+/// the per-set dedup the old implementation did (which pushed duplicates
+/// into both endpoint sets and sorted every set separately).
+std::vector<InterferencePair> interference_pairs(const graph::Graph& g,
+                                                 const topo::Deployment& d,
+                                                 const InterferenceModel& m) {
+  const geom::SpatialGrid grid(d.positions, std::max(d.max_range, 1e-9));
+  std::vector<InterferencePair> pairs = tn::parallel_reduce(
+      g.num_edges(), 16, std::vector<InterferencePair>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<InterferencePair> out;
+        std::vector<std::uint32_t> touched;  // nodes in IR(e'), deduped
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto ep = static_cast<graph::EdgeId>(i);
+          const graph::Edge& edge = g.edge(ep);
+          const geom::Vec2 x = d.positions[edge.u];
+          const geom::Vec2 y = d.positions[edge.v];
+          const double r = m.guard_radius(edge.length);
+          touched.clear();
+          // Grid queries use closed-disk tests; refine with the open-disk
+          // predicate.
+          grid.for_each_within(x, r, [&](std::uint32_t w) {
+            if (geom::in_open_disk(x, r, d.positions[w])) touched.push_back(w);
+          });
+          grid.for_each_within(y, r, [&](std::uint32_t w) {
+            if (geom::in_open_disk(y, r, d.positions[w])) touched.push_back(w);
+          });
+          std::sort(touched.begin(), touched.end());
+          touched.erase(std::unique(touched.begin(), touched.end()),
+                        touched.end());
+          for (const std::uint32_t w : touched) {
+            for (const graph::Half& h : g.neighbors(w)) {
+              if (h.edge == ep) continue;
+              out.push_back(std::minmax(ep, h.edge));
+            }
+          }
+        }
+        return out;
+      },
+      [](std::vector<InterferencePair> acc, std::vector<InterferencePair> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
 }
 
 }  // namespace
@@ -62,12 +82,14 @@ void for_each_directed_interference(const graph::Graph& g,
 std::vector<std::uint32_t> interference_set_sizes(const graph::Graph& g,
                                                   const topo::Deployment& d,
                                                   const InterferenceModel& m) {
-  // Build symmetric sets as sorted id lists, then measure. Memory-heavy for
-  // very dense graphs; topologies here are sparse (O(n) edges).
-  const auto sets = interference_sets(g, d, m);
-  std::vector<std::uint32_t> sizes(sets.size());
-  for (std::size_t i = 0; i < sets.size(); ++i)
-    sizes[i] = static_cast<std::uint32_t>(sets[i].size());
+  // Sizes straight from the deduplicated pair list — the sets themselves are
+  // never materialized.
+  std::vector<std::uint32_t> sizes(g.num_edges(), 0);
+  if (g.num_edges() == 0) return sizes;
+  for (const auto& [a, b] : interference_pairs(g, d, m)) {
+    ++sizes[a];
+    ++sizes[b];
+  }
   return sizes;
 }
 
@@ -76,17 +98,19 @@ std::vector<std::vector<graph::EdgeId>> interference_sets(
     const InterferenceModel& m) {
   std::vector<std::vector<graph::EdgeId>> sets(g.num_edges());
   if (g.num_edges() == 0) return sets;
-  const geom::SpatialGrid grid(d.positions,
-                               std::max(d.max_range, 1e-9));
-  for_each_directed_interference(
-      g, d, m, grid, [&](graph::EdgeId ep, graph::EdgeId e) {
-        // ep interferes with e => both sets (symmetric closure).
-        sets[e].push_back(ep);
-        sets[ep].push_back(e);
-      });
-  for (auto& s : sets) {
-    std::sort(s.begin(), s.end());
-    s.erase(std::unique(s.begin(), s.end()), s.end());
+  const std::vector<InterferencePair> pairs = interference_pairs(g, d, m);
+  // Exact-size allocation, then a scatter pass. The pair list is sorted
+  // (a, b) lexicographically with a < b, so every set receives its members
+  // in ascending order — no per-set sort needed.
+  std::vector<std::uint32_t> sizes(g.num_edges(), 0);
+  for (const auto& [a, b] : pairs) {
+    ++sizes[a];
+    ++sizes[b];
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) sets[e].reserve(sizes[e]);
+  for (const auto& [a, b] : pairs) {
+    sets[a].push_back(b);
+    sets[b].push_back(a);
   }
   return sets;
 }

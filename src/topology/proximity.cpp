@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
-#include <set>
 
+#include "common/parallel.h"
 #include "geom/delaunay.h"
 #include "geom/kdtree.h"
 #include "geom/predicates.h"
@@ -17,21 +17,48 @@ namespace {
 
 using graph::NodeId;
 
+using EdgePair = std::pair<NodeId, NodeId>;
+
+std::vector<EdgePair> concat(std::vector<EdgePair> acc,
+                             std::vector<EdgePair> part) {
+  acc.insert(acc.end(), part.begin(), part.end());
+  return acc;
+}
+
 /// Shared scaffold for the disk/lune-emptiness graphs: consider every pair
-/// within range and keep it iff `empty_region(u, v)` holds.
+/// within range and keep it iff `empty_region(u, v)` holds. Keep-tests are
+/// read-only grid queries, so node ranges run in parallel; each chunk
+/// collects its kept pairs with the candidate list of every node sorted, and
+/// chunks concatenate in node order — edges come out (u, v) lexicographic
+/// for any thread count.
 template <typename Keep>
 graph::Graph build_pairwise(const Deployment& d, const Keep& keep) {
   const std::size_t n = d.size();
   graph::Graph g(n);
   if (n < 2) return g;
   const geom::SpatialGrid grid(d.positions, d.max_range);
-  for (NodeId u = 0; u < n; ++u) {
-    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
-      if (v <= u) return;
-      if (!keep(grid, u, v)) return;
-      const double len = d.distance(u, v);
-      g.add_edge(u, v, len, d.cost_of_length(len));
-    });
+  const std::vector<EdgePair> kept = tn::parallel_reduce(
+      n, 32, std::vector<EdgePair>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<EdgePair> out;
+        std::vector<NodeId> cand;
+        for (std::size_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<NodeId>(ui);
+          cand.clear();
+          grid.for_each_within(d.positions[u], d.max_range,
+                               [&](std::uint32_t v) {
+                                 if (v > u) cand.push_back(v);
+                               });
+          std::sort(cand.begin(), cand.end());
+          for (const NodeId v : cand)
+            if (keep(grid, u, v)) out.emplace_back(u, v);
+        }
+        return out;
+      },
+      concat);
+  for (const auto& [u, v] : kept) {
+    const double len = d.distance(u, v);
+    g.add_edge(u, v, len, d.cost_of_length(len));
   }
   return g;
 }
@@ -44,12 +71,11 @@ graph::Graph gabriel_graph(const Deployment& d) {
         const geom::Vec2 pu = d.positions[u], pv = d.positions[v];
         const geom::Vec2 mid = geom::midpoint(pu, pv);
         const double r = geom::dist(pu, pv) / 2.0;
-        bool empty = true;
-        grid.for_each_within(mid, r, [&](std::uint32_t w) {
-          if (w == u || w == v || !empty) return;
-          if (geom::in_gabriel_disk(pu, pv, d.positions[w])) empty = false;
+        // Completed scan <=> no witness inside the disk.
+        return grid.for_each_within_until(mid, r, [&](std::uint32_t w) {
+          return w == u || w == v ||
+                 !geom::in_gabriel_disk(pu, pv, d.positions[w]);
         });
-        return empty;
       });
 }
 
@@ -58,16 +84,13 @@ graph::Graph relative_neighborhood_graph(const Deployment& d) {
       d, [&](const geom::SpatialGrid& grid, NodeId u, NodeId v) {
         const geom::Vec2 pu = d.positions[u], pv = d.positions[v];
         const double len = geom::dist(pu, pv);
-        bool empty = true;
         // The lune is contained in the disk of radius |uv| around either
         // endpoint; query around the midpoint with radius 1.5*|uv| to cover it.
-        grid.for_each_within(geom::midpoint(pu, pv), 1.5 * len,
-                             [&](std::uint32_t w) {
-                               if (w == u || w == v || !empty) return;
-                               if (geom::in_rng_lune(pu, pv, d.positions[w]))
-                                 empty = false;
-                             });
-        return empty;
+        return grid.for_each_within_until(
+            geom::midpoint(pu, pv), 1.5 * len, [&](std::uint32_t w) {
+              return w == u || w == v ||
+                     !geom::in_rng_lune(pu, pv, d.positions[w]);
+            });
       });
 }
 
@@ -88,13 +111,24 @@ graph::Graph knn_graph(const Deployment& d, std::size_t k) {
   graph::Graph g(n);
   if (n < 2) return g;
   const geom::KdTree tree(d.positions);
-  std::set<std::pair<NodeId, NodeId>> chosen;
-  for (NodeId u = 0; u < n; ++u) {
-    for (const std::uint32_t v : tree.k_nearest(d.positions[u], k, u)) {
-      if (d.distance(u, v) > d.max_range) break;  // ordered by distance
-      chosen.insert(std::minmax<NodeId>(u, v));
-    }
-  }
+  // Per-chunk candidate lists from read-only k-NN queries, then one
+  // sort+unique dedup (u and v can each pick the other).
+  std::vector<EdgePair> chosen = tn::parallel_reduce(
+      n, 32, std::vector<EdgePair>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<EdgePair> out;
+        for (std::size_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<NodeId>(ui);
+          for (const std::uint32_t v : tree.k_nearest(d.positions[u], k, u)) {
+            if (d.distance(u, v) > d.max_range) break;  // ordered by distance
+            out.push_back(std::minmax<NodeId>(u, v));
+          }
+        }
+        return out;
+      },
+      concat);
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
   for (const auto& [u, v] : chosen) {
     const double len = d.distance(u, v);
     g.add_edge(u, v, len, d.cost_of_length(len));
@@ -129,15 +163,14 @@ graph::Graph beta_skeleton(const Deployment& d, double beta) {
           c1 = mid + h * perp;
           c2 = mid - h * perp;
         }
-        bool empty = true;
         // The region is contained in both disks; query the larger extent.
-        grid.for_each_within(geom::midpoint(pu, pv), r + len, [&](std::uint32_t w) {
-          if (w == u || w == v || !empty) return;
-          const geom::Vec2 pw = d.positions[w];
-          if (geom::in_open_disk(c1, r, pw) && geom::in_open_disk(c2, r, pw))
-            empty = false;
-        });
-        return empty;
+        return grid.for_each_within_until(
+            geom::midpoint(pu, pv), r + len, [&](std::uint32_t w) {
+              if (w == u || w == v) return true;
+              const geom::Vec2 pw = d.positions[w];
+              return !(geom::in_open_disk(c1, r, pw) &&
+                       geom::in_open_disk(c2, r, pw));
+            });
       });
 }
 

@@ -1,5 +1,8 @@
 #include "topology/transmission_graph.h"
 
+#include <algorithm>
+
+#include "common/parallel.h"
 #include "geom/spatial_grid.h"
 
 namespace thetanet::topo {
@@ -9,12 +12,33 @@ graph::Graph build_transmission_graph(const Deployment& d) {
   graph::Graph g(n);
   if (n < 2) return g;
   const geom::SpatialGrid grid(d.positions, d.max_range);
-  for (graph::NodeId u = 0; u < n; ++u) {
-    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
-      if (v <= u) return;  // each pair once, u < v
-      const double len = d.distance(u, v);
-      g.add_edge(u, v, len, d.cost_of_length(len));
-    });
+  using EdgePair = std::pair<graph::NodeId, graph::NodeId>;
+  // Read-only range queries per node; chunks concatenate in node order with
+  // each node's neighbour list sorted, so edge ids are assigned in (u, v)
+  // lexicographic order for any thread count.
+  const std::vector<EdgePair> pairs = tn::parallel_reduce(
+      n, 64, std::vector<EdgePair>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<EdgePair> out;
+        for (std::size_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<graph::NodeId>(ui);
+          const std::size_t first = out.size();
+          grid.for_each_within(d.positions[u], d.max_range,
+                               [&](std::uint32_t v) {
+                                 if (v > u) out.emplace_back(u, v);
+                               });
+          std::sort(out.begin() + static_cast<std::ptrdiff_t>(first),
+                    out.end());
+        }
+        return out;
+      },
+      [](std::vector<EdgePair> acc, std::vector<EdgePair> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  for (const auto& [u, v] : pairs) {
+    const double len = d.distance(u, v);
+    g.add_edge(u, v, len, d.cost_of_length(len));
   }
   return g;
 }

@@ -1,7 +1,8 @@
 #include "topology/yao.h"
 
-#include <set>
+#include <algorithm>
 
+#include "common/parallel.h"
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
 
@@ -31,13 +32,19 @@ SectorTable compute_sector_table(const Deployment& d, double theta) {
   SectorTable table(n, geom::sector_count(theta));
   if (n < 2) return table;
   const geom::SpatialGrid grid(d.positions, d.max_range);
-  for (graph::NodeId u = 0; u < n; ++u) {
-    grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
-      if (v == u) return;
-      const int s = geom::sector_index(d.positions[u], d.positions[v], theta);
-      if (nearer(d, u, v, table.nearest(u, s))) table.set_nearest(u, s, v);
-    });
-  }
+  // Each node's sector row is written only by the chunk owning u, from
+  // read-only grid queries — disjoint writes, so the table is bit-identical
+  // for any thread count (no cross-thread merge needed).
+  tn::parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t ui = begin; ui < end; ++ui) {
+      const auto u = static_cast<graph::NodeId>(ui);
+      grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
+        if (v == u) return;
+        const int s = geom::sector_index(d.positions[u], d.positions[v], theta);
+        if (nearer(d, u, v, table.nearest(u, s))) table.set_nearest(u, s, v);
+      });
+    }
+  });
   return table;
 }
 
@@ -50,16 +57,22 @@ graph::Graph yao_graph(const Deployment& d, double theta,
   (void)theta;
   const std::size_t n = d.size();
   graph::Graph g(n);
-  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  // Sort+unique dedup (an edge can be selected from both endpoints); edge
+  // ids come out in (u, v) lexicographic order, same as ThetaTopology.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  pairs.reserve(n * static_cast<std::size_t>(table.sectors()));
   for (graph::NodeId u = 0; u < n; ++u) {
     for (int s = 0; s < table.sectors(); ++s) {
       const graph::NodeId v = table.nearest(u, s);
       if (v == graph::kInvalidNode) continue;
-      const auto key = std::minmax(u, v);
-      if (!seen.insert(key).second) continue;
-      const double len = d.distance(u, v);
-      g.add_edge(key.first, key.second, len, d.cost_of_length(len));
+      pairs.push_back(std::minmax(u, v));
     }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [a, b] : pairs) {
+    const double len = d.distance(a, b);
+    g.add_edge(a, b, len, d.cost_of_length(len));
   }
   return g;
 }

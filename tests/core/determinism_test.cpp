@@ -1,0 +1,130 @@
+// Cross-thread-count determinism: every parallelized construction kernel
+// must produce bit-identical output for TN_NUM_THREADS in {1, 2, 7} — the
+// hard requirement of the shared parallel layer (common/parallel.h). Run
+// over both a uniform and a clustered deployment so grid occupancy is both
+// balanced and skewed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/theta_topology.h"
+#include "graph/stretch.h"
+#include "interference/model.h"
+#include "topology/distributions.h"
+#include "topology/proximity.h"
+#include "topology/transmission_graph.h"
+#include "topology/yao.h"
+
+namespace thetanet {
+namespace {
+
+constexpr double kTheta = std::numbers::pi / 9.0;
+
+topo::Deployment uniform_deployment(std::size_t n) {
+  geom::Rng rng(0xd37e);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = 1.6 * std::sqrt(std::log(static_cast<double>(n)) /
+                                static_cast<double>(n));
+  d.kappa = 2.0;
+  return d;
+}
+
+topo::Deployment clustered_deployment(std::size_t n) {
+  geom::Rng rng(0xc1a5);
+  topo::Deployment d;
+  d.positions = topo::clustered(n, 12, 0.03, 1.0, rng);
+  topo::perturb(d.positions, 1e-7, rng);
+  d.max_range = 2.2 * std::sqrt(std::log(static_cast<double>(n)) /
+                                static_cast<double>(n));
+  d.kappa = 2.0;
+  return d;
+}
+
+void expect_identical(const graph::Graph& a, const graph::Graph& b,
+                      const char* what, int threads) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << what << " threads=" << threads;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what << " threads=" << threads;
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edge(e).u, b.edge(e).u) << what << " e=" << e;
+    ASSERT_EQ(a.edge(e).v, b.edge(e).v) << what << " e=" << e;
+    // Bit-exact doubles, not almost-equal: same inputs, same order.
+    ASSERT_EQ(a.edge(e).length, b.edge(e).length) << what << " e=" << e;
+    ASSERT_EQ(a.edge(e).cost, b.edge(e).cost) << what << " e=" << e;
+  }
+}
+
+class ThreadCountRestorer {
+ public:
+  ThreadCountRestorer() : saved_(tn::num_threads()) {}
+  ~ThreadCountRestorer() { tn::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+void check_deployment(const topo::Deployment& d) {
+  ThreadCountRestorer restore;
+  const interf::InterferenceModel model{1.0};
+
+  tn::set_num_threads(1);
+  const topo::SectorTable table1 = topo::compute_sector_table(d, kTheta);
+  const core::ThetaTopology theta1(d, kTheta);
+  const graph::Graph yao1 = topo::yao_graph(d, kTheta, table1);
+  const graph::Graph gstar1 = topo::build_transmission_graph(d);
+  const graph::Graph gabriel1 = topo::gabriel_graph(d);
+  const std::vector<std::uint32_t> isizes1 =
+      interf::interference_set_sizes(theta1.graph(), d, model);
+  const auto isets1 = interf::interference_sets(theta1.graph(), d, model);
+  const graph::StretchStats stretch1 =
+      graph::edge_stretch(theta1.graph(), gstar1, graph::Weight::kCost);
+
+  for (const int threads : {2, 7}) {
+    tn::set_num_threads(threads);
+
+    const topo::SectorTable table = topo::compute_sector_table(d, kTheta);
+    ASSERT_EQ(table.sectors(), table1.sectors());
+    for (graph::NodeId u = 0; u < d.size(); ++u)
+      for (int s = 0; s < table.sectors(); ++s)
+        ASSERT_EQ(table.nearest(u, s), table1.nearest(u, s))
+            << "u=" << u << " s=" << s << " threads=" << threads;
+
+    const core::ThetaTopology theta(d, kTheta);
+    expect_identical(theta.graph(), theta1.graph(), "theta", threads);
+    expect_identical(topo::yao_graph(d, kTheta, table), yao1, "yao", threads);
+    expect_identical(topo::build_transmission_graph(d), gstar1, "gstar",
+                     threads);
+    expect_identical(topo::gabriel_graph(d), gabriel1, "gabriel", threads);
+
+    ASSERT_EQ(interf::interference_set_sizes(theta.graph(), d, model),
+              isizes1)
+        << "interference sizes, threads=" << threads;
+    ASSERT_EQ(interf::interference_sets(theta.graph(), d, model), isets1)
+        << "interference sets, threads=" << threads;
+
+    const graph::StretchStats stretch =
+        graph::edge_stretch(theta.graph(), gstar1, graph::Weight::kCost);
+    // Bit-identical floats: the reduce combines partials in chunk order.
+    ASSERT_EQ(stretch.max, stretch1.max);
+    ASSERT_EQ(stretch.mean, stretch1.mean);
+    ASSERT_EQ(stretch.p99, stretch1.p99);
+    ASSERT_EQ(stretch.pairs, stretch1.pairs);
+    ASSERT_EQ(stretch.argmax_u, stretch1.argmax_u);
+    ASSERT_EQ(stretch.argmax_v, stretch1.argmax_v);
+  }
+}
+
+TEST(Determinism, UniformDeploymentBitIdenticalAcrossThreadCounts) {
+  check_deployment(uniform_deployment(3000));
+}
+
+TEST(Determinism, ClusteredDeploymentBitIdenticalAcrossThreadCounts) {
+  check_deployment(clustered_deployment(3000));
+}
+
+}  // namespace
+}  // namespace thetanet

@@ -1,0 +1,157 @@
+// Unit tests for the shared parallel-execution layer (common/parallel.h):
+// range coverage, empty ranges, grain > n, serial fallback, nesting, and
+// exception propagation.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace thetanet {
+namespace {
+
+// Restores the configured thread count after each test so the ambient
+// TN_NUM_THREADS (e.g. the ctest TN_NUM_THREADS=4 registration) still
+// governs the rest of the binary.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = tn::num_threads(); }
+  void TearDown() override { tn::set_num_threads(saved_); }
+  int saved_ = 1;
+};
+
+TEST_F(ParallelTest, ThreadCountIsAtLeastOne) {
+  EXPECT_GE(tn::num_threads(), 1);
+  EXPECT_GE(tn::hardware_threads(), 1);
+}
+
+TEST_F(ParallelTest, ForCoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 7}) {
+    tn::set_num_threads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    tn::parallel_for(hits.size(), 13, [&](std::size_t b, std::size_t e) {
+      ASSERT_LE(b, e);
+      ASSERT_LE(e, hits.size());
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ParallelTest, ForEmptyRangeNeverInvokesBody) {
+  for (const int threads : {1, 4}) {
+    tn::set_num_threads(threads);
+    bool called = false;
+    tn::parallel_for(0, 8, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+  }
+}
+
+TEST_F(ParallelTest, GrainLargerThanRangeIsOneChunk) {
+  tn::set_num_threads(4);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  tn::parallel_for(5, 1000, [&](std::size_t b, std::size_t e) {
+    chunks.emplace_back(b, e);  // single chunk => no concurrent writers
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 5}));
+}
+
+TEST_F(ParallelTest, OneThreadRunsInlineOnCaller) {
+  tn::set_num_threads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  tn::parallel_for(100, 10, [&](std::size_t, std::size_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST_F(ParallelTest, ReduceEmptyRangeReturnsIdentity) {
+  tn::set_num_threads(4);
+  const int r = tn::parallel_reduce(
+      0, 8, 42, [](std::size_t, std::size_t) { return 7; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(r, 42);
+}
+
+TEST_F(ParallelTest, ReduceSumsMatchSerialForAnyThreadCount) {
+  const std::size_t n = 12345;
+  std::vector<std::uint64_t> values(n);
+  std::iota(values.begin(), values.end(), 1);
+  const std::uint64_t expected =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  for (const int threads : {1, 2, 3, 8}) {
+    tn::set_num_threads(threads);
+    const std::uint64_t sum = tn::parallel_reduce(
+        n, 100, std::uint64_t{0},
+        [&](std::size_t b, std::size_t e) {
+          std::uint64_t s = 0;
+          for (std::size_t i = b; i < e; ++i) s += values[i];
+          return s;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, expected) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, ReduceConcatenatesInChunkOrder) {
+  // The determinism contract: partials combine in ascending chunk order,
+  // so a concatenation yields exactly [0, n) for any thread count.
+  for (const int threads : {1, 2, 7}) {
+    tn::set_num_threads(threads);
+    const std::vector<std::size_t> out = tn::parallel_reduce(
+        1000, 7, std::vector<std::size_t>{},
+        [](std::size_t b, std::size_t e) {
+          std::vector<std::size_t> v;
+          for (std::size_t i = b; i < e; ++i) v.push_back(i);
+          return v;
+        },
+        [](std::vector<std::size_t> a, std::vector<std::size_t> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+  }
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    tn::set_num_threads(threads);
+    EXPECT_THROW(
+        tn::parallel_for(100, 5,
+                         [&](std::size_t b, std::size_t) {
+                           if (b >= 50) throw std::runtime_error("chunk boom");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<std::size_t> count{0};
+    tn::parallel_for(64, 8, [&](std::size_t b, std::size_t e) {
+      count.fetch_add(e - b);
+    });
+    EXPECT_EQ(count.load(), 64u);
+  }
+}
+
+TEST_F(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  tn::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  tn::parallel_for(64, 4, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t i = ob; i < oe; ++i) {
+      tn::parallel_for(64, 4, [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t j = ib; j < ie; ++j) hits[i * 64 + j].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace thetanet
