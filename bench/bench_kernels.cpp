@@ -3,12 +3,19 @@
 // balancing step, and the local message protocol. These are throughput
 // numbers for the library itself (not paper claims).
 //
-// After the google-benchmark suite, main() runs a thread-count sweep
+// Before the google-benchmark suite, main() runs a thread-count sweep
 // (TN_NUM_THREADS 1/2/4/max) of the parallelized construction kernels over
 // n in {1k, 10k, 100k} and writes machine-readable BENCH_kernels.json to
 // the working directory, including a per-(kernel, n) bit-identity check
-// across thread counts. TN_BENCH_SWEEP=0 skips the sweep;
-// TN_BENCH_SWEEP_MAX_N caps the largest n (e.g. 10000 for a quick pass).
+// across thread counts and per-kernel grid scan counters (queries /
+// points examined) so spatial over-scan is observable. Each entry is
+// timed in a forked child so allocator state left by earlier entries
+// cannot contaminate its numbers (see time_kernel). TN_BENCH_SWEEP=0
+// skips the sweep; TN_BENCH_SWEEP_MAX_N caps the largest n (e.g. 10000 for
+// a quick pass); TN_BENCH_SWEEP_NS="500,2000" replaces the size list
+// entirely (the ctest smoke run uses 500). Any kernel whose speedup_vs_1
+// drops below 0.9 (and whose 1-thread run is >= 5 ms — shorter runs are
+// jitter) is flagged on stderr and in "speedup_regressions".
 
 #include <benchmark/benchmark.h>
 
@@ -17,9 +24,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 #include <numbers>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "geom/spatial_grid.h"
 
 #include "common/parallel.h"
 
@@ -216,6 +233,10 @@ struct SweepResult {
   int threads;
   double ms;
   std::uint64_t checksum;
+  // SpatialGrid scan counters for the timed run — grid_points / the true
+  // neighbour mass is the over-scan factor of the kernel's grid sizing.
+  std::uint64_t grid_queries;
+  std::uint64_t grid_points;
 };
 
 struct SweepKernel {
@@ -271,31 +292,134 @@ std::uint64_t run_interference_sizes(const topo::Deployment& d,
   return f.h;
 }
 
-// Time one run; repeat small sizes and keep the minimum.
-SweepResult time_kernel(const SweepKernel& k, const topo::Deployment& d,
-                        const graph::Graph& theta, std::size_t n,
-                        int threads) {
+// Return freed heap pages to the OS before a timed entry. Sweep entries
+// run back to back in one process, and the previous entry's allocation
+// pattern (tiny n: thousands of small short-lived vectors) leaves the
+// allocator's bins fragmented — measured to inflate the next large
+// entry's time by ~8% through worse page/TLB locality. Trimming puts
+// every entry on the same footing as a fresh process.
+void isolate_heap() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+// Time one run; repeat small sizes and keep the minimum. Grid scan
+// counters are captured per rep (they are identical across reps — the
+// kernels are deterministic — so the last rep's snapshot is *the* value).
+SweepResult measure_in_process(const SweepKernel& k, const topo::Deployment& d,
+                               const graph::Graph& theta, std::size_t n,
+                               int threads) {
   tn::set_num_threads(threads);
+  isolate_heap();
   const int reps = n <= 10000 ? 3 : 1;
   double best_ms = 0.0;
   std::uint64_t checksum = 0;
+  geom::SpatialGrid::ScanStats scans;
   for (int r = 0; r < reps; ++r) {
+    geom::SpatialGrid::reset_scan_stats();
     const auto t0 = std::chrono::steady_clock::now();
     checksum = k.run(d, theta);
     const auto t1 = std::chrono::steady_clock::now();
+    scans = geom::SpatialGrid::scan_stats();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (r == 0 || ms < best_ms) best_ms = ms;
   }
-  return {k.name, n, threads, best_ms, checksum};
+  return {k.name,   n,
+          threads,  best_ms,
+          checksum, scans.queries,
+          scans.points_examined};
+}
+
+// Measure one sweep entry in a forked child so every entry sees a pristine
+// allocator. Entries run back to back in one process, and a predecessor's
+// allocation pattern contaminates successors — measured at ~25% on the
+// n=10k interference kernels (small-n rounds fragment the heap; large
+// transient buffers then land on scattered 4 KiB pages instead of fresh
+// mappings). The child runs the kernel and ships (ms, checksum, scan
+// counters) back over a pipe; the deployment and graph are shared
+// copy-on-write and never written. The parent stays pool-free (the sweep
+// runs before the google-benchmark suite and parent-side code is pinned to
+// one thread), so the child can spawn its own worker pool safely. Falls
+// back to in-process measurement if fork isn't available.
+SweepResult time_kernel(const SweepKernel& k, const topo::Deployment& d,
+                        const graph::Graph& theta, std::size_t n,
+                        int threads) {
+#if defined(__linux__)
+  struct Payload {
+    double ms;
+    std::uint64_t checksum;
+    std::uint64_t queries;
+    std::uint64_t points;
+  };
+  int fds[2];
+  if (pipe(fds) == 0) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(fds[0]);
+      const SweepResult r = measure_in_process(k, d, theta, n, threads);
+      const Payload p{r.ms, r.checksum, r.grid_queries, r.grid_points};
+      const char* src = reinterpret_cast<const char*>(&p);
+      std::size_t sent = 0;
+      while (sent < sizeof p) {
+        const ssize_t w = write(fds[1], src + sent, sizeof p - sent);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+      _exit(0);  // no destructors: the pool must not be torn down twice
+    }
+    if (pid > 0) {
+      close(fds[1]);
+      Payload p{};
+      char* dst = reinterpret_cast<char*>(&p);
+      std::size_t got = 0;
+      while (got < sizeof p) {
+        const ssize_t r = read(fds[0], dst + got, sizeof p - got);
+        if (r <= 0) break;
+        got += static_cast<std::size_t>(r);
+      }
+      close(fds[0]);
+      int status = 0;
+      waitpid(pid, &status, 0);
+      if (got == sizeof p && WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        return {k.name, n, threads, p.ms, p.checksum, p.queries, p.points};
+      std::fprintf(stderr,
+                   "sweep: child for %s n=%zu threads=%d failed; "
+                   "measuring in-process\n",
+                   k.name, n, threads);
+    } else {
+      close(fds[0]);
+      close(fds[1]);
+    }
+  }
+#endif
+  return measure_in_process(k, d, theta, n, threads);
+}
+
+std::vector<std::size_t> sweep_sizes() {
+  std::vector<std::size_t> ns{1000, 10000, 100000};
+  if (const char* s = std::getenv("TN_BENCH_SWEEP_NS")) {
+    ns.clear();
+    const char* p = s;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) ns.push_back(static_cast<std::size_t>(v));
+      p = *end == ',' ? end + 1 : end;
+    }
+  }
+  std::size_t max_n = 100000;
+  if (const char* s = std::getenv("TN_BENCH_SWEEP_MAX_N"))
+    max_n = static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
+  std::erase_if(ns, [&](std::size_t n) { return n > max_n; });
+  return ns;
 }
 
 void run_thread_sweep() {
   if (const char* s = std::getenv("TN_BENCH_SWEEP"))
     if (std::string(s) == "0") return;
-  std::size_t max_n = 100000;
-  if (const char* s = std::getenv("TN_BENCH_SWEEP_MAX_N"))
-    max_n = static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
 
   std::vector<int> threads{1, 2, 4, tn::hardware_threads()};
   std::sort(threads.begin(), threads.end());
@@ -310,11 +434,10 @@ void run_thread_sweep() {
       {"interference_set_sizes", run_interference_sizes},
   };
 
+  geom::SpatialGrid::set_scan_stats_enabled(true);
   std::vector<SweepResult> results;
   bool all_identical = true;
-  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
-                              std::size_t{100000}}) {
-    if (n > max_n) continue;
+  for (const std::size_t n : sweep_sizes()) {
     const topo::Deployment d = deployment(n);
     tn::set_num_threads(1);
     const graph::Graph theta = core::ThetaTopology(d, kTheta).graph();
@@ -337,33 +460,63 @@ void run_thread_sweep() {
     }
   }
   tn::set_num_threads(1);
+  geom::SpatialGrid::set_scan_stats_enabled(false);
+
+  // speedup vs the 1-thread entry of the same (kernel, n); anything below
+  // 0.9 means adding threads made the kernel *slower* — a scaling
+  // regression (shared-state contention, allocator serialization) that the
+  // output asserts loudly so bench_compare / reviewers cannot miss it.
+  // Entries whose 1-thread run is under 5 ms are exempt: a sub-5 ms
+  // microbenchmark cannot resolve a 10% ratio from scheduler jitter (the
+  // same noise floor bench_compare applies via --min-ms).
+  const auto base_ms_of = [&](const SweepResult& r) {
+    for (const SweepResult& b : results)
+      if (b.kernel == r.kernel && b.n == r.n && b.threads == 1) return b.ms;
+    return r.ms;
+  };
+  const auto speedup = [&](const SweepResult& r) {
+    return r.ms > 0.0 ? base_ms_of(r) / r.ms : 0.0;
+  };
+  std::vector<const SweepResult*> regressions;
+  for (const SweepResult& r : results)
+    if (r.threads > 1 && base_ms_of(r) >= 5.0 && speedup(r) < 0.9)
+      regressions.push_back(&r);
+  for (const SweepResult* r : regressions)
+    std::fprintf(stderr,
+                 "SPEEDUP REGRESSION: %s n=%zu threads=%d speedup_vs_1=%.3f "
+                 "(< 0.9)\n",
+                 r->kernel, r->n, r->threads, speedup(*r));
 
   std::FILE* out = std::fopen("BENCH_kernels.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
     return;
   }
-  std::fprintf(out, "{\n  \"hardware_concurrency\": %d,\n",
-               tn::hardware_threads());
+  std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"pool_threads_max\": %d,\n", threads.back());
   std::fprintf(out, "  \"outputs_bit_identical_across_threads\": %s,\n",
                all_identical ? "true" : "false");
-  std::fprintf(out, "  \"thread_counts\": [");
+  std::fprintf(out, "  \"speedup_regressions\": [");
+  for (std::size_t i = 0; i < regressions.size(); ++i)
+    std::fprintf(out, "%s{\"kernel\": \"%s\", \"n\": %zu, \"threads\": %d}",
+                 i ? ", " : "", regressions[i]->kernel, regressions[i]->n,
+                 regressions[i]->threads);
+  std::fprintf(out, "],\n  \"thread_counts\": [");
   for (std::size_t i = 0; i < threads.size(); ++i)
     std::fprintf(out, "%s%d", i ? ", " : "", threads[i]);
   std::fprintf(out, "],\n  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
-    // speedup vs the 1-thread entry of the same (kernel, n)
-    double base_ms = r.ms;
-    for (const SweepResult& b : results)
-      if (b.kernel == r.kernel && b.n == r.n && b.threads == 1) base_ms = b.ms;
     std::fprintf(out,
                  "    {\"kernel\": \"%s\", \"n\": %zu, \"threads\": %d, "
                  "\"ms\": %.3f, \"speedup_vs_1\": %.3f, "
-                 "\"checksum\": \"%016llx\"}%s\n",
-                 r.kernel, r.n, r.threads, r.ms,
-                 r.ms > 0.0 ? base_ms / r.ms : 0.0,
+                 "\"checksum\": \"%016llx\", "
+                 "\"grid_queries\": %llu, \"grid_points_examined\": %llu}%s\n",
+                 r.kernel, r.n, r.threads, r.ms, speedup(r),
                  static_cast<unsigned long long>(r.checksum),
+                 static_cast<unsigned long long>(r.grid_queries),
+                 static_cast<unsigned long long>(r.grid_points),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -376,8 +529,12 @@ void run_thread_sweep() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Sweep first: its parent-side code never runs the pool with more than
+  // one thread, so the per-entry fork in time_kernel is safe. The
+  // google-benchmark suite spawns pool workers, and forking a process
+  // that has them would hand every child a pool of phantom threads.
+  run_thread_sweep();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_thread_sweep();
   return 0;
 }

@@ -1,7 +1,6 @@
 #include "core/theta_maintenance.h"
 
 #include <algorithm>
-#include <set>
 
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
@@ -40,12 +39,14 @@ std::size_t ThetaMaintainer::move_node(NodeId v, geom::Vec2 p) {
   // v itself. Phase 2 is re-derived globally from the tables, which is
   // cheap, so table rows are the only per-node cost.
   const geom::SpatialGrid grid(d_.positions, std::max(d_.max_range, 1e-9));
-  std::set<NodeId> affected;
-  affected.insert(v);
+  std::vector<NodeId> affected{v};
   grid.for_each_within(old, d_.max_range,
-                       [&](std::uint32_t u) { affected.insert(u); });
+                       [&](std::uint32_t u) { affected.push_back(u); });
   grid.for_each_within(p, d_.max_range,
-                       [&](std::uint32_t u) { affected.insert(u); });
+                       [&](std::uint32_t u) { affected.push_back(u); });
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
 
   for (const NodeId u : affected) recompute_table_row(u, grid);
   rebuild_graph_from_table();

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
 
 #include "common/assert.h"
 
 namespace thetanet::geom {
+
+std::atomic<bool> SpatialGrid::stats_enabled_{false};
+std::atomic<std::uint64_t> SpatialGrid::stat_queries_{0};
+std::atomic<std::uint64_t> SpatialGrid::stat_cells_{0};
+std::atomic<std::uint64_t> SpatialGrid::stat_points_{0};
+
+void SpatialGrid::reset_scan_stats() {
+  stat_queries_.store(0, std::memory_order_relaxed);
+  stat_cells_.store(0, std::memory_order_relaxed);
+  stat_points_.store(0, std::memory_order_relaxed);
+}
+
+SpatialGrid::ScanStats SpatialGrid::scan_stats() {
+  return {stat_queries_.load(std::memory_order_relaxed),
+          stat_cells_.load(std::memory_order_relaxed),
+          stat_points_.load(std::memory_order_relaxed)};
+}
 
 SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
     : points_(points), box_(BBox::of(points)), cell_(cell_size) {
@@ -15,10 +33,25 @@ SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
     starts_.assign(2, 0);
     return;
   }
-  nx_ = std::max<std::int32_t>(
-      1, static_cast<std::int32_t>(std::floor(box_.width() / cell_)) + 1);
-  ny_ = std::max<std::int32_t>(
-      1, static_cast<std::int32_t>(std::floor(box_.height() / cell_)) + 1);
+  // Cap the table at O(points) cells: a caller-supplied cell far smaller
+  // than the bounding box (edge-length-driven sizing on a degenerate
+  // layout) would otherwise allocate width/cell * height/cell entries.
+  const auto dims = [&](double cell) {
+    const auto nx = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(box_.width() / cell)) + 1);
+    const auto ny = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(box_.height() / cell)) + 1);
+    return std::pair<std::int64_t, std::int64_t>{nx, ny};
+  };
+  const std::int64_t max_cells =
+      std::max<std::int64_t>(1024, 8 * static_cast<std::int64_t>(points_.size()));
+  auto [nx, ny] = dims(cell_);
+  while (nx * ny > max_cells) {
+    cell_ *= 2.0;
+    std::tie(nx, ny) = dims(cell_);
+  }
+  nx_ = static_cast<std::int32_t>(nx);
+  ny_ = static_cast<std::int32_t>(ny);
 
   const std::size_t ncells =
       static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
@@ -56,45 +89,13 @@ std::size_t SpatialGrid::cell_index(std::int32_t cx, std::int32_t cy) const {
 
 bool SpatialGrid::for_each_within_until(
     Vec2 center, double radius, const std::function<bool(NodeId)>& visit) const {
-  if (points_.empty()) return true;
-  const double r2 = radius * radius;
-  const std::int32_t span = static_cast<std::int32_t>(std::ceil(radius / cell_));
-  const CellCoord c0 = cell_of(center);
-  const std::int32_t x_lo = std::max(0, c0.cx - span);
-  const std::int32_t x_hi = std::min(nx_ - 1, c0.cx + span);
-  const std::int32_t y_lo = std::max(0, c0.cy - span);
-  const std::int32_t y_hi = std::min(ny_ - 1, c0.cy + span);
-  for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
-    for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
-      const std::size_t c = cell_index(cx, cy);
-      for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
-        const NodeId id = ids_[k];
-        if (dist_sq(points_[id], center) <= r2 && !visit(id)) return false;
-      }
-    }
-  }
-  return true;
+  return for_each_within_until(center, radius,
+                               [&](NodeId id) { return visit(id); });
 }
 
 void SpatialGrid::for_each_within(
     Vec2 center, double radius, const std::function<void(NodeId)>& visit) const {
-  if (points_.empty()) return;
-  const double r2 = radius * radius;
-  const std::int32_t span = static_cast<std::int32_t>(std::ceil(radius / cell_));
-  const CellCoord c0 = cell_of(center);
-  const std::int32_t x_lo = std::max(0, c0.cx - span);
-  const std::int32_t x_hi = std::min(nx_ - 1, c0.cx + span);
-  const std::int32_t y_lo = std::max(0, c0.cy - span);
-  const std::int32_t y_hi = std::min(ny_ - 1, c0.cy + span);
-  for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
-    for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
-      const std::size_t c = cell_index(cx, cy);
-      for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
-        const NodeId id = ids_[k];
-        if (dist_sq(points_[id], center) <= r2) visit(id);
-      }
-    }
-  }
+  for_each_within(center, radius, [&](NodeId id) { visit(id); });
 }
 
 std::vector<SpatialGrid::NodeId> SpatialGrid::within(Vec2 center, double radius,

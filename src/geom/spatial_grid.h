@@ -4,7 +4,20 @@
 // within range D), interference-set computation (nodes within (1+Delta)r),
 // and Poisson-disk generation. Queries are O(points in the queried disk)
 // when the cell size matches the query radius.
+//
+// The visitor entry points come in two flavours:
+//   * header-only templates (`for_each_within(center, r, Visitor&&)` and
+//     `for_each_within_until`) — zero-overhead fast path: the visitor is
+//     inlined into the cell scan, no std::function construction, no
+//     indirect call per point. All hot loops use these (a lambda argument
+//     selects the template automatically).
+//   * `std::function` overloads with the same names — thin wrappers over
+//     the templates kept for ABI-stable callers (out-of-line, defined in
+//     spatial_grid.cpp).
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -21,10 +34,20 @@ class SpatialGrid {
 
   /// Build over `points` with the given cell size (typically the dominant
   /// query radius). Points are referenced by index; the caller keeps them
-  /// alive for the lifetime of the grid.
+  /// alive for the lifetime of the grid. The cell size is grown as needed
+  /// to keep the total cell count O(points): a tiny requested cell over a
+  /// wide bounding box (degenerate inputs — one far outlier among
+  /// near-coincident nodes) must not allocate an unbounded table.
   SpatialGrid(std::span<const Vec2> points, double cell_size);
 
   std::size_t size() const { return points_.size(); }
+
+  /// The indexed point with the given id (ids are positions in the input
+  /// span). Lets visitors reuse the coordinates the scan just compared
+  /// against instead of re-reading the caller's point array.
+  Vec2 point(NodeId id) const { return points_[id]; }
+
+  /// Effective cell size — `>= ` the requested one when the cap kicked in.
   double cell_size() const { return cell_; }
 
   /// Ids of all points p with |p - center| <= radius, optionally excluding
@@ -32,18 +55,117 @@ class SpatialGrid {
   std::vector<NodeId> within(Vec2 center, double radius,
                              NodeId exclude = kNone) const;
 
-  /// Visit ids within radius without allocating.
-  void for_each_within(Vec2 center, double radius,
-                       const std::function<void(NodeId)>& visit) const;
+  /// Visit ids within radius without allocating. Fast path: the visitor is
+  /// inlined into the scan. Enumeration order is cell-major (row by row),
+  /// ascending id within a cell — callers needing a canonical order sort.
+  template <typename Visitor>
+  void for_each_within(Vec2 center, double radius, Visitor&& visit) const {
+    if (points_.empty()) return;
+    const double r2 = radius * radius;
+    const Extent e = extent_of(center, radius);
+    std::uint64_t examined = 0;
+    for (std::int32_t cy = e.y_lo; cy <= e.y_hi; ++cy) {
+      for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
+        const std::size_t c = cell_index(cx, cy);
+        for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
+          const NodeId id = ids_[k];
+          ++examined;
+          if (dist_sq(points_[id], center) <= r2) visit(id);
+        }
+      }
+    }
+    record_scan(e, examined);
+  }
+
+  /// Visit ids within `radius` of either center, each exactly once, in a
+  /// single scan over the union of the two cell extents. The two disks of
+  /// one interference query share most of their area (centers one edge
+  /// length apart, radius a small multiple of it); two separate
+  /// for_each_within calls would load the shared cells — the bulk of the
+  /// scan — twice and force the caller to dedup. Same closed-disk
+  /// prefilter and cell-major order as for_each_within. The visitor
+  /// receives `(id, d1_sq, d2_sq)` — the squared distances to both
+  /// centers the prefilter just computed — so callers refining with a
+  /// different predicate (e.g. the open disk) pay no second distance
+  /// evaluation.
+  template <typename Visitor>
+  void for_each_within_two(Vec2 c1, Vec2 c2, double radius,
+                           Visitor&& visit) const {
+    if (points_.empty()) return;
+    const double r2 = radius * radius;
+    const Extent e1 = extent_of(c1, radius);
+    const Extent e2 = extent_of(c2, radius);
+    const Extent e{std::min(e1.x_lo, e2.x_lo), std::max(e1.x_hi, e2.x_hi),
+                   std::min(e1.y_lo, e2.y_lo), std::max(e1.y_hi, e2.y_hi)};
+    std::uint64_t examined = 0;
+    for (std::int32_t cy = e.y_lo; cy <= e.y_hi; ++cy) {
+      for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
+        const std::size_t c = cell_index(cx, cy);
+        for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
+          const NodeId id = ids_[k];
+          ++examined;
+          const Vec2 p = points_[id];
+          const double d1 = dist_sq(p, c1);
+          const double d2 = dist_sq(p, c2);
+          if (d1 <= r2 || d2 <= r2) visit(id, d1, d2);
+        }
+      }
+    }
+    record_scan(e, examined);
+  }
 
   /// As for_each_within, but the visitor returns false to stop the scan
   /// early (emptiness tests stop at the first witness instead of finishing
   /// the disk). Returns true iff the scan ran to completion.
+  template <typename Visitor>
+  bool for_each_within_until(Vec2 center, double radius,
+                             Visitor&& visit) const {
+    if (points_.empty()) return true;
+    const double r2 = radius * radius;
+    const Extent e = extent_of(center, radius);
+    std::uint64_t examined = 0;
+    for (std::int32_t cy = e.y_lo; cy <= e.y_hi; ++cy) {
+      for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
+        const std::size_t c = cell_index(cx, cy);
+        for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
+          const NodeId id = ids_[k];
+          ++examined;
+          if (dist_sq(points_[id], center) <= r2 && !visit(id)) {
+            record_scan(e, examined);
+            return false;
+          }
+        }
+      }
+    }
+    record_scan(e, examined);
+    return true;
+  }
+
+  /// ABI-stable wrappers over the templates (indirect call per point; keep
+  /// for callers that store visitors as std::function).
+  void for_each_within(Vec2 center, double radius,
+                       const std::function<void(NodeId)>& visit) const;
   bool for_each_within_until(Vec2 center, double radius,
                              const std::function<bool(NodeId)>& visit) const;
 
   /// Nearest point to `center` excluding `exclude`; kNone when empty.
   NodeId nearest(Vec2 center, NodeId exclude = kNone) const;
+
+  // -------------------------------------------------------------------
+  // Scan instrumentation. When enabled, every query accumulates into
+  // process-wide counters (one relaxed atomic add per query, not per
+  // point) so benchmarks can report over-scan: points_examined /
+  // true hits >> 1 means the cell size does not match the query radius.
+  struct ScanStats {
+    std::uint64_t queries = 0;
+    std::uint64_t cells_scanned = 0;
+    std::uint64_t points_examined = 0;
+  };
+  static void set_scan_stats_enabled(bool on) {
+    stats_enabled_.store(on, std::memory_order_relaxed);
+  }
+  static void reset_scan_stats();
+  static ScanStats scan_stats();
 
   static constexpr NodeId kNone = static_cast<NodeId>(-1);
 
@@ -52,8 +174,32 @@ class SpatialGrid {
     std::int32_t cx;
     std::int32_t cy;
   };
+  struct Extent {
+    std::int32_t x_lo, x_hi, y_lo, y_hi;
+  };
   CellCoord cell_of(Vec2 p) const;
   std::size_t cell_index(std::int32_t cx, std::int32_t cy) const;
+
+  Extent extent_of(Vec2 center, double radius) const {
+    const auto span = static_cast<std::int32_t>(std::ceil(radius / cell_));
+    const CellCoord c0 = cell_of(center);
+    return {std::max(0, c0.cx - span), std::min(nx_ - 1, c0.cx + span),
+            std::max(0, c0.cy - span), std::min(ny_ - 1, c0.cy + span)};
+  }
+
+  void record_scan(const Extent& e, std::uint64_t examined) const {
+    if (!stats_enabled_.load(std::memory_order_relaxed)) return;
+    const auto cells = static_cast<std::uint64_t>(e.x_hi - e.x_lo + 1) *
+                       static_cast<std::uint64_t>(e.y_hi - e.y_lo + 1);
+    stat_queries_.fetch_add(1, std::memory_order_relaxed);
+    stat_cells_.fetch_add(cells, std::memory_order_relaxed);
+    stat_points_.fetch_add(examined, std::memory_order_relaxed);
+  }
+
+  static std::atomic<bool> stats_enabled_;
+  static std::atomic<std::uint64_t> stat_queries_;
+  static std::atomic<std::uint64_t> stat_cells_;
+  static std::atomic<std::uint64_t> stat_points_;
 
   std::span<const Vec2> points_;
   BBox box_;

@@ -22,59 +22,149 @@ bool InterferenceModel::interferes(geom::Vec2 x1, geom::Vec2 x2, geom::Vec2 y1,
 
 namespace {
 
-using InterferencePair = std::pair<graph::EdgeId, graph::EdgeId>;
+/// Grid cell size for guard-radius queries, driven by the edge-length
+/// distribution instead of d.max_range: queries use r = (1+Delta)|e|, and
+/// |e| is typically far below max_range in a sparse topology, so a
+/// max_range-sized grid makes every query scan ~(max_range/r)^2 times more
+/// points than the disk holds. Half the median guard radius matches the
+/// bulk of the queries: a cell of r covers a median disk with a 3x3 block
+/// (~9r^2 of area scanned for a pir^2 disk, ~2.9x over-scan) while r/2
+/// needs 5x5 quarter-size cells (~6.25r^2, ~2x over-scan) — the extra
+/// cell-loop iterations are cheaper than the extra distance tests. The
+/// long-edge tail just spans a few more cells, which is fine because those
+/// disks genuinely contain many points. (SpatialGrid itself caps the cell
+/// count at O(n) for degenerate distributions.)
+double guard_query_cell(const graph::Graph& g, const InterferenceModel& m) {
+  std::vector<double> radii;
+  radii.reserve(g.num_edges());
+  for (const graph::Edge& e : g.edges())
+    radii.push_back(m.guard_radius(e.length));
+  auto mid = radii.begin() + static_cast<std::ptrdiff_t>(radii.size() / 2);
+  std::nth_element(radii.begin(), mid, radii.end());
+  return std::max(0.5 * *mid, 1e-9);
+}
 
-/// All unordered interfering pairs {e, e'}, normalized to first < second,
-/// sorted lexicographically, deduplicated. Strategy per source edge
-/// e' = (x, y): nodes inside IR(e') are found by two grid disk queries;
-/// every edge incident to such a node is interfered-with by e'. The per-edge
-/// discovery is read-only, so edge ranges run in parallel with per-chunk
-/// pair lists concatenated in chunk order; one global sort+unique replaces
-/// the per-set dedup the old implementation did (which pushed duplicates
-/// into both endpoint sets and sorted every set separately).
-std::vector<InterferencePair> interference_pairs(const graph::Graph& g,
-                                                 const topo::Deployment& d,
-                                                 const InterferenceModel& m) {
-  const geom::SpatialGrid grid(d.positions, std::max(d.max_range, 1e-9));
-  std::vector<InterferencePair> pairs = tn::parallel_reduce(
-      g.num_edges(), 16, std::vector<InterferencePair>{},
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<InterferencePair> out;
-        std::vector<std::uint32_t> touched;  // nodes in IR(e'), deduped
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto ep = static_cast<graph::EdgeId>(i);
-          const graph::Edge& edge = g.edge(ep);
-          const geom::Vec2 x = d.positions[edge.u];
-          const geom::Vec2 y = d.positions[edge.v];
-          const double r = m.guard_radius(edge.length);
-          touched.clear();
-          // Grid queries use closed-disk tests; refine with the open-disk
-          // predicate.
-          grid.for_each_within(x, r, [&](std::uint32_t w) {
-            if (geom::in_open_disk(x, r, d.positions[w])) touched.push_back(w);
-          });
-          grid.for_each_within(y, r, [&](std::uint32_t w) {
-            if (geom::in_open_disk(y, r, d.positions[w])) touched.push_back(w);
-          });
-          std::sort(touched.begin(), touched.end());
-          touched.erase(std::unique(touched.begin(), touched.end()),
-                        touched.end());
-          for (const std::uint32_t w : touched) {
-            for (const graph::Half& h : g.neighbors(w)) {
-              if (h.edge == ep) continue;
-              out.push_back(std::minmax(ep, h.edge));
-            }
-          }
+/// Per-kernel precomputed, read-only shared state. Two pieces:
+///   * A flat CSR copy of the adjacency (offsets + halves). Discovery
+///     walks the neighbour lists of every node touched by every query
+///     disk — tens of entries per source edge — and the per-node
+///     vector<Half> layout costs a pointer chase per touched node.
+///   * Edge geometry as a structure-of-arrays record (endpoints + guard
+///     radius + its square): the reverse-ownership test reads a random
+///     edge per discovered pair, and one 40-byte record beats touching
+///     the Edge table plus two position slots. guard_radius(e.length) is
+///     computed once here; e.length is the exact Euclidean distance in
+///     every topology builder, so the radius — and every predicate built
+///     on it — is bit-identical to recomputing dist(u, v).
+struct KernelContext {
+  struct EdgeGeom {
+    geom::Vec2 a, b;  // endpoints
+    double r;         // guard radius (1 + Delta)|e|
+    double r2;        // r*r, the open-disk threshold
+  };
+  std::vector<std::uint32_t> adj_off;  // n + 1
+  std::vector<graph::Half> adj_flat;   // 2E, grouped by node
+  std::vector<EdgeGeom> egeom;         // E
+  std::vector<double> er2;             // E, egeom[e].r2 densely packed
+
+  KernelContext(const graph::Graph& g, const topo::Deployment& d,
+                const InterferenceModel& m) {
+    const std::size_t n = g.num_nodes();
+    adj_off.resize(n + 1);
+    adj_off[0] = 0;
+    for (graph::NodeId u = 0; u < n; ++u)
+      adj_off[u + 1] =
+          adj_off[u] + static_cast<std::uint32_t>(g.neighbors(u).size());
+    adj_flat.resize(adj_off[n]);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto nb = g.neighbors(u);
+      std::copy(nb.begin(), nb.end(), adj_flat.begin() + adj_off[u]);
+    }
+    const std::size_t ne = g.num_edges();
+    egeom.resize(ne);
+    er2.resize(ne);
+    for (std::size_t e = 0; e < ne; ++e) {
+      const graph::Edge& ed = g.edge(static_cast<graph::EdgeId>(e));
+      const double r = m.guard_radius(ed.length);
+      egeom[e] = {d.positions[ed.u], d.positions[ed.v], r, r * r};
+      er2[e] = r * r;
+    }
+  }
+};
+
+/// Per-chunk scratch: an epoch-stamped seen array over node ids replaces
+/// sort+unique dedup. Stamps cost O(1) per candidate and never sort
+/// anything — per-source ~1000 raw candidates made the two sorts the
+/// dominant cost of the whole kernel. The array is zeroed once per chunk,
+/// not per edge (the epoch distinguishes edges).
+struct DiscoveryScratch {
+  explicit DiscoveryScratch(std::size_t num_nodes) : node_stamp(num_nodes, 0) {}
+  std::vector<std::uint32_t> node_stamp;  // stamp[w] == epoch => w touched
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> touched;  // nodes in IR(e_i), deduped
+};
+
+/// Discover S_i = edges with an endpoint strictly inside IR(e_i) and emit
+/// each OWNED unordered pair {i, j} exactly once as emit(lo, hi), lo < hi.
+///
+/// Discovery: two grid disk queries collect the touched nodes (the grid's
+/// closed-disk prefilter is refined with the open-disk predicate,
+/// dist_sq < r*r, matching geom::in_open_disk bit for bit; the stamp
+/// dedups nodes seen by both disks), then incident edges are enumerated.
+/// An edge (w, v) with both endpoints touched is taken only at the
+/// smaller endpoint, so every target is visited exactly once — deduped by
+/// construction, no seen-set over edge ids.
+///
+/// Ownership (single emission across all sources): pair {i, j} with
+/// j in S_i is emitted by i iff i < j or A(j, i) is false — the smallest
+/// source that can discover the pair owns it; every pair is emitted
+/// exactly once. The reverse test A(j, i) is pure algebra on
+/// already-known quantities: the forward and reverse directed tests
+/// compare the SAME four endpoint-to-endpoint distances against r_i^2
+/// and r_j^2 respectively (IR coverage is "some endpoint of the other
+/// edge inside my open disks"). Since j in S_i certifies
+/// min4 < r_i^2, r_j >= r_i makes A(j, i) true with no arithmetic at
+/// all; only the r_j < r_i minority recomputes the four distances.
+template <typename Emit>
+void emit_owned_pairs(const KernelContext& kc, const geom::SpatialGrid& grid,
+                      graph::EdgeId i, DiscoveryScratch& s, Emit&& emit) {
+  const KernelContext::EdgeGeom& ei = kc.egeom[i];
+  const double r2 = ei.r2;
+  const std::uint32_t epoch = ++s.epoch;
+  s.touched.clear();
+  // One union scan over both disks; the strict open-disk refinement
+  // (dist_sq < r*r, matching geom::in_open_disk bit for bit) reuses the
+  // squared distances the prefilter just computed. The scan visits each
+  // id at most once, so the stamp is pure bookkeeping for the edge dedup
+  // below.
+  grid.for_each_within_two(
+      ei.a, ei.b, ei.r, [&](std::uint32_t w, double d1, double d2) {
+        if (d1 < r2 || d2 < r2) {
+          s.node_stamp[w] = epoch;
+          s.touched.push_back(w);
         }
-        return out;
-      },
-      [](std::vector<InterferencePair> acc, std::vector<InterferencePair> part) {
-        acc.insert(acc.end(), part.begin(), part.end());
-        return acc;
       });
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-  return pairs;
+  for (const std::uint32_t w : s.touched) {
+    const std::uint32_t half_end = kc.adj_off[w + 1];
+    for (std::uint32_t hh = kc.adj_off[w]; hh < half_end; ++hh) {
+      const graph::Half h = kc.adj_flat[hh];
+      const graph::EdgeId j = h.edge;
+      if (j == i) continue;
+      if (h.to < w && s.node_stamp[h.to] == epoch) continue;  // taken at h.to
+      if (i < j) {
+        emit(i, j);
+        continue;
+      }
+      const double rj2 = kc.er2[j];
+      if (rj2 >= r2) continue;  // A(j, i) certified; j owns the pair
+      const KernelContext::EdgeGeom& ej = kc.egeom[j];
+      const bool reverse = geom::dist_sq(ej.a, ei.a) < rj2 ||
+                           geom::dist_sq(ej.b, ei.a) < rj2 ||
+                           geom::dist_sq(ej.a, ei.b) < rj2 ||
+                           geom::dist_sq(ej.b, ei.b) < rj2;
+      if (!reverse) emit(j, i);
+    }
+  }
 }
 
 }  // namespace
@@ -82,36 +172,139 @@ std::vector<InterferencePair> interference_pairs(const graph::Graph& g,
 std::vector<std::uint32_t> interference_set_sizes(const graph::Graph& g,
                                                   const topo::Deployment& d,
                                                   const InterferenceModel& m) {
-  // Sizes straight from the deduplicated pair list — the sets themselves are
-  // never materialized.
-  std::vector<std::uint32_t> sizes(g.num_edges(), 0);
-  if (g.num_edges() == 0) return sizes;
-  for (const auto& [a, b] : interference_pairs(g, d, m)) {
-    ++sizes[a];
-    ++sizes[b];
-  }
-  return sizes;
+  // Count-only path: no pair list is materialized and nothing is globally
+  // sorted. Each chunk accumulates a uint32 counter array (both endpoints
+  // of every owned pair), and chunk partials merge elementwise in ascending
+  // chunk order — integer addition, so the result is bit-identical for any
+  // thread count and equals the pair-list degree exactly.
+  const std::size_t ne = g.num_edges();
+  if (ne == 0) return {};
+  const KernelContext kc(g, d, m);
+  const geom::SpatialGrid grid(d.positions, guard_query_cell(g, m));
+  // Auto grain (~8 chunks per thread): every chunk holds a full E-sized
+  // counter array until the fold, so the chunk count — not the chunk size —
+  // bounds the transient memory.
+  return tn::parallel_reduce(
+      ne, 0, std::vector<std::uint32_t>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint32_t> counts(ne, 0);
+        DiscoveryScratch s(kc.adj_off.size() - 1);
+        for (std::size_t i = begin; i < end; ++i)
+          emit_owned_pairs(kc, grid, static_cast<graph::EdgeId>(i), s,
+                           [&](graph::EdgeId lo, graph::EdgeId hi) {
+                             ++counts[lo];
+                             ++counts[hi];
+                           });
+        return counts;
+      },
+      [](std::vector<std::uint32_t> acc, std::vector<std::uint32_t> part) {
+        if (acc.empty()) return part;
+        for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += part[k];
+        return acc;
+      });
 }
 
 std::vector<std::vector<graph::EdgeId>> interference_sets(
     const graph::Graph& g, const topo::Deployment& d,
     const InterferenceModel& m) {
-  std::vector<std::vector<graph::EdgeId>> sets(g.num_edges());
-  if (g.num_edges() == 0) return sets;
-  const std::vector<InterferencePair> pairs = interference_pairs(g, d, m);
-  // Exact-size allocation, then a scatter pass. The pair list is sorted
-  // (a, b) lexicographically with a < b, so every set receives its members
-  // in ascending order — no per-set sort needed.
-  std::vector<std::uint32_t> sizes(g.num_edges(), 0);
-  for (const auto& [a, b] : pairs) {
-    ++sizes[a];
-    ++sizes[b];
-  }
-  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) sets[e].reserve(sizes[e]);
-  for (const auto& [a, b] : pairs) {
-    sets[a].push_back(b);
-    sets[b].push_back(a);
-  }
+  const std::size_t ne = g.num_edges();
+  std::vector<std::vector<graph::EdgeId>> sets(ne);
+  if (ne == 0) return sets;
+  const KernelContext kc(g, d, m);
+  const geom::SpatialGrid grid(d.positions, guard_query_cell(g, m));
+  // All unordered interfering pairs {e, e'}, packed (lo << 32) | hi, as a
+  // LIST OF PER-CHUNK VECTORS in chunk order (fixed grain => the chunking,
+  // and hence the order, is independent of the pool size). The combine
+  // only moves chunk vectors — flattening 8 bytes/pair through the fold
+  // would memcpy hundreds of MB for nothing, since the consumers below
+  // just stream the pairs. The ownership rule makes emissions unique, and
+  // the pairs stay UNSORTED: with |I(e)| averaging in the hundreds, a
+  // global lexicographic sort costs more than the discovery itself.
+  const std::vector<std::vector<std::uint64_t>> parts = tn::parallel_reduce(
+      ne, 2048, std::vector<std::vector<std::uint64_t>>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::vector<std::uint64_t>> one(1);
+        std::vector<std::uint64_t>& out = one.front();
+        // Mean |I(e)| on dense instances runs in the hundreds; a generous
+        // reserve avoids the chain of doubling reallocs (each one a
+        // multi-MB copy). Overshoot is transient address space, not
+        // touched pages.
+        out.reserve((end - begin) * 512);
+        DiscoveryScratch s(kc.adj_off.size() - 1);
+        for (std::size_t i = begin; i < end; ++i)
+          emit_owned_pairs(kc, grid, static_cast<graph::EdgeId>(i), s,
+                           [&](graph::EdgeId lo, graph::EdgeId hi) {
+                             out.push_back(
+                                 (static_cast<std::uint64_t>(lo) << 32) | hi);
+                           });
+        return one;
+      },
+      [](std::vector<std::vector<std::uint64_t>> acc,
+         std::vector<std::vector<std::uint64_t>> part) {
+        for (auto& v : part) acc.push_back(std::move(v));
+        return acc;
+      });
+  // Both orientations of every pair, scattered unsorted into the exactly-
+  // reserved per-set vectors (a flat 2|R| side buffer would be mmap-fresh
+  // — and page-faulted — on every call; the per-set blocks recycle heap
+  // bins), then an independent ascending sort per set. Each set's content
+  // is emission-order independent and the sort is total, so the result is
+  // bit-identical for any thread count; members are unique by the
+  // single-emission rule — no unique pass.
+  std::vector<std::uint32_t> sizes(ne, 0);
+  for (const auto& part : parts)
+    for (const std::uint64_t p : part) {
+      ++sizes[p >> 32];
+      ++sizes[p & 0xffffffffu];
+    }
+  for (std::size_t e = 0; e < ne; ++e) sets[e].reserve(sizes[e]);
+  for (const auto& part : parts)
+    for (const std::uint64_t p : part) {
+      const auto lo = static_cast<graph::EdgeId>(p >> 32);
+      const auto hi = static_cast<graph::EdgeId>(p & 0xffffffffu);
+      sets[lo].push_back(hi);
+      sets[hi].push_back(lo);
+    }
+  // Keys are edge ids < ne, so each set sorts with an LSD byte radix over
+  // just the bytes ne-1 occupies — branchless linear passes, where a
+  // comparison sort burns a mispredicted branch per comparison on what is
+  // essentially random data. Every pass permutes the same multiset, so
+  // all byte histograms come from one read of the unsorted data instead
+  // of one read per pass. Small sets stay on std::sort (bucket setup
+  // would dominate).
+  int passes = 1;
+  while ((ne - 1) >> (8 * passes)) ++passes;
+  tn::parallel_for(ne, 0, [&](std::size_t begin, std::size_t end) {
+    std::vector<graph::EdgeId> buf;
+    std::uint32_t cnt[4][256];
+    for (std::size_t e = begin; e < end; ++e) {
+      graph::EdgeId* const data = sets[e].data();
+      const std::size_t k = sets[e].size();
+      if (k <= 64) {
+        std::sort(data, data + k);
+        continue;
+      }
+      buf.resize(k);
+      for (int p = 0; p < passes; ++p) std::fill_n(cnt[p], 256, 0u);
+      for (std::size_t t = 0; t < k; ++t)
+        for (int p = 0; p < passes; ++p) ++cnt[p][(data[t] >> (8 * p)) & 0xff];
+      graph::EdgeId* src = data;
+      graph::EdgeId* dst = buf.data();
+      for (int p = 0; p < passes; ++p) {
+        const int shift = 8 * p;
+        std::uint32_t sum = 0;
+        for (std::uint32_t& c : cnt[p]) {
+          const std::uint32_t run = c;
+          c = sum;
+          sum += run;
+        }
+        for (std::size_t t = 0; t < k; ++t)
+          dst[cnt[p][(src[t] >> shift) & 0xff]++] = src[t];
+        std::swap(src, dst);
+      }
+      if (src != data) std::copy(src, src + k, data);
+    }
+  });
   return sets;
 }
 

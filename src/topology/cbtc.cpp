@@ -1,7 +1,6 @@
 #include "topology/cbtc.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/assert.h"
 #include "geom/angles.h"
@@ -72,13 +71,17 @@ graph::Graph cbtc_graph(const Deployment& d, double alpha) {
   if (n < 2) return g;
   const std::vector<double> radii = cbtc_radii(d, alpha);
   const geom::SpatialGrid grid(d.positions, d.max_range);
-  std::set<std::pair<graph::NodeId, graph::NodeId>> edges;
+  // Collect-then-sort+unique instead of a node-per-node std::set: same
+  // (u, v) lexicographic edge order, no per-insert allocation.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
   for (graph::NodeId u = 0; u < n; ++u) {
     grid.for_each_within(d.positions[u], radii[u], [&](std::uint32_t v) {
       if (v == u) return;
-      edges.insert(std::minmax<graph::NodeId>(u, v));
+      edges.push_back(std::minmax<graph::NodeId>(u, v));
     });
   }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   for (const auto& [u, v] : edges) {
     const double len = d.distance(u, v);
     g.add_edge(u, v, len, d.cost_of_length(len));

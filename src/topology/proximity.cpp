@@ -31,6 +31,12 @@ std::vector<EdgePair> concat(std::vector<EdgePair> acc,
 /// collects its kept pairs with the candidate list of every node sorted, and
 /// chunks concatenate in node order — edges come out (u, v) lexicographic
 /// for any thread count.
+///
+/// The keep-lambdas run on SpatialGrid's template visitor path: a
+/// std::function here would be constructed per *candidate pair*, and its
+/// capture list exceeds the small-buffer size, so every test would hit the
+/// (lock-shared) allocator — that contention made the 2-thread gabriel
+/// build slower than serial before the template port.
 template <typename Keep>
 graph::Graph build_pairwise(const Deployment& d, const Keep& keep) {
   const std::size_t n = d.size();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "geom/rng.h"
@@ -128,6 +129,129 @@ TEST(SpatialGrid, QueryRadiusLargerThanDomain) {
   const std::vector<Vec2> pts = random_points(64, rng);
   const SpatialGrid grid(pts, 0.05);
   EXPECT_EQ(grid.within({0.5, 0.5}, 10.0).size(), 64U);
+}
+
+TEST(SpatialGrid, TemplateAndFunctionOverloadsAgree) {
+  Rng rng(107);
+  const std::vector<Vec2> pts = random_points(150, rng);
+  const SpatialGrid grid(pts, 0.12);
+  for (int q = 0; q < 50; ++q) {
+    const Vec2 c{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    const double r = rng.uniform(0.02, 0.4);
+    std::vector<std::uint32_t> from_template;
+    grid.for_each_within(c, r, [&](std::uint32_t id) {
+      from_template.push_back(id);  // lambda argument -> template fast path
+    });
+    std::vector<std::uint32_t> from_function;
+    const std::function<void(std::uint32_t)> fn = [&](std::uint32_t id) {
+      from_function.push_back(id);
+    };
+    grid.for_each_within(c, r, fn);  // std::function lvalue -> ABI wrapper
+    ASSERT_EQ(from_template, from_function) << "query " << q;
+  }
+}
+
+TEST(SpatialGrid, ForEachWithinTwoMatchesUnionOfDisks) {
+  Rng rng(111);
+  const std::vector<Vec2> pts = random_points(200, rng);
+  const SpatialGrid grid(pts, 0.08);
+  for (int q = 0; q < 100; ++q) {
+    const Vec2 c1{rng.uniform(-0.1, 1.1), rng.uniform(-0.1, 1.1)};
+    // Mix overlapping (nearby centers) and disjoint (far centers) disks.
+    const double dx = rng.uniform(-0.6, 0.6), dy = rng.uniform(-0.6, 0.6);
+    const Vec2 c2{c1.x + dx, c1.y + dy};
+    const double r = rng.uniform(0.02, 0.4);
+    std::vector<std::uint32_t> got;
+    grid.for_each_within_two(
+        c1, c2, r, [&](std::uint32_t id, double d1, double d2) {
+          EXPECT_TRUE(d1 <= r * r || d2 <= r * r);
+          got.push_back(id);
+        });
+    std::sort(got.begin(), got.end());
+    // Exactly once per id: the single scan never repeats a point.
+    ASSERT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end());
+    std::vector<std::uint32_t> expect = brute_within(pts, c1, r, SpatialGrid::kNone);
+    for (std::uint32_t id : brute_within(pts, c2, r, SpatialGrid::kNone))
+      expect.push_back(id);
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    ASSERT_EQ(got, expect) << "query " << q;
+  }
+}
+
+TEST(SpatialGrid, ForEachWithinTwoCoincidentCentersEqualsSingleDisk) {
+  Rng rng(112);
+  const std::vector<Vec2> pts = random_points(80, rng);
+  const SpatialGrid grid(pts, 0.15);
+  std::vector<std::uint32_t> got;
+  grid.for_each_within_two(
+      {0.4, 0.6}, {0.4, 0.6}, 0.25,
+      [&](std::uint32_t id, double, double) { got.push_back(id); });
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, grid.within({0.4, 0.6}, 0.25));
+}
+
+TEST(SpatialGrid, ForEachWithinUntilStopsEarlyOnTemplatePath) {
+  Rng rng(108);
+  const std::vector<Vec2> pts = random_points(200, rng);
+  const SpatialGrid grid(pts, 0.1);
+  int visits = 0;
+  const bool completed =
+      grid.for_each_within_until({0.5, 0.5}, 0.5, [&](std::uint32_t) {
+        ++visits;
+        return visits < 3;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 3);
+  // A visitor that never stops must see the whole disk.
+  std::vector<std::uint32_t> all;
+  EXPECT_TRUE(grid.for_each_within_until({0.5, 0.5}, 0.5, [&](std::uint32_t id) {
+    all.push_back(id);
+    return true;
+  }));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, grid.within({0.5, 0.5}, 0.5));
+}
+
+TEST(SpatialGrid, CellCountCappedOnDegenerateInput) {
+  // Near-coincident cluster plus one far outlier: a cell sized for the
+  // cluster spacing would need ~1e16 cells across the bounding box. The
+  // constructor must grow the cell instead of allocating that table, and
+  // queries must stay exact.
+  std::vector<Vec2> pts;
+  Rng rng(109);
+  for (int i = 0; i < 100; ++i)
+    pts.push_back({rng.uniform(0.0, 1e-4), rng.uniform(0.0, 1e-4)});
+  pts.push_back({1e4, 1e4});
+  const SpatialGrid grid(pts, 1e-6);
+  EXPECT_GT(grid.cell_size(), 1e-6);  // cap engaged
+  EXPECT_EQ(grid.within({0.0, 0.0}, 1.0).size(), 100U);
+  EXPECT_EQ(grid.within({1e4, 1e4}, 1.0), std::vector<std::uint32_t>{100});
+  for (int q = 0; q < 40; ++q) {
+    const Vec2 c{rng.uniform(0.0, 1e-4), rng.uniform(0.0, 1e-4)};
+    const double r = rng.uniform(1e-6, 2e-4);
+    ASSERT_EQ(grid.within(c, r), brute_within(pts, c, r, SpatialGrid::kNone));
+  }
+}
+
+TEST(SpatialGrid, ScanStatsCountQueriesAndPoints) {
+  Rng rng(110);
+  const std::vector<Vec2> pts = random_points(80, rng);
+  const SpatialGrid grid(pts, 0.2);
+  // Disabled (the default): counters must not move.
+  SpatialGrid::reset_scan_stats();
+  grid.within({0.5, 0.5}, 0.3);
+  EXPECT_EQ(SpatialGrid::scan_stats().queries, 0U);
+
+  SpatialGrid::set_scan_stats_enabled(true);
+  SpatialGrid::reset_scan_stats();
+  const auto hits = grid.within({0.5, 0.5}, 0.3);
+  grid.for_each_within({0.2, 0.2}, 0.1, [](std::uint32_t) {});
+  const SpatialGrid::ScanStats s = SpatialGrid::scan_stats();
+  SpatialGrid::set_scan_stats_enabled(false);
+  EXPECT_EQ(s.queries, 2U);
+  EXPECT_GE(s.points_examined, hits.size());  // examined >= accepted
+  EXPECT_GE(s.cells_scanned, 1U);
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Brute-force O(E^2) reference for the interference kernels. The grid path
+// (edge-length-sized cells, single-emission pair discovery, count-only
+// sizes) must reproduce the reference exactly — same sets, same sizes, in
+// ascending edge-id order — on random instances across the guard-zone
+// sweep, on degenerate layouts (coincident nodes, collinear clusters), and
+// for every pool size.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "interference/model.h"
+#include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::interf {
+namespace {
+
+std::vector<std::vector<graph::EdgeId>> brute_sets(const graph::Graph& g,
+                                                   const topo::Deployment& d,
+                                                   const InterferenceModel& m) {
+  const auto ne = static_cast<graph::EdgeId>(g.num_edges());
+  std::vector<std::vector<graph::EdgeId>> sets(ne);
+  for (graph::EdgeId a = 0; a < ne; ++a) {
+    const graph::Edge& ea = g.edge(a);
+    for (graph::EdgeId b = a + 1; b < ne; ++b) {
+      const graph::Edge& eb = g.edge(b);
+      if (m.in_interference_set(d.positions[ea.u], d.positions[ea.v],
+                                d.positions[eb.u], d.positions[eb.v])) {
+        sets[a].push_back(b);
+        sets[b].push_back(a);
+      }
+    }
+  }
+  return sets;  // b ascends in both loops => sets come out sorted
+}
+
+void expect_grid_matches_brute(const graph::Graph& g,
+                               const topo::Deployment& d, double delta) {
+  const InterferenceModel m{delta};
+  const auto expect = brute_sets(g, d, m);
+  const int saved = tn::num_threads();
+  for (const int threads : {1, 2, 7}) {
+    tn::set_num_threads(threads);
+    const auto sets = interference_sets(g, d, m);
+    const auto sizes = interference_set_sizes(g, d, m);
+    tn::set_num_threads(saved);
+    ASSERT_EQ(sets.size(), expect.size()) << "threads=" << threads;
+    ASSERT_EQ(sizes.size(), expect.size()) << "threads=" << threads;
+    for (graph::EdgeId e = 0; e < expect.size(); ++e) {
+      ASSERT_EQ(sets[e], expect[e])
+          << "edge " << e << " delta=" << delta << " threads=" << threads;
+      ASSERT_EQ(sizes[e], expect[e].size())
+          << "edge " << e << " delta=" << delta << " threads=" << threads;
+    }
+  }
+}
+
+class BruteForceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BruteForceSweep, RandomInstancesMatch) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    geom::Rng rng(seed);
+    topo::Deployment d;
+    d.positions = topo::uniform_square(48, 1.0, rng);
+    d.max_range = 0.3;
+    d.kappa = 2.0;
+    const graph::Graph g = topo::build_transmission_graph(d);
+    ASSERT_GT(g.num_edges(), 0u);
+    expect_grid_matches_brute(g, d, GetParam());
+  }
+}
+
+TEST_P(BruteForceSweep, CoincidentNodesMatch) {
+  // Three stacks of coincident nodes plus a few loose ones: zero-length
+  // edges (empty interference region of their own) that still sit inside
+  // every longer edge's region, and a grid whose median edge length is 0.
+  geom::Rng rng(21);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(12, 1.0, rng);
+  for (int s = 0; s < 3; ++s) {
+    const geom::Vec2 p{0.2 + 0.3 * s, 0.5};
+    for (int k = 0; k < 4; ++k) d.positions.push_back(p);
+  }
+  d.max_range = 0.45;
+  d.kappa = 2.0;
+  const graph::Graph g = topo::build_transmission_graph(d);
+  ASSERT_GT(g.num_edges(), 0u);
+  expect_grid_matches_brute(g, d, GetParam());
+}
+
+TEST_P(BruteForceSweep, CollinearClustersMatch) {
+  // Tight clusters spread along a line: a degenerate (height ~ 0) bounding
+  // box and a bimodal edge-length distribution (intra- vs inter-cluster).
+  geom::Rng rng(22);
+  topo::Deployment d;
+  for (int c = 0; c < 5; ++c)
+    for (int k = 0; k < 6; ++k)
+      d.positions.push_back({0.5 * c + rng.uniform(0.0, 0.02), 0.0});
+  d.max_range = 0.6;
+  d.kappa = 2.0;
+  const graph::Graph g = topo::build_transmission_graph(d);
+  ASSERT_GT(g.num_edges(), 0u);
+  expect_grid_matches_brute(g, d, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, BruteForceSweep,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+TEST(BruteForce, EmptyAndSingleEdgeGraphs) {
+  topo::Deployment d;
+  d.positions = {{0.0, 0.0}, {0.1, 0.0}};
+  d.max_range = 0.2;
+  const InterferenceModel m{1.0};
+  graph::Graph empty(2);
+  EXPECT_TRUE(interference_sets(empty, d, m).empty());
+  EXPECT_TRUE(interference_set_sizes(empty, d, m).empty());
+  const graph::Graph g = topo::build_transmission_graph(d);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(interference_set_sizes(g, d, m), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(interference_number(g, d, m), 0u);
+}
+
+}  // namespace
+}  // namespace thetanet::interf

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_kernels.json against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json FRESH.json [--threshold 0.25] [--min-ms 1.0]
+
+Entries are matched on (kernel, n, threads). A kernel REGRESSES when its
+fresh time exceeds the baseline by more than --threshold (default 25%);
+entries faster than --min-ms in both files are skipped as noise. The script
+also fails when the fresh run reports a cross-thread determinism violation.
+Exit status: 0 = no regression, 1 = regression or determinism failure,
+2 = usage/parse error. Improvements are reported informationally.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def entries(doc):
+    return {
+        (r["kernel"], r["n"], r["threads"]): r for r in doc.get("results", [])
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional slowdown (default 0.25 = 25%%)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="ignore entries below this many ms in both files")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    base = entries(base_doc)
+    fresh = entries(fresh_doc)
+
+    failed = False
+    if fresh_doc.get("outputs_bit_identical_across_threads") is False:
+        print("FAIL: fresh run reports a cross-thread determinism violation")
+        failed = True
+
+    common = sorted(set(base) & set(fresh))
+    regressions, improvements, skipped = [], [], 0
+    for key in common:
+        b, f = base[key]["ms"], fresh[key]["ms"]
+        if b < args.min_ms and f < args.min_ms:
+            skipped += 1
+            continue
+        ratio = f / b if b > 0 else float("inf")
+        if ratio > 1.0 + args.threshold:
+            regressions.append((key, b, f, ratio))
+        elif ratio < 1.0 / (1.0 + args.threshold):
+            improvements.append((key, b, f, ratio))
+
+    for (kernel, n, threads), b, f, ratio in regressions:
+        print(f"FAIL: {kernel} n={n} threads={threads}: "
+              f"{b:.2f} ms -> {f:.2f} ms ({ratio:.2f}x)")
+    for (kernel, n, threads), b, f, ratio in improvements:
+        print(f"improved: {kernel} n={n} threads={threads}: "
+              f"{b:.2f} ms -> {f:.2f} ms ({1.0 / ratio:.2f}x faster)")
+
+    print(f"bench_compare: {len(common)} comparable entries "
+          f"({skipped} below noise floor), {len(regressions)} regressions, "
+          f"{len(improvements)} improvements")
+    if not common:
+        print("bench_compare: warning: no overlapping (kernel, n, threads) "
+              "entries between the two files")
+    sys.exit(1 if (regressions or failed) else 0)
+
+
+if __name__ == "__main__":
+    main()
