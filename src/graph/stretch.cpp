@@ -74,7 +74,10 @@ StretchStats edge_stretch(const Graph& h, const Graph& base, Weight weight) {
               local.stats.disconnected = true;
               continue;
             }
-            TN_DCHECK(direct > 0.0);
+            // Coincident endpoints give a zero-weight base edge: no
+            // meaningful ratio, and NaNs here would poison the sort in
+            // summarize(). Skip the pair, as pairwise_stretch does.
+            if (direct <= 0.0) continue;
             const double r = via_h / direct;
             local.ratios.push_back(r);
             if (r > local.stats.max) {

@@ -109,10 +109,10 @@ std::vector<Vec2> civilized(std::size_t n, double side, double min_sep,
 }
 
 std::vector<Vec2> hub_ring(std::size_t n, double radius, Rng& rng) {
-  TN_ASSERT(n >= 2);
   std::vector<Vec2> pts;
+  if (n == 0) return pts;
   pts.reserve(n);
-  pts.push_back({0.0, 0.0});  // hub
+  pts.push_back({0.0, 0.0});  // hub (n == 1 is just the hub, no rim)
   const std::size_t rim = n - 1;
   for (std::size_t i = 0; i < rim; ++i) {
     // Evenly spread with a tiny random phase so distances are unique.

@@ -1,0 +1,206 @@
+#include "verify/conformance.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/theta_topology.h"
+#include "geom/rng.h"
+#include "interference/model.h"
+#include "sim/scenarios.h"
+#include "topology/io.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::verify {
+
+namespace {
+
+CheckReport skipped(const char* checker, std::string why) {
+  CheckReport r;
+  r.checker = checker;
+  r.notes.push_back("skipped: " + std::move(why));
+  return r;
+}
+
+}  // namespace
+
+ConformanceReport run_conformance(const topo::Deployment& d,
+                                  const ConformanceOptions& opt,
+                                  const TopologyMutator& mutator) {
+  ConformanceReport rep;
+  rep.scenario = "deployment-n" + std::to_string(d.size());
+
+  if (d.size() < 2) {
+    CheckReport trivial;
+    trivial.checker = "conformance";
+    trivial.checks = 1;
+    trivial.notes.push_back("n < 2: every guarantee holds vacuously");
+    rep.checks.push_back(std::move(trivial));
+    return rep;
+  }
+
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  const core::ThetaTopology tt(d, opt.theta);
+
+  // Duplicate points void the paper's unique-distance assumption; the
+  // guarantees that presuppose it (connectivity, stretch, theta-paths) are
+  // skipped on such inputs while the structural checks still run.
+  const double min_dist = min_max_pairwise_distance(d).first;
+  const bool unique_distances = min_dist > 0.0;
+
+  graph::Graph n_audit = tt.graph();
+  if (mutator) mutator(n_audit, d);
+
+  // The audited copy is checked against the construction state even when a
+  // mutator corrupted it — that mismatch is precisely what the shrinker
+  // self-tests rely on detecting.
+  rep.checks.push_back(check_theta_invariants(n_audit, d, opt.theta, gstar,
+                                              &tt, unique_distances));
+
+  if (!opt.run_stretch) {
+    rep.checks.push_back(skipped("theorem2.2/energy-stretch", "disabled"));
+  } else if (!unique_distances) {
+    rep.checks.push_back(skipped(
+        "theorem2.2/energy-stretch",
+        "duplicate points void the unique-distance assumption"));
+  } else {
+    rep.checks.push_back(
+        check_energy_stretch(n_audit, d, gstar, opt.max_energy_stretch));
+  }
+
+  // Lemma 2.9's theta-path recursion likewise assumes unique pairwise
+  // distances; coincident points can cycle it.
+  if (!opt.run_replacement) {
+    rep.checks.push_back(skipped("lemma2.9/replacement-reuse", "disabled"));
+  } else if (!unique_distances) {
+    rep.checks.push_back(skipped("lemma2.9/replacement-reuse",
+                                 "duplicate points break the theta-path "
+                                 "recursion's distance ordering"));
+  } else if (gstar.num_edges() == 0) {
+    rep.checks.push_back(
+        skipped("lemma2.9/replacement-reuse", "G* has no edges"));
+  } else {
+    const interf::InterferenceModel model{opt.delta};
+    rep.checks.push_back(check_replacement_reuse(
+        tt, gstar, model, opt.max_replacement_reuse));
+  }
+
+  if (!opt.run_router) {
+    rep.checks.push_back(skipped("theorem3.1/router-bounds", "disabled"));
+  } else if (n_audit.num_edges() == 0) {
+    rep.checks.push_back(
+        skipped("theorem3.1/router-bounds", "topology has no edges"));
+  } else {
+    route::TraceParams tp;
+    tp.horizon = opt.trace_horizon;
+    tp.drain = opt.trace_drain;
+    tp.injections_per_step = 2.0;
+    tp.num_destinations = 2;
+    geom::Rng rng(opt.trace_seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+    const route::AdversaryTrace trace = make_certified_trace(n_audit, tp, rng);
+    const core::BalancingParams params =
+        core::theorem31_params(trace.opt, opt.router_eps, opt.delta);
+    const sim::ScenarioResult result =
+        sim::run_mac_given(trace, params, /*extra_drain=*/opt.trace_drain);
+    RouterBoundsParams rb;
+    rb.theorem31_delta = opt.delta;
+    rb.expect_no_collisions = true;  // scenario 1: the MAC is given
+    rep.checks.push_back(check_router_bounds(trace, params, result, rb));
+  }
+
+  return rep;
+}
+
+namespace {
+
+topo::Deployment without_range(const topo::Deployment& d, std::size_t begin,
+                               std::size_t end) {
+  topo::Deployment out;
+  out.max_range = d.max_range;
+  out.kappa = d.kappa;
+  out.positions.reserve(d.size() - (end - begin));
+  for (std::size_t i = 0; i < d.size(); ++i)
+    if (i < begin || i >= end) out.positions.push_back(d.positions[i]);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_deployment(const topo::Deployment& failing,
+                               const ConformanceOptions& opt,
+                               const TopologyMutator& mutator,
+                               std::size_t max_evaluations) {
+  ShrinkResult res;
+  res.reproducer = failing;
+  res.report = run_conformance(failing, opt, mutator);
+  res.evaluations = 1;
+  TN_ASSERT_MSG(!res.report.pass(),
+                "shrink_deployment() needs a failing instance to shrink");
+
+  // Greedy chunked node removal (ddmin flavour): try to delete progressively
+  // smaller contiguous blocks, keeping any deletion that still fails.
+  std::size_t chunk = std::max<std::size_t>(1, res.reproducer.size() / 2);
+  while (chunk >= 1) {
+    bool removed_any = false;
+    std::size_t begin = 0;
+    while (begin < res.reproducer.size()) {
+      if (res.evaluations >= max_evaluations) return res;
+      const std::size_t end =
+          std::min(begin + chunk, res.reproducer.size());
+      if (end - begin == res.reproducer.size()) break;  // never empty it
+      topo::Deployment candidate = without_range(res.reproducer, begin, end);
+      ConformanceReport r = run_conformance(candidate, opt, mutator);
+      ++res.evaluations;
+      if (!r.pass()) {
+        res.reproducer = std::move(candidate);
+        res.report = std::move(r);
+        removed_any = true;
+        // keep `begin`: the next block slid into this position
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    chunk = removed_any ? chunk : chunk / 2;
+  }
+  return res;
+}
+
+void save_corpus_case(std::ostream& os, const CorpusCase& c) {
+  os << "conformance v1 " << (c.name.empty() ? "unnamed" : c.name) << ' '
+     << c.seed << '\n';
+  os << "theta " << format_double(c.theta) << " delta "
+     << format_double(c.delta) << '\n';
+  topo::save_deployment(os, c.deployment);
+}
+
+bool save_corpus_case(const std::string& path, const CorpusCase& c) {
+  std::ofstream os(path);
+  if (!os) return false;
+  save_corpus_case(os, c);
+  return static_cast<bool>(os);
+}
+
+std::optional<CorpusCase> load_corpus_case(std::istream& is) {
+  std::string magic, version;
+  CorpusCase c;
+  if (!(is >> magic >> version >> c.name >> c.seed)) return std::nullopt;
+  if (magic != "conformance" || version != "v1") return std::nullopt;
+  std::string kw_theta, kw_delta;
+  if (!(is >> kw_theta >> c.theta >> kw_delta >> c.delta)) return std::nullopt;
+  if (kw_theta != "theta" || kw_delta != "delta") return std::nullopt;
+  std::optional<topo::Deployment> d = topo::load_deployment(is);
+  if (!d) return std::nullopt;
+  c.deployment = std::move(*d);
+  return c;
+}
+
+std::optional<CorpusCase> load_corpus_case(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_corpus_case(is);
+}
+
+}  // namespace thetanet::verify

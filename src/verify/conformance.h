@@ -1,0 +1,88 @@
+#pragma once
+// The per-instance conformance run (all paper-guarantee checkers over one
+// deployment), the greedy node-removal shrinker that minimizes a failing
+// instance, and the corpus format that persists shrunk reproducers as
+// committed regression cases (tests/conformance/corpus/).
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "routing/adversary.h"
+#include "topology/deployment.h"
+#include "verify/invariants.h"
+#include "verify/report.h"
+
+namespace thetanet::verify {
+
+/// Test-only hook: mutates a copy of the constructed topology N before the
+/// checkers see it. Used to inject deliberate bugs (shrinker self-tests,
+/// checker unit tests); production runs pass none.
+using TopologyMutator =
+    std::function<void(graph::Graph&, const topo::Deployment&)>;
+
+struct ConformanceOptions {
+  double theta = 0.3490658503988659;  ///< pi/9
+  double delta = 1.0;                 ///< interference guard zone
+  double max_energy_stretch = kDefaultEnergyStretchBound;
+  std::uint32_t max_replacement_reuse = kDefaultReplacementReuseBound;
+
+  bool run_stretch = true;
+  bool run_replacement = true;
+  bool run_router = true;
+
+  // Router sub-run (a small certified trace over N).
+  std::uint64_t trace_seed = 1;
+  route::Time trace_horizon = 48;
+  route::Time trace_drain = 48;
+  double router_eps = 0.25;
+};
+
+/// Run every applicable checker on the deployment: builds G* and ThetaALG's
+/// N, audits Lemma 2.1 / Theorem 2.2 / Lemma 2.9, then drives a certified
+/// (T,gamma)-balancing run over N and audits the Section 3 bounds.
+/// Degenerate inputs are handled, not rejected: n < 2 trivially passes, and
+/// duplicate points (unique-distance violation) skip the replacement-path
+/// checker with a note. `mutator`, when set, corrupts the audited copy of N
+/// (never the ThetaTopology used to derive replacement paths).
+ConformanceReport run_conformance(const topo::Deployment& d,
+                                  const ConformanceOptions& opt,
+                                  const TopologyMutator& mutator = {});
+
+/// Greedy node-removal bisection (delta-debugging style): repeatedly delete
+/// the largest chunk of nodes that keeps run_conformance failing, down to
+/// single nodes. Returns the minimal reproducer together with its failing
+/// report and the number of conformance evaluations spent.
+struct ShrinkResult {
+  topo::Deployment reproducer;
+  ConformanceReport report;
+  std::size_t evaluations = 0;
+};
+
+ShrinkResult shrink_deployment(const topo::Deployment& failing,
+                               const ConformanceOptions& opt,
+                               const TopologyMutator& mutator = {},
+                               std::size_t max_evaluations = 2000);
+
+/// A committed regression case: the shrunk deployment plus everything needed
+/// to re-run the checkers that failed. Serialized as
+///
+///   conformance v1 <name> <seed>
+///   theta <theta> delta <delta>
+///   deployment v1 <n> <max_range> <kappa>
+///   <x> <y> ...
+struct CorpusCase {
+  std::string name;        ///< scenario label (no spaces)
+  std::uint64_t seed = 0;  ///< originating fuzz seed, for provenance
+  double theta = 0.3490658503988659;
+  double delta = 1.0;
+  topo::Deployment deployment;
+};
+
+void save_corpus_case(std::ostream& os, const CorpusCase& c);
+bool save_corpus_case(const std::string& path, const CorpusCase& c);
+std::optional<CorpusCase> load_corpus_case(std::istream& is);
+std::optional<CorpusCase> load_corpus_case(const std::string& path);
+
+}  // namespace thetanet::verify

@@ -1,0 +1,107 @@
+#pragma once
+// One executable checker per paper guarantee. Each takes a concrete
+// instance (topology + deployment) and returns a structured CheckReport;
+// none of them asserts or aborts, so they are safe to run inside the fuzz
+// driver, inside gtest, and on deliberately broken (mutated) topologies.
+//
+//   checker                     paper claim
+//   ------------------------    -----------------------------------------
+//   check_theta_invariants      Lemma 2.1  (connectivity, degree <= 4*pi/theta,
+//                               N subset of G*, phase-2 admission structure)
+//   check_energy_stretch        Theorem 2.2 (O(1) energy-stretch, kappa sweep)
+//   check_replacement_reuse     Lemma 2.9  (theta-path replacement, <= 6 reuse)
+//   check_interference_growth   Lemma 2.10 (I(N) = O(log n) on uniform sweeps)
+//   check_router_bounds         Section 3  ((T,gamma)-balancing queue bounds)
+
+#include <cstdint>
+#include <span>
+
+#include "core/balancing_router.h"
+#include "core/theta_topology.h"
+#include "interference/model.h"
+#include "routing/adversary.h"
+#include "sim/scenarios.h"
+#include "verify/report.h"
+
+namespace thetanet::verify {
+
+/// Default ceiling for the empirical energy-stretch constant of Theorem 2.2
+/// across arbitrary distributions and kappa in {2,3,4} (the theorem proves
+/// O(1); existing suites observe < 6 at theta <= pi/6).
+inline constexpr double kDefaultEnergyStretchBound = 8.0;
+
+/// Lemma 2.9's proven constant.
+inline constexpr std::uint32_t kDefaultReplacementReuseBound = 6;
+
+/// Lemma 2.1 + structural sanity. `n` is the (possibly mutated) topology to
+/// audit against the deployment and transmission graph. When `tt` is
+/// non-null (an unmutated ThetaTopology whose graph() produced `n`), the
+/// phase-2 admission structure is audited too: every admitted edge is
+/// materialized, admitted nodes lie in the right sector and selected their
+/// admitter in phase 1, and every N edge was admitted by at least one side.
+/// Pass assume_unique_distances = false for inputs with duplicate points:
+/// Lemma 2.1's connectivity claim presupposes unique pairwise distances and
+/// is skipped (with a note) on degenerate instances.
+CheckReport check_theta_invariants(const graph::Graph& n,
+                                   const topo::Deployment& d, double theta,
+                                   const graph::Graph& gstar,
+                                   const core::ThetaTopology* tt = nullptr,
+                                   bool assume_unique_distances = true);
+
+/// Theorem 2.2: for each kappa in {2,3,4} recost both graphs with
+/// |uv|^kappa and verify edge-stretch <= max_stretch (an upper bound on the
+/// pairwise energy-stretch by the decomposition lemma). Also flags a
+/// disconnected pair (a base edge whose endpoints H cannot join), which is a
+/// Lemma 2.1 failure surfacing through the stretch oracle. Base edges of
+/// zero weight (coincident points) are skipped and noted.
+CheckReport check_energy_stretch(const graph::Graph& n,
+                                 const topo::Deployment& d,
+                                 const graph::Graph& gstar,
+                                 double max_stretch = kDefaultEnergyStretchBound);
+
+/// Lemma 2.9: build a greedy maximal non-interfering subset T of G*'s edges
+/// under model `m`, replace each by its theta-path, and verify that (a)
+/// every path is a connected u..v walk over N edges and (b) no N edge is
+/// shared by more than `max_reuse` replacement paths. Requires the
+/// unique-distance precondition; callers should skip degenerate inputs
+/// (duplicate points) — see run_conformance.
+CheckReport check_replacement_reuse(
+    const core::ThetaTopology& tt, const graph::Graph& gstar,
+    const interf::InterferenceModel& m,
+    std::uint32_t max_reuse = kDefaultReplacementReuseBound);
+
+/// One point of an n-sweep for Lemma 2.10.
+struct InterferenceSample {
+  std::size_t n = 0;                 ///< deployment size
+  std::uint32_t interference = 0;    ///< I(N) measured at that n
+};
+
+/// Lemma 2.10: every sample must satisfy I <= max_per_log_n * log2(n), and
+/// the sweep's growth from first to last sample must stay within
+/// growth_slack times the growth of log2(n) — a super-logarithmic I(n)
+/// violates both long before it reaches polynomial scaling.
+CheckReport check_interference_growth(std::span<const InterferenceSample> samples,
+                                      double max_per_log_n,
+                                      double growth_slack = 3.0);
+
+/// Section 3 (T,gamma)-balancing invariants for a finished run:
+///   * packet conservation (offered = accepted + injection drops;
+///     accepted = delivered + transit drops + leftover),
+///   * peak buffer height <= H (the hard BufferBank cap),
+///   * deliveries <= certified OPT deliveries,
+///   * no in-transit deletions when T >= B + 2*(delta-1) (Theorem 3.1's
+///     "only newly injected packets are ever deleted" regime),
+///   * optionally (min_throughput_ratio > 0) a throughput floor, and
+///   * expect_no_collisions for MAC-given runs (Scenario 1 has no medium).
+struct RouterBoundsParams {
+  double theorem31_delta = 1.0;      ///< the delta used to derive T
+  double min_throughput_ratio = 0.0; ///< 0 disables the asymptotic check
+  bool expect_no_collisions = false;
+};
+
+CheckReport check_router_bounds(const route::AdversaryTrace& trace,
+                                const core::BalancingParams& params,
+                                const sim::ScenarioResult& result,
+                                const RouterBoundsParams& bounds = {});
+
+}  // namespace thetanet::verify

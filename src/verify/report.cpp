@@ -1,0 +1,33 @@
+#include "verify/report.h"
+
+#include <cstdio>
+
+namespace thetanet::verify {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string CheckReport::to_string() const {
+  std::string out = "check " + checker + ": ";
+  out += pass() ? "PASS" : "FAIL";
+  out += " (checks=" + std::to_string(checks) +
+         ", violations=" + std::to_string(violations.size()) + ")\n";
+  for (const Violation& v : violations)
+    out += "  violation " + v.rule + ": " + v.detail + "\n";
+  for (const std::string& n : notes) out += "  note: " + n + "\n";
+  return out;
+}
+
+std::string ConformanceReport::to_string() const {
+  std::string out = "scenario " + scenario + ": ";
+  out += pass() ? "PASS" : "FAIL";
+  out += " (checks=" + std::to_string(total_checks()) +
+         ", violations=" + std::to_string(total_violations()) + ")\n";
+  for (const CheckReport& c : checks) out += c.to_string();
+  return out;
+}
+
+}  // namespace thetanet::verify

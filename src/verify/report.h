@@ -1,0 +1,72 @@
+#pragma once
+// Structured violation reports for the paper-guarantee conformance harness.
+// Every checker in verify/invariants.h returns a CheckReport instead of
+// asserting, so the same code serves three consumers: gtest suites (assert
+// on pass()), the randomized fuzz driver (shrink + corpus on failure), and
+// the cross-thread determinism job (byte-for-byte report diffs). All
+// formatting is deterministic: doubles print with max_digits10 precision and
+// no locale, so bit-identical inputs yield byte-identical reports.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace thetanet::verify {
+
+/// One failed assertion inside a checker.
+struct Violation {
+  std::string rule;    ///< stable id, e.g. "lemma2.1/degree"
+  std::string detail;  ///< deterministic human-readable context
+
+  bool operator==(const Violation&) const = default;
+};
+
+/// Outcome of one checker over one instance.
+struct CheckReport {
+  std::string checker;   ///< e.g. "theta_invariants"
+  std::size_t checks = 0;  ///< individual assertions evaluated
+  std::vector<Violation> violations;
+  std::vector<std::string> notes;  ///< skipped sub-checks etc. (not failures)
+
+  bool pass() const { return violations.empty(); }
+
+  void add_violation(std::string rule, std::string detail) {
+    violations.push_back({std::move(rule), std::move(detail)});
+  }
+
+  /// Deterministic multi-line rendering ("check <name>: PASS ..." header
+  /// followed by one line per violation/note).
+  std::string to_string() const;
+};
+
+/// All checker outcomes for one scenario / instance.
+struct ConformanceReport {
+  std::string scenario;  ///< label of the instance checked
+  std::vector<CheckReport> checks;
+
+  bool pass() const {
+    for (const CheckReport& c : checks)
+      if (!c.pass()) return false;
+    return true;
+  }
+
+  std::size_t total_checks() const {
+    std::size_t s = 0;
+    for (const CheckReport& c : checks) s += c.checks;
+    return s;
+  }
+
+  std::size_t total_violations() const {
+    std::size_t s = 0;
+    for (const CheckReport& c : checks) s += c.violations.size();
+    return s;
+  }
+
+  std::string to_string() const;
+};
+
+/// Deterministic double formatting (%.17g, locale-free) shared by every
+/// checker message.
+std::string format_double(double v);
+
+}  // namespace thetanet::verify

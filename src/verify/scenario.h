@@ -1,0 +1,57 @@
+#pragma once
+// Seeded scenario generation for the conformance fuzzer: every scenario is a
+// pure function of its spec (distribution family, n, seed, mobility), so a
+// failing case is reproducible from the one line the driver prints. The
+// families deliberately span the paper's regimes — uniform (Lemma 2.10's
+// model), clustered, jittered grid, civilized / lambda-precision
+// (Section 2.3), the adversarial hub ring, the non-civilized exponential
+// chain and nested clusters, and fully coincident points (the degenerate
+// input the unique-distance assumption excludes — construction must still
+// not crash or hang on it).
+
+#include <cstdint>
+#include <string>
+
+#include "topology/deployment.h"
+
+namespace thetanet::verify {
+
+enum class Distribution : int {
+  kUniform = 0,
+  kClustered,
+  kGridJitter,
+  kCivilized,
+  kHubRing,
+  kExponentialChain,
+  kNestedClusters,
+  kCoincident,
+};
+
+inline constexpr Distribution kAllDistributions[] = {
+    Distribution::kUniform,          Distribution::kClustered,
+    Distribution::kGridJitter,       Distribution::kCivilized,
+    Distribution::kHubRing,          Distribution::kExponentialChain,
+    Distribution::kNestedClusters,   Distribution::kCoincident,
+};
+
+const char* distribution_name(Distribution d);
+
+struct ScenarioSpec {
+  Distribution dist = Distribution::kUniform;
+  std::size_t n = 32;
+  std::uint64_t seed = 1;
+  double kappa = 2.0;
+  double range_scale = 1.0;  ///< multiplies the family's default range
+  int mobility_steps = 0;    ///< random-waypoint steps applied after placement
+};
+
+/// Stable label, e.g. "uniform-n32-seed7-k2-m0"; used in reports and corpus
+/// file names, so it contains no spaces.
+std::string scenario_name(const ScenarioSpec& spec);
+
+/// Build the deployment for a spec. Total function: every distribution
+/// handles n in {0, 1, 2} (the generators' small-n edge cases are part of
+/// the conformance surface).
+topo::Deployment build_scenario_deployment(const ScenarioSpec& spec);
+
+}  // namespace thetanet::verify

@@ -1,0 +1,113 @@
+// The acceptance test for the shrinker: a deliberately buggy topology
+// mutator (drops the longest edge of N before auditing) makes every
+// non-trivial instance fail conformance, and the greedy node-removal shrink
+// must reduce a 40-node failing instance to a minimal reproducer of at most
+// 12 nodes (in practice: 2).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <utility>
+
+#include "verify/conformance.h"
+#include "verify/scenario.h"
+
+namespace thetanet {
+namespace {
+
+/// The injected bug: audit a copy of N with its longest edge removed.
+void drop_longest_edge(graph::Graph& g, const topo::Deployment& d) {
+  (void)d;
+  if (g.num_edges() == 0) return;
+  graph::EdgeId longest = 0;
+  for (graph::EdgeId e = 1; e < static_cast<graph::EdgeId>(g.num_edges()); ++e)
+    if (g.edge(e).length > g.edge(longest).length) longest = e;
+  graph::Graph out(g.num_nodes());
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges()); ++e)
+    if (e != longest) {
+      const graph::Edge& ed = g.edge(e);
+      out.add_edge(ed.u, ed.v, ed.length, ed.cost);
+    }
+  g = std::move(out);
+}
+
+verify::ConformanceOptions fast_options() {
+  verify::ConformanceOptions opt;
+  // The theta-invariant checker alone detects the mutation; skipping the
+  // heavier checkers keeps each shrink evaluation cheap.
+  opt.run_stretch = false;
+  opt.run_replacement = false;
+  opt.run_router = false;
+  return opt;
+}
+
+TEST(Shrinker, ReducesInjectedBugToMinimalReproducer) {
+  verify::ScenarioSpec spec;
+  spec.dist = verify::Distribution::kUniform;
+  spec.n = 40;
+  spec.seed = 17;
+  const topo::Deployment d = verify::build_scenario_deployment(spec);
+  const verify::ConformanceOptions opt = fast_options();
+
+  const verify::ConformanceReport full =
+      verify::run_conformance(d, opt, drop_longest_edge);
+  ASSERT_FALSE(full.pass());
+
+  const verify::ShrinkResult shrunk =
+      verify::shrink_deployment(d, opt, drop_longest_edge);
+  EXPECT_FALSE(shrunk.report.pass());
+  EXPECT_LE(shrunk.reproducer.size(), 12u);
+  EXPECT_GE(shrunk.reproducer.size(), 2u);
+  EXPECT_GT(shrunk.evaluations, 1u);
+
+  // The reproducer must fail standalone, not only within the shrink loop.
+  const verify::ConformanceReport again =
+      verify::run_conformance(shrunk.reproducer, opt, drop_longest_edge);
+  EXPECT_FALSE(again.pass());
+}
+
+TEST(Shrinker, ShrunkCaseSurvivesCorpusRoundTrip) {
+  verify::ScenarioSpec spec;
+  spec.dist = verify::Distribution::kUniform;
+  spec.n = 24;
+  spec.seed = 23;
+  const topo::Deployment d = verify::build_scenario_deployment(spec);
+  const verify::ConformanceOptions opt = fast_options();
+  const verify::ShrinkResult shrunk =
+      verify::shrink_deployment(d, opt, drop_longest_edge);
+
+  verify::CorpusCase c;
+  c.name = "shrink-roundtrip";
+  c.seed = spec.seed;
+  c.theta = opt.theta;
+  c.delta = opt.delta;
+  c.deployment = shrunk.reproducer;
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "shrunk.case").string();
+  ASSERT_TRUE(verify::save_corpus_case(path, c));
+  const std::optional<verify::CorpusCase> back =
+      verify::load_corpus_case(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->deployment.size(), shrunk.reproducer.size());
+  // Replaying the loaded case against the same mutator still fails — the
+  // reproducer is faithful after serialization.
+  const verify::ConformanceReport replay =
+      verify::run_conformance(back->deployment, opt, drop_longest_edge);
+  EXPECT_FALSE(replay.pass());
+}
+
+TEST(Shrinker, RequiresNoShrinkWhenAlreadyMinimal) {
+  // A 2-node in-range instance is already minimal: the mutator deletes its
+  // only edge, conformance fails, and shrinking cannot remove anything.
+  topo::Deployment d;
+  d.positions = {{0.25, 0.5}, {0.75, 0.5}};
+  d.max_range = 1.0;
+  const verify::ConformanceOptions opt = fast_options();
+  const verify::ShrinkResult shrunk =
+      verify::shrink_deployment(d, opt, drop_longest_edge);
+  EXPECT_EQ(shrunk.reproducer.size(), 2u);
+  EXPECT_FALSE(shrunk.report.pass());
+}
+
+}  // namespace
+}  // namespace thetanet

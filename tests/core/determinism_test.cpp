@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
@@ -18,6 +19,8 @@
 #include "topology/proximity.h"
 #include "topology/transmission_graph.h"
 #include "topology/yao.h"
+#include "verify/conformance.h"
+#include "verify/scenario.h"
 
 namespace thetanet {
 namespace {
@@ -124,6 +127,45 @@ TEST(Determinism, UniformDeploymentBitIdenticalAcrossThreadCounts) {
 
 TEST(Determinism, ClusteredDeploymentBitIdenticalAcrossThreadCounts) {
   check_deployment(clustered_deployment(3000));
+}
+
+TEST(Determinism, ConformanceReportsByteIdenticalAcrossThreadCounts) {
+  // The verify layer's rendered reports feed a byte-for-byte ctest diff
+  // (conformance_report_thread_diff); guard the same property in-process for
+  // a mix of scenario families, including a degenerate one.
+  ThreadCountRestorer restore;
+  std::vector<verify::ScenarioSpec> specs(4);
+  specs[0].dist = verify::Distribution::kUniform;
+  specs[0].n = 48;
+  specs[0].seed = 3;
+  specs[1].dist = verify::Distribution::kClustered;
+  specs[1].n = 40;
+  specs[1].seed = 4;
+  specs[2].dist = verify::Distribution::kHubRing;
+  specs[2].n = 24;
+  specs[2].seed = 5;
+  specs[3].dist = verify::Distribution::kCoincident;
+  specs[3].n = 6;
+  specs[3].seed = 6;
+
+  std::vector<std::string> base;
+  tn::set_num_threads(1);
+  for (const verify::ScenarioSpec& spec : specs) {
+    const topo::Deployment d = verify::build_scenario_deployment(spec);
+    base.push_back(
+        verify::run_conformance(d, verify::ConformanceOptions{}).to_string());
+  }
+  for (const int threads : {2, 7}) {
+    tn::set_num_threads(threads);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const topo::Deployment d = verify::build_scenario_deployment(specs[i]);
+      const std::string report =
+          verify::run_conformance(d, verify::ConformanceOptions{}).to_string();
+      ASSERT_EQ(report, base[i])
+          << "report for scenario " << verify::scenario_name(specs[i])
+          << " differs at threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

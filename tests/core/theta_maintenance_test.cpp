@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numbers>
+#include <tuple>
+#include <vector>
 
 #include "graph/connectivity.h"
 #include "sim/mobility.h"
 #include "topology/distributions.h"
+#include "topology/transmission_graph.h"
+#include "verify/invariants.h"
 
 namespace thetanet::core {
 namespace {
@@ -83,6 +88,74 @@ TEST(ThetaMaintainer, SustainedMobilityEpoch) {
   }
   EXPECT_TRUE(maintainer.matches_full_rebuild());
   EXPECT_TRUE(graph::is_connected(maintainer.graph()));
+}
+
+// --- Direct incremental-vs-from-scratch equivalence ------------------------
+// The tests above trust the class's own matches_full_rebuild() audit; these
+// compare the maintained graph edge-by-edge against an independently
+// constructed ThetaTopology, so a bug in the audit itself cannot hide one in
+// the maintenance.
+
+using EdgeKey = std::tuple<graph::NodeId, graph::NodeId, double, double>;
+
+std::vector<EdgeKey> edge_keys(const graph::Graph& g) {
+  std::vector<EdgeKey> keys;
+  keys.reserve(g.num_edges());
+  for (const graph::Edge& e : g.edges())
+    keys.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v), e.length,
+                      e.cost);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(ThetaMaintainerDirect, EdgeSetMatchesFreshTopologyAfterMoves) {
+  const std::size_t n = 90;
+  ThetaMaintainer maintainer(make_deployment(n, 0.3, 11), kTheta);
+  geom::Rng rng(12);
+  for (int move = 0; move < 25; ++move) {
+    const auto v = static_cast<graph::NodeId>(rng.uniform_index(n));
+    const geom::Vec2 p{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    maintainer.move_node(v, p);
+    const ThetaTopology fresh(maintainer.deployment(), kTheta);
+    ASSERT_EQ(edge_keys(maintainer.graph()), edge_keys(fresh.graph()))
+        << "divergence after move " << move;
+  }
+}
+
+TEST(ThetaMaintainerDirect, AuditAgreesWithDirectComparison) {
+  const std::size_t n = 70;
+  ThetaMaintainer maintainer(make_deployment(n, 0.35, 13), kTheta);
+  geom::Rng rng(14);
+  for (int move = 0; move < 20; ++move) {
+    const auto v = static_cast<graph::NodeId>(rng.uniform_index(n));
+    geom::Vec2 p = maintainer.deployment().positions[v];
+    p.x = std::clamp(p.x + rng.normal(0.0, 0.05), 0.0, 1.0);
+    p.y = std::clamp(p.y + rng.normal(0.0, 0.05), 0.0, 1.0);
+    maintainer.move_node(v, p);
+    const ThetaTopology fresh(maintainer.deployment(), kTheta);
+    const bool direct_equal =
+        edge_keys(maintainer.graph()) == edge_keys(fresh.graph());
+    ASSERT_EQ(maintainer.matches_full_rebuild(), direct_equal)
+        << "audit disagrees with the direct comparison after move " << move;
+    ASSERT_TRUE(direct_equal);
+  }
+}
+
+TEST(ThetaMaintainerDirect, MaintainedGraphPassesPaperInvariants) {
+  const std::size_t n = 60;
+  ThetaMaintainer maintainer(make_deployment(n, 0.35, 15), kTheta);
+  geom::Rng rng(16);
+  for (int move = 0; move < 12; ++move) {
+    const auto v = static_cast<graph::NodeId>(rng.uniform_index(n));
+    maintainer.move_node(v, {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  }
+  // The maintained topology must satisfy Lemma 2.1 for the *current*
+  // deployment, checked through the conformance layer.
+  const topo::Deployment& d = maintainer.deployment();
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  const verify::CheckReport r =
+      verify::check_theta_invariants(maintainer.graph(), d, kTheta, gstar);
+  EXPECT_TRUE(r.pass()) << r.to_string();
 }
 
 }  // namespace

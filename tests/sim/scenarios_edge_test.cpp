@@ -1,9 +1,14 @@
 // Edge-case coverage for the scenario drivers: cost-override accounting,
-// drain-cycling semantics, custom-MAC hooks, and the ratio helpers.
+// drain-cycling semantics, custom-MAC hooks, the ratio helpers, and tiny-n /
+// degenerate inputs for every conformance scenario builder.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/scenarios.h"
+#include "verify/conformance.h"
+#include "verify/scenario.h"
 
 namespace thetanet::sim {
 namespace {
@@ -140,6 +145,72 @@ TEST(ScenarioEdge, MetricsAverageHelpers) {
   EXPECT_DOUBLE_EQ(m.avg_delivered_cost(), 2.5);
   EXPECT_DOUBLE_EQ(m.avg_latency(), 5.0);
   EXPECT_DOUBLE_EQ(m.avg_hops(), 3.5);
+}
+
+// --- Tiny-n and degenerate inputs for every scenario builder ----------------
+// Every distribution family must be a total function of its spec: n in
+// {0, 1, 2} builds exactly n finite points (no assert, no hang), and the
+// degenerate all-coincident family survives the full conformance run.
+
+TEST(ScenarioBuilderEdge, TinyNBuildsExactlyNPoints) {
+  for (const verify::Distribution dist : verify::kAllDistributions) {
+    for (const std::size_t n : {0u, 1u, 2u}) {
+      verify::ScenarioSpec spec;
+      spec.dist = dist;
+      spec.n = n;
+      spec.seed = 42 + n;
+      const topo::Deployment d = verify::build_scenario_deployment(spec);
+      ASSERT_EQ(d.size(), n) << verify::scenario_name(spec);
+      EXPECT_GT(d.max_range, 0.0) << verify::scenario_name(spec);
+      for (const geom::Vec2 p : d.positions) {
+        EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y))
+            << verify::scenario_name(spec);
+      }
+    }
+  }
+}
+
+TEST(ScenarioBuilderEdge, TinyNPassesConformance) {
+  for (const verify::Distribution dist : verify::kAllDistributions) {
+    for (const std::size_t n : {0u, 1u, 2u}) {
+      verify::ScenarioSpec spec;
+      spec.dist = dist;
+      spec.n = n;
+      spec.seed = 7 + n;
+      const topo::Deployment d = verify::build_scenario_deployment(spec);
+      const verify::ConformanceReport r =
+          verify::run_conformance(d, verify::ConformanceOptions{});
+      EXPECT_TRUE(r.pass())
+          << verify::scenario_name(spec) << "\n" << r.to_string();
+    }
+  }
+}
+
+TEST(ScenarioBuilderEdge, MobilityStepsKeepTinyNWellFormed) {
+  for (const std::size_t n : {0u, 1u, 2u}) {
+    verify::ScenarioSpec spec;
+    spec.dist = verify::Distribution::kUniform;
+    spec.n = n;
+    spec.seed = 11;
+    spec.mobility_steps = 5;
+    const topo::Deployment d = verify::build_scenario_deployment(spec);
+    ASSERT_EQ(d.size(), n);
+    for (const geom::Vec2 p : d.positions)
+      EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y));
+  }
+}
+
+TEST(ScenarioBuilderEdge, CoincidentFamilySurvivesAllSizes) {
+  for (const std::size_t n : {0u, 1u, 2u, 5u, 16u}) {
+    verify::ScenarioSpec spec;
+    spec.dist = verify::Distribution::kCoincident;
+    spec.n = n;
+    const topo::Deployment d = verify::build_scenario_deployment(spec);
+    ASSERT_EQ(d.size(), n);
+    const verify::ConformanceReport r =
+        verify::run_conformance(d, verify::ConformanceOptions{});
+    EXPECT_TRUE(r.pass()) << "n=" << n << "\n" << r.to_string();
+  }
 }
 
 }  // namespace

@@ -9,12 +9,15 @@ fresh time exceeds the baseline by more than --threshold (default 25%);
 entries faster than --min-ms in both files are skipped as noise. The script
 also fails when the fresh run reports a cross-thread determinism violation.
 Exit status: 0 = no regression, 1 = regression or determinism failure,
-2 = usage/parse error. Improvements are reported informationally.
+2 = usage/parse error, 3 = malformed results (a record is missing one of
+kernel/n/threads/ms). Improvements are reported informationally.
 """
 
 import argparse
 import json
 import sys
+
+REQUIRED_FIELDS = ("kernel", "n", "threads", "ms")
 
 
 def load(path):
@@ -26,10 +29,21 @@ def load(path):
         sys.exit(2)
 
 
-def entries(doc):
-    return {
-        (r["kernel"], r["n"], r["threads"]): r for r in doc.get("results", [])
-    }
+def entries(doc, path):
+    """Index records by (kernel, n, threads), validating fields up front.
+
+    A malformed record used to surface as a bare KeyError traceback, which
+    masked the actual diff; exit 3 with the file and record index instead.
+    """
+    out = {}
+    for i, r in enumerate(doc.get("results", [])):
+        missing = [k for k in REQUIRED_FIELDS if k not in r]
+        if missing:
+            print(f"bench_compare: {path}: results[{i}] is missing "
+                  f"{', '.join(missing)} (has: {sorted(r)})", file=sys.stderr)
+            sys.exit(3)
+        out[(r["kernel"], r["n"], r["threads"])] = r
+    return out
 
 
 def main():
@@ -44,8 +58,8 @@ def main():
 
     base_doc = load(args.baseline)
     fresh_doc = load(args.fresh)
-    base = entries(base_doc)
-    fresh = entries(fresh_doc)
+    base = entries(base_doc, args.baseline)
+    fresh = entries(fresh_doc, args.fresh)
 
     failed = False
     if fresh_doc.get("outputs_bit_identical_across_threads") is False:

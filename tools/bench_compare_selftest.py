@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Self-test for bench_compare.py, runnable standalone or via ctest.
+
+Each test_* function drives the real script through subprocess with
+synthetic BENCH_kernels.json inputs and asserts on exit code and output.
+No third-party test framework: `python3 bench_compare_selftest.py` runs
+every test_* function and exits nonzero on the first failure.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def run_compare(tmp, baseline, fresh, *extra):
+    """Write the two docs into tmp and run bench_compare.py on them."""
+    bpath = os.path.join(tmp, "baseline.json")
+    fpath = os.path.join(tmp, "fresh.json")
+    with open(bpath, "w", encoding="utf-8") as f:
+        json.dump(baseline, f)
+    with open(fpath, "w", encoding="utf-8") as f:
+        json.dump(fresh, f)
+    return subprocess.run(
+        [sys.executable, SCRIPT, bpath, fpath, *extra],
+        capture_output=True, text=True, check=False)
+
+
+def record(kernel="build_gstar", n=1000, threads=1, ms=10.0, **kw):
+    r = {"kernel": kernel, "n": n, "threads": threads, "ms": ms}
+    r.update(kw)
+    return r
+
+
+def test_identical_files_pass(tmp):
+    doc = {"results": [record(), record(kernel="theta", ms=5.0)]}
+    p = run_compare(tmp, doc, doc)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "0 regressions" in p.stdout
+
+
+def test_regression_detected(tmp):
+    base = {"results": [record(ms=10.0)]}
+    fresh = {"results": [record(ms=20.0)]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "FAIL" in p.stdout
+
+
+def test_improvement_is_not_failure(tmp):
+    base = {"results": [record(ms=20.0)]}
+    fresh = {"results": [record(ms=10.0)]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "improved" in p.stdout
+
+
+def test_noise_floor_skips_fast_entries(tmp):
+    base = {"results": [record(ms=0.01)]}
+    fresh = {"results": [record(ms=0.05)]}  # 5x, but below --min-ms
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "1 below noise floor" in p.stdout
+
+
+def test_determinism_violation_fails(tmp):
+    doc = {"results": [record()]}
+    fresh = {"results": [record()],
+             "outputs_bit_identical_across_threads": False}
+    p = run_compare(tmp, doc, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "determinism" in p.stdout
+
+
+def test_missing_entry_fields_exit_3(tmp):
+    # The old behaviour was a bare KeyError traceback (exit 1, masking the
+    # diff); a malformed record must now exit 3 and name the culprit.
+    base = {"results": [record()]}
+    fresh = {"results": [{"kernel": "build_gstar", "n": 1000}]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "results[0] is missing" in p.stderr
+    assert "threads" in p.stderr and "ms" in p.stderr
+    assert "Traceback" not in p.stderr
+
+
+def test_malformed_baseline_also_exit_3(tmp):
+    base = {"results": [{"n": 5}]}
+    fresh = {"results": [record()]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "baseline.json" in p.stderr
+
+
+def test_unreadable_file_exit_2(tmp):
+    doc = {"results": [record()]}
+    bpath = os.path.join(tmp, "baseline.json")
+    with open(bpath, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    p = subprocess.run(
+        [sys.executable, SCRIPT, bpath, os.path.join(tmp, "missing.json")],
+        capture_output=True, text=True, check=False)
+    assert p.returncode == 2, p.stdout + p.stderr
+
+
+def test_disjoint_entries_warn_but_pass(tmp):
+    base = {"results": [record(kernel="a")]}
+    fresh = {"results": [record(kernel="b")]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "no overlapping" in p.stdout
+
+
+def main():
+    tests = sorted(
+        (name, fn) for name, fn in globals().items()
+        if name.startswith("test_") and callable(fn))
+    for name, fn in tests:
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                fn(tmp)
+            except AssertionError as e:
+                print(f"FAIL {name}: {e}")
+                return 1
+            print(f"ok {name}")
+    print(f"bench_compare_selftest: {len(tests)} tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
