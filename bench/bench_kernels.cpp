@@ -38,7 +38,10 @@
 
 #include "geom/spatial_grid.h"
 
+#include "common.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 #include "core/balancing_router.h"
 #include "core/local_protocol.h"
@@ -315,21 +318,20 @@ SweepResult measure_in_process(const SweepKernel& k, const topo::Deployment& d,
   const int reps = n <= 10000 ? 3 : 1;
   double best_ms = 0.0;
   std::uint64_t checksum = 0;
-  geom::SpatialGrid::ScanStats scans;
+  std::uint64_t queries = 0;
+  std::uint64_t points = 0;
   for (int r = 0; r < reps; ++r) {
-    geom::SpatialGrid::reset_scan_stats();
+    const bench::TelemetryProbe probe;  // zeroes the registry for this rep
     const auto t0 = std::chrono::steady_clock::now();
     checksum = k.run(d, theta);
     const auto t1 = std::chrono::steady_clock::now();
-    scans = geom::SpatialGrid::scan_stats();
+    queries = probe.count("grid.queries");
+    points = probe.count("grid.points_examined");
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (r == 0 || ms < best_ms) best_ms = ms;
   }
-  return {k.name,   n,
-          threads,  best_ms,
-          checksum, scans.queries,
-          scans.points_examined};
+  return {k.name, n, threads, best_ms, checksum, queries, points};
 }
 
 // Measure one sweep entry in a forked child so every entry sees a pristine
@@ -397,6 +399,51 @@ SweepResult time_kernel(const SweepKernel& k, const topo::Deployment& d,
   return measure_in_process(k, d, theta, n, threads);
 }
 
+// Cost of the compiled-in telemetry at its runtime default (recording on)
+// versus runtime-off, on the grid-heaviest kernels at n=2000. Reps
+// alternate between the two modes so thermal/frequency drift hits both
+// equally; min-of-reps on each side. The acceptance bar is <2% — recorded
+// in BENCH_kernels.json so regressions in instrumentation cost are as
+// visible as regressions in kernel time.
+struct TelemetryOverhead {
+  std::size_t n;
+  double on_ms;
+  double off_ms;
+  double overhead_pct;
+};
+
+TelemetryOverhead measure_telemetry_overhead() {
+  const std::size_t n = 2000;
+  const topo::Deployment d = deployment(n);
+  tn::set_num_threads(1);
+  const graph::Graph theta = core::ThetaTopology(d, kTheta).graph();
+  const auto run_once = [&] {
+    isolate_heap();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t sink = run_theta_build(d, theta);
+    sink ^= run_interference_sets(d, theta);
+    benchmark::DoNotOptimize(sink);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  run_once();  // warm-up outside either tally
+  double on_ms = 0.0;
+  double off_ms = 0.0;
+  const int reps = 5;
+  for (int r = 0; r < reps; ++r) {
+    obs::set_recording(true);
+    const double on = run_once();
+    obs::set_recording(false);
+    const double off = run_once();
+    if (r == 0 || on < on_ms) on_ms = on;
+    if (r == 0 || off < off_ms) off_ms = off;
+  }
+  obs::set_recording(true);
+  const double pct =
+      off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+  return {n, on_ms, off_ms, pct};
+}
+
 std::vector<std::size_t> sweep_sizes() {
   std::vector<std::size_t> ns{1000, 10000, 100000};
   if (const char* s = std::getenv("TN_BENCH_SWEEP_NS")) {
@@ -434,7 +481,6 @@ void run_thread_sweep() {
       {"interference_set_sizes", run_interference_sizes},
   };
 
-  geom::SpatialGrid::set_scan_stats_enabled(true);
   std::vector<SweepResult> results;
   bool all_identical = true;
   for (const std::size_t n : sweep_sizes()) {
@@ -460,7 +506,6 @@ void run_thread_sweep() {
     }
   }
   tn::set_num_threads(1);
-  geom::SpatialGrid::set_scan_stats_enabled(false);
 
   // speedup vs the 1-thread entry of the same (kernel, n); anything below
   // 0.9 means adding threads made the kernel *slower* — a scaling
@@ -487,6 +532,11 @@ void run_thread_sweep() {
                  "(< 0.9)\n",
                  r->kernel, r->n, r->threads, speedup(*r));
 
+  const TelemetryOverhead overhead = measure_telemetry_overhead();
+  std::printf("telemetry overhead n=%zu: on %.2f ms, off %.2f ms (%+.2f%%)\n",
+              overhead.n, overhead.on_ms, overhead.off_ms,
+              overhead.overhead_pct);
+
   std::FILE* out = std::fopen("BENCH_kernels.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
@@ -495,6 +545,11 @@ void run_thread_sweep() {
   std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(out, "  \"pool_threads_max\": %d,\n", threads.back());
+  std::fprintf(out,
+               "  \"telemetry_overhead\": {\"n\": %zu, \"on_ms\": %.3f, "
+               "\"off_ms\": %.3f, \"overhead_pct\": %.2f},\n",
+               overhead.n, overhead.on_ms, overhead.off_ms,
+               overhead.overhead_pct);
   std::fprintf(out, "  \"outputs_bit_identical_across_threads\": %s,\n",
                all_identical ? "true" : "false");
   std::fprintf(out, "  \"speedup_regressions\": [");
@@ -527,6 +582,16 @@ void run_thread_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --telemetry FILE before google-benchmark sees (and rejects) it.
+  std::string telemetry_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   // Sweep first: its parent-side code never runs the pool with more than
@@ -536,5 +601,14 @@ int main(int argc, char** argv) {
   run_thread_sweep();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!telemetry_path.empty()) {
+    // A profiling dump for humans: include wall time and timing-class
+    // metrics (deterministic dumps come from the conformance fuzz driver).
+    if (!obs::write_telemetry_json(telemetry_path, /*include_timing=*/true)) {
+      std::fprintf(stderr, "cannot write %s\n", telemetry_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", telemetry_path.c_str());
+  }
   return 0;
 }

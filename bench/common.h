@@ -10,6 +10,7 @@
 #include <string>
 
 #include "geom/rng.h"
+#include "obs/metrics.h"
 #include "topology/deployment.h"
 #include "topology/distributions.h"
 #include "sim/table.h"
@@ -35,6 +36,20 @@ inline topo::Deployment uniform_deployment(std::size_t n, geom::Rng& rng,
   d.kappa = kappa;
   return d;
 }
+
+/// Scoped view over the global telemetry registry for benchmark probes:
+/// construction zeroes every counter, so a later read returns counts for
+/// exactly the probed region. This replaces the ad-hoc SpatialGrid scan
+/// statics from the earlier bench plumbing — all kernels now report
+/// through obs::MetricsRegistry and every harness reads the same names
+/// (catalogue in docs/observability.md).
+class TelemetryProbe {
+ public:
+  TelemetryProbe() { obs::MetricsRegistry::global().reset(); }
+  std::uint64_t count(std::string_view name) const {
+    return obs::MetricsRegistry::global().counter_value(name);
+  }
+};
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("###############################################################\n");

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace thetanet::tn {
 namespace {
@@ -46,6 +48,11 @@ class Pool {
 
   void run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {
     if (num_chunks == 0) return;
+    // parallel.jobs is stable (one per dispatched loop, independent of the
+    // schedule); chunk counts are timing-class because the automatic grain
+    // targets ~8 chunks per thread and thus varies with TN_NUM_THREADS.
+    TN_OBS_COUNT("parallel.jobs", 1);
+    TN_OBS_COUNT_TIMING("parallel.chunks", num_chunks);
     int nthreads;
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -55,6 +62,7 @@ class Pool {
     // call from inside a chunk body (no nested pools — inner loops run
     // inline, which keeps the chunk schedule flat and deadlock-free).
     if (nthreads == 1 || num_chunks == 1 || in_run_) {
+      TN_OBS_COUNT_TIMING("parallel.chunks_inline", num_chunks);
       for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
       return;
     }
@@ -70,6 +78,10 @@ class Pool {
         workers_.emplace_back(&Pool::worker, this, job_id_);
       job_fn_ = &fn;
       job_chunks_ = num_chunks;
+      // Hand the caller's span context to the workers so spans opened inside
+      // chunk bodies nest under the dispatching phase, keeping the span-tree
+      // structure identical for any thread count.
+      job_span_ = obs::current_span();
       job_next_.store(0, std::memory_order_relaxed);
       job_err_ = nullptr;
       job_err_chunk_ = 0;
@@ -80,7 +92,7 @@ class Pool {
       cv_work_.notify_all();
     }
 
-    work(fn, num_chunks);
+    work(fn, num_chunks, /*is_worker=*/false);
 
     std::exception_ptr err;
     {
@@ -110,14 +122,17 @@ class Pool {
   // Marks the thread as inside a chunk body for the whole loop — on workers
   // and caller alike — so nested parallel calls run inline instead of
   // blocking on the (held) dispatch lock.
-  void work(const std::function<void(std::size_t)>& fn, std::size_t chunks) {
+  void work(const std::function<void(std::size_t)>& fn, std::size_t chunks,
+            bool is_worker) {
     struct InRunGuard {
       InRunGuard() { in_run_ = true; }
       ~InRunGuard() { in_run_ = false; }
     } guard;
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t c = job_next_.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) break;
+      ++executed;
       try {
         fn(c);
       } catch (...) {
@@ -129,12 +144,19 @@ class Pool {
         job_next_.store(chunks, std::memory_order_relaxed);
       }
     }
+    // How evenly the claim race spread this job; inherently schedule-
+    // dependent, hence timing-class.
+    if (executed > 0) {
+      TN_OBS_RECORD_TIMING("parallel.chunks_per_thread", executed);
+      if (is_worker) TN_OBS_COUNT_TIMING("parallel.chunks_stolen", executed);
+    }
   }
 
   void worker(std::uint64_t seen) {
     for (;;) {
       const std::function<void(std::size_t)>* fn = nullptr;
       std::size_t chunks = 0;
+      obs::SpanNode* span = nullptr;
       {
         std::unique_lock<std::mutex> lk(mu_);
         cv_work_.wait(lk, [&] { return shutdown_ || job_id_ != seen; });
@@ -147,8 +169,12 @@ class Pool {
         ++claimed_;
         fn = job_fn_;
         chunks = job_chunks_;
+        span = job_span_;
       }
-      work(*fn, chunks);
+      {
+        obs::SpanContextScope span_scope(span);
+        work(*fn, chunks, /*is_worker=*/true);
+      }
       {
         std::lock_guard<std::mutex> lk(mu_);
         if (--workers_running_ == 0) cv_done_.notify_all();
@@ -168,6 +194,7 @@ class Pool {
   std::uint64_t job_id_ = 0;
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_chunks_ = 0;
+  obs::SpanNode* job_span_ = nullptr;  // dispatcher's span context
   std::size_t job_participants_ = 0;
   std::size_t claimed_ = 0;
   std::size_t workers_running_ = 0;

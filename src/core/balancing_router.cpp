@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace thetanet::core {
 
@@ -72,6 +73,7 @@ std::vector<PlannedTx> BalancingRouter::plan(
       txs.push_back(*bwd);
     }
   }
+  TN_OBS_COUNT("router.planned_tx", txs.size());
   return txs;
 }
 
@@ -80,6 +82,9 @@ void BalancingRouter::execute(std::span<const PlannedTx> txs,
                               std::span<const double> costs, route::Time now,
                               RunMetrics& m) {
   TN_ASSERT(failed.empty() || failed.size() == txs.size());
+  // Registry tallies mirror the RunMetrics deltas of this call and flush
+  // once at the end — one registry touch per step, not per packet.
+  const RunMetrics before = m;
   // Phase 1 — departures. Planned txs operate on the step-start snapshot; a
   // buffer can be drained by an earlier tx of the same step, in which case
   // the later tx is skipped (a real node would simply not transmit).
@@ -121,21 +126,38 @@ void BalancingRouter::execute(std::span<const PlannedTx> txs,
     }
     if (!buffers_.push(tx->to, p)) ++m.dropped_in_transit;
   }
+
+  TN_OBS_COUNT("router.attempted_tx", m.attempted_tx - before.attempted_tx);
+  TN_OBS_COUNT("router.failed_tx", m.failed_tx - before.failed_tx);
+  TN_OBS_COUNT("router.skipped_tx", m.skipped_tx - before.skipped_tx);
+  TN_OBS_COUNT("router.delivered", m.deliveries - before.deliveries);
+  TN_OBS_COUNT("router.dropped_in_transit",
+               m.dropped_in_transit - before.dropped_in_transit);
 }
 
 void BalancingRouter::inject(const Packet& p, RunMetrics& m) {
   TN_ASSERT_MSG(!is_destination(p.src, p.dst),
                 "cannot inject a packet at its own destination");
   ++m.injected_offered;
+  TN_OBS_COUNT("router.injected", 1);
   if (buffers_.push(p.src, p)) {
     ++m.injected_accepted;
+    TN_OBS_COUNT("router.accepted", 1);
   } else {
     ++m.dropped_at_injection;
+    TN_OBS_COUNT("router.dropped_at_injection", 1);
   }
 }
 
 void BalancingRouter::end_step(RunMetrics& m) const {
-  m.peak_buffer = std::max(m.peak_buffer, buffers_.peak_height());
+  // The single bookkeeping path for the §3 backlog bound: the per-round
+  // peak is computed once here and feeds BOTH the telemetry distribution
+  // and RunMetrics::peak_buffer (which check_router_bounds consumes). By
+  // construction m.peak_buffer equals the max of the recorded series.
+  const std::size_t h = buffers_.peak_height();
+  TN_OBS_RECORD("router.round_peak_buffer", h);
+  TN_OBS_COUNT("router.rounds", 1);
+  m.peak_buffer = std::max(m.peak_buffer, h);
 }
 
 }  // namespace thetanet::core

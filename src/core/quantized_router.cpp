@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace thetanet::core {
 
 std::vector<PlannedTx> QuantizedHeightRouter::plan(
@@ -43,6 +45,7 @@ std::vector<PlannedTx> QuantizedHeightRouter::plan(
 }
 
 void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
+  const std::uint64_t before = control_messages_;
   const auto& bufs = inner_.buffers();
   for (graph::NodeId v = 0; v < advertised_.size(); ++v) {
     // Heights that rose or changed among live buffers.
@@ -66,6 +69,7 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
       }
     }
   }
+  TN_OBS_COUNT("router.control_messages", control_messages_ - before);
   inner_.end_step(m);
 }
 

@@ -5,6 +5,8 @@
 #include "common/parallel.h"
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace thetanet::core {
 
@@ -12,8 +14,17 @@ using graph::kInvalidNode;
 using graph::NodeId;
 
 ThetaTopology::ThetaTopology(const topo::Deployment& d, double theta)
-    : deployment_(&d), theta_(theta), table_(topo::compute_sector_table(d, theta)) {
-  build();
+    : deployment_(&d), theta_(theta) {
+  TN_OBS_SPAN("theta.build");
+  {
+    // Phase 1: every node picks its nearest in-range neighbour per sector.
+    TN_OBS_SPAN("theta.phase1");
+    table_ = topo::compute_sector_table(d, theta);
+  }
+  {
+    TN_OBS_SPAN("theta.phase2");
+    build();
+  }
 }
 
 void ThetaTopology::build() {
@@ -58,6 +69,7 @@ void ThetaTopology::build() {
         acc.insert(acc.end(), part.begin(), part.end());
         return acc;
       });
+  TN_OBS_COUNT("theta.candidates", candidates.size());
   for (const Candidate& c : candidates) {
     const NodeId v = static_cast<NodeId>(c.slot / static_cast<std::size_t>(k));
     NodeId& cur = admitted_[c.slot];
@@ -77,6 +89,7 @@ void ThetaTopology::build() {
   }
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  TN_OBS_COUNT("theta.edges", pairs.size());
   for (const auto& [a, b] : pairs) {
     const double len = d.distance(a, b);
     n_.add_edge(a, b, len, d.cost_of_length(len));

@@ -6,29 +6,16 @@
 #include <tuple>
 
 #include "common/assert.h"
+#include "obs/span.h"
 
 namespace thetanet::geom {
-
-std::atomic<bool> SpatialGrid::stats_enabled_{false};
-std::atomic<std::uint64_t> SpatialGrid::stat_queries_{0};
-std::atomic<std::uint64_t> SpatialGrid::stat_cells_{0};
-std::atomic<std::uint64_t> SpatialGrid::stat_points_{0};
-
-void SpatialGrid::reset_scan_stats() {
-  stat_queries_.store(0, std::memory_order_relaxed);
-  stat_cells_.store(0, std::memory_order_relaxed);
-  stat_points_.store(0, std::memory_order_relaxed);
-}
-
-SpatialGrid::ScanStats SpatialGrid::scan_stats() {
-  return {stat_queries_.load(std::memory_order_relaxed),
-          stat_cells_.load(std::memory_order_relaxed),
-          stat_points_.load(std::memory_order_relaxed)};
-}
 
 SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
     : points_(points), box_(BBox::of(points)), cell_(cell_size) {
   TN_ASSERT_MSG(cell_size > 0.0, "grid cell size must be positive");
+  TN_OBS_SPAN("grid.build");
+  TN_OBS_COUNT("grid.builds", 1);
+  TN_OBS_COUNT("grid.points_indexed", points_.size());
   if (points_.empty()) {
     starts_.assign(2, 0);
     return;

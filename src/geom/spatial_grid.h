@@ -16,7 +16,6 @@
 //     spatial_grid.cpp).
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -25,6 +24,7 @@
 
 #include "geom/bbox.h"
 #include "geom/vec2.h"
+#include "obs/metrics.h"
 
 namespace thetanet::geom {
 
@@ -64,17 +64,24 @@ class SpatialGrid {
     const double r2 = radius * radius;
     const Extent e = extent_of(center, radius);
     std::uint64_t examined = 0;
+    std::uint64_t hits = 0;
     for (std::int32_t cy = e.y_lo; cy <= e.y_hi; ++cy) {
       for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
         const std::size_t c = cell_index(cx, cy);
+        // Tally per cell, not per point: every point in the cell gets
+        // distance-tested, and keeping the counter out of the inner loop
+        // keeps the scan as tight as the uninstrumented one.
+        examined += starts_[c + 1] - starts_[c];
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
           const NodeId id = ids_[k];
-          ++examined;
-          if (dist_sq(points_[id], center) <= r2) visit(id);
+          if (dist_sq(points_[id], center) <= r2) {
+            ++hits;
+            visit(id);
+          }
         }
       }
     }
-    record_scan(e, examined);
+    record_scan(e, examined, hits);
   }
 
   /// Visit ids within `radius` of either center, each exactly once, in a
@@ -98,20 +105,24 @@ class SpatialGrid {
     const Extent e{std::min(e1.x_lo, e2.x_lo), std::max(e1.x_hi, e2.x_hi),
                    std::min(e1.y_lo, e2.y_lo), std::max(e1.y_hi, e2.y_hi)};
     std::uint64_t examined = 0;
+    std::uint64_t hits = 0;
     for (std::int32_t cy = e.y_lo; cy <= e.y_hi; ++cy) {
       for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
         const std::size_t c = cell_index(cx, cy);
+        examined += starts_[c + 1] - starts_[c];  // per cell, see above
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
           const NodeId id = ids_[k];
-          ++examined;
           const Vec2 p = points_[id];
           const double d1 = dist_sq(p, c1);
           const double d2 = dist_sq(p, c2);
-          if (d1 <= r2 || d2 <= r2) visit(id, d1, d2);
+          if (d1 <= r2 || d2 <= r2) {
+            ++hits;
+            visit(id, d1, d2);
+          }
         }
       }
     }
-    record_scan(e, examined);
+    record_scan(e, examined, hits);
   }
 
   /// As for_each_within, but the visitor returns false to stop the scan
@@ -124,20 +135,26 @@ class SpatialGrid {
     const double r2 = radius * radius;
     const Extent e = extent_of(center, radius);
     std::uint64_t examined = 0;
+    std::uint64_t hits = 0;
     for (std::int32_t cy = e.y_lo; cy <= e.y_hi; ++cy) {
       for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
         const std::size_t c = cell_index(cx, cy);
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
           const NodeId id = ids_[k];
-          ++examined;
-          if (dist_sq(points_[id], center) <= r2 && !visit(id)) {
-            record_scan(e, examined);
-            return false;
+          if (dist_sq(points_[id], center) <= r2) {
+            ++hits;
+            if (!visit(id)) {
+              // Early exit mid-cell: completed cells plus the slice of this
+              // one up to and including the witness.
+              record_scan(e, examined + (k - starts_[c] + 1), hits);
+              return false;
+            }
           }
         }
+        examined += starts_[c + 1] - starts_[c];
       }
     }
-    record_scan(e, examined);
+    record_scan(e, examined, hits);
     return true;
   }
 
@@ -150,22 +167,6 @@ class SpatialGrid {
 
   /// Nearest point to `center` excluding `exclude`; kNone when empty.
   NodeId nearest(Vec2 center, NodeId exclude = kNone) const;
-
-  // -------------------------------------------------------------------
-  // Scan instrumentation. When enabled, every query accumulates into
-  // process-wide counters (one relaxed atomic add per query, not per
-  // point) so benchmarks can report over-scan: points_examined /
-  // true hits >> 1 means the cell size does not match the query radius.
-  struct ScanStats {
-    std::uint64_t queries = 0;
-    std::uint64_t cells_scanned = 0;
-    std::uint64_t points_examined = 0;
-  };
-  static void set_scan_stats_enabled(bool on) {
-    stats_enabled_.store(on, std::memory_order_relaxed);
-  }
-  static void reset_scan_stats();
-  static ScanStats scan_stats();
 
   static constexpr NodeId kNone = static_cast<NodeId>(-1);
 
@@ -187,19 +188,28 @@ class SpatialGrid {
             std::max(0, c0.cy - span), std::min(ny_ - 1, c0.cy + span)};
   }
 
-  void record_scan(const Extent& e, std::uint64_t examined) const {
-    if (!stats_enabled_.load(std::memory_order_relaxed)) return;
-    const auto cells = static_cast<std::uint64_t>(e.x_hi - e.x_lo + 1) *
-                       static_cast<std::uint64_t>(e.y_hi - e.y_lo + 1);
-    stat_queries_.fetch_add(1, std::memory_order_relaxed);
-    stat_cells_.fetch_add(cells, std::memory_order_relaxed);
-    stat_points_.fetch_add(examined, std::memory_order_relaxed);
+  // Scan instrumentation: one registry update per *query* (never per
+  // point — the local tallies above flush here once) so benchmarks and
+  // tests can read over-scan: points_examined / reported >> 1 means the
+  // cell size does not match the query radius. Each query's tallies depend
+  // only on the query itself (cell-major scan order is fixed), so all four
+  // counters are stable across thread counts.
+  void record_scan(const Extent& e, std::uint64_t examined,
+                   std::uint64_t reported) const {
+    if constexpr (obs::kTelemetryCompiled) {
+      if (!obs::detail::recording()) return;
+      const auto cells = static_cast<std::uint64_t>(e.x_hi - e.x_lo + 1) *
+                         static_cast<std::uint64_t>(e.y_hi - e.y_lo + 1);
+      TN_OBS_COUNT("grid.queries", 1);
+      TN_OBS_COUNT("grid.cells_scanned", cells);
+      TN_OBS_COUNT("grid.points_examined", examined);
+      TN_OBS_COUNT("grid.reported", reported);
+    } else {
+      (void)e;
+      (void)examined;
+      (void)reported;
+    }
   }
-
-  static std::atomic<bool> stats_enabled_;
-  static std::atomic<std::uint64_t> stat_queries_;
-  static std::atomic<std::uint64_t> stat_cells_;
-  static std::atomic<std::uint64_t> stat_points_;
 
   std::span<const Vec2> points_;
   BBox box_;

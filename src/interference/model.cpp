@@ -6,6 +6,8 @@
 #include "common/parallel.h"
 #include "geom/predicates.h"
 #include "geom/spatial_grid.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace thetanet::interf {
 
@@ -179,6 +181,7 @@ std::vector<std::uint32_t> interference_set_sizes(const graph::Graph& g,
   // thread count and equals the pair-list degree exactly.
   const std::size_t ne = g.num_edges();
   if (ne == 0) return {};
+  TN_OBS_SPAN("interference.set_sizes");
   const KernelContext kc(g, d, m);
   const geom::SpatialGrid grid(d.positions, guard_query_cell(g, m));
   // Auto grain (~8 chunks per thread): every chunk holds a full E-sized
@@ -189,12 +192,15 @@ std::vector<std::uint32_t> interference_set_sizes(const graph::Graph& g,
       [&](std::size_t begin, std::size_t end) {
         std::vector<std::uint32_t> counts(ne, 0);
         DiscoveryScratch s(kc.adj_off.size() - 1);
+        std::uint64_t pairs = 0;  // flushed once per chunk, never per pair
         for (std::size_t i = begin; i < end; ++i)
           emit_owned_pairs(kc, grid, static_cast<graph::EdgeId>(i), s,
                            [&](graph::EdgeId lo, graph::EdgeId hi) {
                              ++counts[lo];
                              ++counts[hi];
+                             ++pairs;
                            });
+        TN_OBS_COUNT("interference.pairs", pairs);
         return counts;
       },
       [](std::vector<std::uint32_t> acc, std::vector<std::uint32_t> part) {
@@ -210,6 +216,7 @@ std::vector<std::vector<graph::EdgeId>> interference_sets(
   const std::size_t ne = g.num_edges();
   std::vector<std::vector<graph::EdgeId>> sets(ne);
   if (ne == 0) return sets;
+  TN_OBS_SPAN("interference.sets");
   const KernelContext kc(g, d, m);
   const geom::SpatialGrid grid(d.positions, guard_query_cell(g, m));
   // All unordered interfering pairs {e, e'}, packed (lo << 32) | hi, as a
@@ -237,6 +244,7 @@ std::vector<std::vector<graph::EdgeId>> interference_sets(
                              out.push_back(
                                  (static_cast<std::uint64_t>(lo) << 32) | hi);
                            });
+        TN_OBS_COUNT("interference.pairs", out.size());
         return one;
       },
       [](std::vector<std::vector<std::uint64_t>> acc,

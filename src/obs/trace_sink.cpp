@@ -1,0 +1,183 @@
+#include "obs/trace_sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace thetanet::obs {
+
+namespace {
+
+constexpr const char* kSchema = "thetanet-telemetry/1";
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void append_span_json(std::string& out, const SpanSnapshot& s,
+                      bool include_timing, int depth) {
+  append_indent(out, depth);
+  out += "{\n";
+  append_indent(out, depth + 1);
+  out += "\"children\": [";
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    append_span_json(out, s.children[i], include_timing, depth + 2);
+  }
+  if (!s.children.empty()) {
+    out += '\n';
+    append_indent(out, depth + 1);
+  }
+  out += "],\n";
+  append_indent(out, depth + 1);
+  out += "\"count\": " + std::to_string(s.count) + ",\n";
+  append_indent(out, depth + 1);
+  out += "\"name\": ";
+  append_escaped(out, s.name);
+  if (include_timing) {
+    out += ",\n";
+    append_indent(out, depth + 1);
+    out += "\"wall_ns\": " + std::to_string(s.wall_ns);
+  }
+  out += '\n';
+  append_indent(out, depth);
+  out += '}';
+}
+
+}  // namespace
+
+TelemetrySnapshot capture_telemetry() {
+  TelemetrySnapshot snap;
+  snap.metrics = MetricsRegistry::global().snapshot();
+  snap.spans = span_snapshot();
+  return snap;
+}
+
+std::string to_json(const TelemetrySnapshot& snap, bool include_timing) {
+  const auto keep = [&](Stability s) {
+    return include_timing || s == Stability::kStable;
+  };
+  std::string out;
+  out += "{\n";
+
+  // Keys at every level in sorted order: counters, distributions, schema,
+  // spans — so the document is canonical without a post-pass.
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const CounterSnapshot& c : snap.metrics.counters) {
+    if (!keep(c.stability)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  if (!first) out += "\n  ";
+  out += "},\n";
+
+  out += "  \"distributions\": {";
+  first = true;
+  for (const DistributionSnapshot& d : snap.metrics.distributions) {
+    if (!keep(d.stability)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, d.name);
+    out += ": {\"count\": " + std::to_string(d.count) +
+           ", \"max\": " + std::to_string(d.max) +
+           ", \"min\": " + std::to_string(d.min) +
+           ", \"p50\": " + std::to_string(d.p50) +
+           ", \"p99\": " + std::to_string(d.p99) +
+           ", \"sum\": " + std::to_string(d.sum) + "}";
+  }
+  if (!first) out += "\n  ";
+  out += "},\n";
+
+  out += "  \"schema\": ";
+  append_escaped(out, kSchema);
+  out += ",\n";
+
+  out += "  \"spans\": [";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    append_span_json(out, snap.spans[i], include_timing, 2);
+  }
+  if (!snap.spans.empty()) out += "\n  ";
+  out += "]\n";
+
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void append_span_text(std::string& out, const SpanSnapshot& s, int depth) {
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-*s%-*s %10llu %12.3f\n", depth * 2, "",
+                40 - depth * 2, s.name.c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<double>(s.wall_ns) / 1e6);
+  out += line;
+  for (const SpanSnapshot& c : s.children) append_span_text(out, c, depth + 1);
+}
+
+}  // namespace
+
+std::string to_text(const TelemetrySnapshot& snap) {
+  std::string out;
+  char line[160];
+  out += "counters\n";
+  for (const CounterSnapshot& c : snap.metrics.counters) {
+    std::snprintf(line, sizeof line, "  %-40s %14llu%s\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value),
+                  c.stability == Stability::kTiming ? "  (timing)" : "");
+    out += line;
+  }
+  out += "distributions                              count        min        "
+         "max        p50        p99\n";
+  for (const DistributionSnapshot& d : snap.metrics.distributions) {
+    std::snprintf(line, sizeof line,
+                  "  %-40s %6llu %10llu %10llu %10llu %10llu%s\n",
+                  d.name.c_str(), static_cast<unsigned long long>(d.count),
+                  static_cast<unsigned long long>(d.min),
+                  static_cast<unsigned long long>(d.max),
+                  static_cast<unsigned long long>(d.p50),
+                  static_cast<unsigned long long>(d.p99),
+                  d.stability == Stability::kTiming ? "  (timing)" : "");
+    out += line;
+  }
+  out += "spans                                           count      wall_ms\n";
+  for (const SpanSnapshot& s : snap.spans) append_span_text(out, s, 1);
+  return out;
+}
+
+bool write_telemetry_json(const std::string& path, bool include_timing) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string doc = to_json(capture_telemetry(), include_timing);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace thetanet::obs

@@ -1,0 +1,46 @@
+#pragma once
+// Serialization of the telemetry state: one stable JSON document plus a
+// compact text table.
+//
+// JSON contract (schema "thetanet-telemetry/1"):
+//   * top-level and nested object keys are emitted in sorted order,
+//   * all values are unsigned integers or strings — no floats,
+//   * by default (include_timing = false) the document contains only
+//     deterministic data: kStable metrics and span {name, count, children}.
+//     Two runs of the same deterministic workload — at any TN_NUM_THREADS —
+//     serialize byte-identically, so dumps can be compared with cmp(1).
+//   * include_timing = true adds kTiming metrics and per-span "wall_ns";
+//     such dumps are for humans and profiling, never for diff tests.
+//
+// tools/telemetry_diff.py consumes these documents.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace thetanet::obs {
+
+/// Everything a sink serializes; capture_telemetry() fills it from the
+/// global registry and span tree, tests may also construct one by hand.
+struct TelemetrySnapshot {
+  MetricsSnapshot metrics;
+  std::vector<SpanSnapshot> spans;
+};
+
+TelemetrySnapshot capture_telemetry();
+
+/// Render the snapshot as the schema-versioned JSON document described
+/// above, terminated by a single newline.
+std::string to_json(const TelemetrySnapshot& snap, bool include_timing = false);
+
+/// Human-oriented fixed-width table: counters, distributions, then the span
+/// tree (with wall time in ms). Not covered by any stability contract.
+std::string to_text(const TelemetrySnapshot& snap);
+
+/// capture_telemetry() + to_json() + write to `path` (overwrites). Returns
+/// false (and writes nothing else) when the file cannot be opened.
+bool write_telemetry_json(const std::string& path, bool include_timing = false);
+
+}  // namespace thetanet::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/span.h"
 
 namespace thetanet::sim {
 
@@ -44,6 +45,7 @@ ScenarioResult run_mac_given(const AdversaryTrace& trace,
   const Time total = trace.horizon() + extra_drain;
   const std::vector<bool> no_failures;
 
+  TN_OBS_SPAN("router.run");
   for (Time t = 0; t < total; ++t) {
     // During drain we cycle through the trace's activation patterns so the
     // network keeps the same per-step capacity shape it had online.
@@ -78,6 +80,7 @@ ScenarioResult run_custom_mac(const AdversaryTrace& trace,
   const std::vector<double> costs = base_costs(run_topo);
   const Time total = trace.horizon() + extra_drain;
 
+  TN_OBS_SPAN("router.run");
   for (Time t = 0; t < total; ++t) {
     const std::vector<graph::EdgeId> active = mac.activate(rng);
     const std::vector<PlannedTx> txs = router.plan(run_topo, active, costs);
@@ -115,6 +118,7 @@ ScenarioResult run_honeycomb(const AdversaryTrace& trace,
   const Time total = trace.horizon() + extra_drain;
   HoneycombRunStats hs;
 
+  TN_OBS_SPAN("router.run");
   for (Time t = 0; t < total; ++t) {
     core::HoneycombMac::SelectionStats sel;
     const std::vector<PlannedTx> chosen = mac.select(router, costs, rng, &sel);

@@ -21,6 +21,10 @@ namespace thetanet::topo {
 /// Per-node, per-sector nearest neighbours within range.
 class SectorTable {
  public:
+  /// Empty table (0 nodes, 1 sector) — a placeholder for two-phase owners
+  /// that assign the real table inside their constructor body.
+  SectorTable() : sectors_(1) {}
+
   SectorTable(std::size_t n, int sectors)
       : sectors_(sectors),
         nearest_(n * static_cast<std::size_t>(sectors), graph::kInvalidNode) {}

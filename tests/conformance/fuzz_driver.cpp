@@ -4,12 +4,16 @@
 //
 //   fuzz_driver [--scenarios N] [--seed S] [--long]
 //               [--report-out FILE] [--corpus-out DIR] [--replay DIR]
+//               [--telemetry FILE]
 //
 // --replay DIR re-runs every committed corpus case instead of fuzzing
 // (regression mode: shrunk reproducers of fixed bugs must stay green).
 // The report written by --report-out is bit-deterministic: for a fixed
 // command line it is byte-identical for any TN_NUM_THREADS, which the ctest
-// determinism job diffs directly.
+// determinism job diffs directly. --telemetry FILE writes the deterministic
+// telemetry JSON (stable metrics + span counts, no wall time) under the
+// same contract — the telemetry_determinism ctest diffs these dumps across
+// thread counts too.
 
 #include <algorithm>
 #include <cmath>
@@ -25,6 +29,7 @@
 
 #include "core/theta_topology.h"
 #include "interference/model.h"
+#include "obs/trace_sink.h"
 #include "topology/transmission_graph.h"
 #include "verify/conformance.h"
 #include "verify/invariants.h"
@@ -49,12 +54,14 @@ struct Options {
   std::string corpus_out;
   std::string replay_dir;
   std::string emit_dir;
+  std::string telemetry_out;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scenarios N] [--seed S] [--long] [--report-out FILE]"
-               " [--corpus-out DIR] [--replay DIR] [--emit-corpus DIR]\n";
+               " [--corpus-out DIR] [--replay DIR] [--emit-corpus DIR]"
+               " [--telemetry FILE]\n";
   std::exit(2);
 }
 
@@ -80,6 +87,8 @@ Options parse_args(int argc, char** argv) {
       o.replay_dir = value();
     else if (a == "--emit-corpus")
       o.emit_dir = value();
+    else if (a == "--telemetry")
+      o.telemetry_out = value();
     else
       usage_and_exit(argv[0]);
   }
@@ -256,6 +265,16 @@ int main(int argc, char** argv) {
     out << report.str();
     if (!out) {
       std::cerr << "failed to write " << o.report_out << "\n";
+      return 2;
+    }
+  }
+  if (!o.telemetry_out.empty()) {
+    // Deterministic dump: stable metrics + span structure/counts only, so
+    // the file is byte-identical for any TN_NUM_THREADS on a fixed command
+    // line (the telemetry_determinism ctest relies on this).
+    if (!thetanet::obs::write_telemetry_json(o.telemetry_out,
+                                             /*include_timing=*/false)) {
+      std::cerr << "failed to write " << o.telemetry_out << "\n";
       return 2;
     }
   }

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "geom/rng.h"
+#include "obs/metrics.h"
 
 namespace thetanet::geom {
 namespace {
@@ -234,24 +235,28 @@ TEST(SpatialGrid, CellCountCappedOnDegenerateInput) {
   }
 }
 
-TEST(SpatialGrid, ScanStatsCountQueriesAndPoints) {
+TEST(SpatialGrid, ScanTelemetryCountsQueriesAndPoints) {
+  if (!obs::kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
   Rng rng(110);
   const std::vector<Vec2> pts = random_points(80, rng);
   const SpatialGrid grid(pts, 0.2);
-  // Disabled (the default): counters must not move.
-  SpatialGrid::reset_scan_stats();
-  grid.within({0.5, 0.5}, 0.3);
-  EXPECT_EQ(SpatialGrid::scan_stats().queries, 0U);
+  auto& reg = obs::MetricsRegistry::global();
 
-  SpatialGrid::set_scan_stats_enabled(true);
-  SpatialGrid::reset_scan_stats();
+  // Recording off: counters must not move.
+  obs::set_recording(false);
+  reg.reset();
+  grid.within({0.5, 0.5}, 0.3);
+  EXPECT_EQ(reg.counter_value("grid.queries"), 0U);
+
+  obs::set_recording(true);
+  reg.reset();
   const auto hits = grid.within({0.5, 0.5}, 0.3);
   grid.for_each_within({0.2, 0.2}, 0.1, [](std::uint32_t) {});
-  const SpatialGrid::ScanStats s = SpatialGrid::scan_stats();
-  SpatialGrid::set_scan_stats_enabled(false);
-  EXPECT_EQ(s.queries, 2U);
-  EXPECT_GE(s.points_examined, hits.size());  // examined >= accepted
-  EXPECT_GE(s.cells_scanned, 1U);
+  EXPECT_EQ(reg.counter_value("grid.queries"), 2U);
+  EXPECT_GE(reg.counter_value("grid.points_examined"),
+            reg.counter_value("grid.reported"));  // examined >= accepted
+  EXPECT_GE(reg.counter_value("grid.reported"), hits.size());
+  EXPECT_GE(reg.counter_value("grid.cells_scanned"), 1U);
 }
 
 }  // namespace

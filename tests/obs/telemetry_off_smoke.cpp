@@ -1,0 +1,63 @@
+// Compiled with THETANET_TELEMETRY_DISABLED (see tests/CMakeLists.txt): the
+// TN_OBS_* macros must expand to no-ops that still swallow their arguments,
+// header-only instrumentation (SpatialGrid::record_scan) must compile out of
+// this TU, and the binary must link against the always-compiled obs library
+// plus telemetry-ON object files from the rest of the build. Exits 0 on
+// success.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "geom/spatial_grid.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_sink.h"
+
+int main() {
+  using namespace thetanet;
+  static_assert(!obs::kTelemetryCompiled,
+                "this target must build with THETANET_TELEMETRY_DISABLED");
+
+  obs::set_recording(true);
+
+  // Mixed-build link check: the geom library objects were compiled with
+  // telemetry ON and may record freely — only code in THIS translation unit
+  // has the macros disabled.
+  const std::vector<geom::Vec2> pts = {{0.1, 0.1}, {0.2, 0.2}, {0.9, 0.9}};
+  const geom::SpatialGrid grid(pts, 0.25);
+  const auto hits = grid.within({0.15, 0.15}, 0.2);
+
+  int rc = 0;
+  if (hits.size() != 2) {
+    std::fprintf(stderr, "grid query broken under telemetry-off: %zu hits\n",
+                 hits.size());
+    rc = 1;
+  }
+
+  // From here on, everything recorded would come from this TU's macros —
+  // which are compiled out.
+  obs::MetricsRegistry::global().reset();
+  obs::reset_spans();
+  TN_OBS_SPAN("off.phase");
+  TN_OBS_COUNT("off.counter", 3);
+  TN_OBS_COUNT_TIMING("off.timing", 1);
+  TN_OBS_RECORD("off.dist", 42);
+  TN_OBS_RECORD_TIMING("off.dist_timing", 7);
+
+  if (obs::MetricsRegistry::global().counter_value("off.counter") != 0) {
+    std::fprintf(stderr, "disabled macros still recorded counters\n");
+    rc = 1;
+  }
+  if (!obs::span_snapshot().empty()) {
+    std::fprintf(stderr, "disabled TN_OBS_SPAN still recorded a span\n");
+    rc = 1;
+  }
+  // The runtime API itself stays linkable and functional.
+  const std::string doc = obs::to_json(obs::capture_telemetry());
+  if (doc.find("thetanet-telemetry/1") == std::string::npos) {
+    std::fprintf(stderr, "trace sink schema missing from dump\n");
+    rc = 1;
+  }
+  return rc;
+}

@@ -1,0 +1,131 @@
+#include "obs/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace thetanet::obs {
+namespace {
+
+/// A hand-built snapshot exercising sorting, stability filtering, nesting,
+/// and escaping — the golden JSON below is the schema contract.
+TelemetrySnapshot sample_snapshot() {
+  TelemetrySnapshot snap;
+  snap.metrics.counters.push_back({"alpha.count", Stability::kStable, 3});
+  snap.metrics.counters.push_back({"beta.count", Stability::kTiming, 9});
+  DistributionSnapshot d;
+  d.name = "alpha.dist";
+  d.stability = Stability::kStable;
+  d.count = 4;
+  d.min = 1;
+  d.max = 9;
+  d.sum = 18;
+  d.p50 = 3;
+  d.p99 = 15;
+  snap.metrics.distributions.push_back(d);
+  SpanSnapshot child;
+  child.name = "child";
+  child.count = 2;
+  child.wall_ns = 50;
+  SpanSnapshot root;
+  root.name = "root";
+  root.count = 1;
+  root.wall_ns = 100;
+  root.children.push_back(child);
+  snap.spans.push_back(root);
+  return snap;
+}
+
+TEST(TraceSink, GoldenDeterministicJson) {
+  // Byte-exact golden: deterministic mode drops kTiming metrics and all
+  // wall_ns fields; keys at every level are sorted.
+  const std::string expected = R"({
+  "counters": {
+    "alpha.count": 3
+  },
+  "distributions": {
+    "alpha.dist": {"count": 4, "max": 9, "min": 1, "p50": 3, "p99": 15, "sum": 18}
+  },
+  "schema": "thetanet-telemetry/1",
+  "spans": [
+    {
+      "children": [
+        {
+          "children": [],
+          "count": 2,
+          "name": "child"
+        }
+      ],
+      "count": 1,
+      "name": "root"
+    }
+  ]
+}
+)";
+  EXPECT_EQ(to_json(sample_snapshot(), /*include_timing=*/false), expected);
+}
+
+TEST(TraceSink, TimingModeAddsTimingMetricsAndWallTime) {
+  const std::string doc = to_json(sample_snapshot(), /*include_timing=*/true);
+  EXPECT_NE(doc.find("\"beta.count\": 9"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_ns\": 100"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_ns\": 50"), std::string::npos);
+}
+
+TEST(TraceSink, DeterministicModeExcludesWallTime) {
+  const std::string doc = to_json(sample_snapshot(), /*include_timing=*/false);
+  EXPECT_EQ(doc.find("wall_ns"), std::string::npos);
+  EXPECT_EQ(doc.find("beta.count"), std::string::npos);
+}
+
+TEST(TraceSink, EmptySnapshotIsValidJson) {
+  const TelemetrySnapshot empty;
+  const std::string expected = R"({
+  "counters": {},
+  "distributions": {},
+  "schema": "thetanet-telemetry/1",
+  "spans": []
+}
+)";
+  EXPECT_EQ(to_json(empty), expected);
+}
+
+TEST(TraceSink, StringsAreEscaped) {
+  TelemetrySnapshot snap;
+  snap.metrics.counters.push_back({"weird\"name\\with\nstuff",
+                                   Stability::kStable, 1});
+  const std::string doc = to_json(snap);
+  EXPECT_NE(doc.find(R"("weird\"name\\with\nstuff": 1)"), std::string::npos);
+}
+
+TEST(TraceSink, TextTableListsEverySection) {
+  const std::string text = to_text(sample_snapshot());
+  EXPECT_NE(text.find("counters"), std::string::npos);
+  EXPECT_NE(text.find("alpha.count"), std::string::npos);
+  EXPECT_NE(text.find("beta.count"), std::string::npos);
+  EXPECT_NE(text.find("(timing)"), std::string::npos);
+  EXPECT_NE(text.find("alpha.dist"), std::string::npos);
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("child"), std::string::npos);
+}
+
+TEST(TraceSink, WriteTelemetryJsonRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/trace_sink_roundtrip.json";
+  ASSERT_TRUE(write_telemetry_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t got = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  ASSERT_GT(got, 0U);
+  EXPECT_EQ(std::string(buf).substr(0, 2), "{\n");
+}
+
+TEST(TraceSink, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(write_telemetry_json("/nonexistent-dir/never/x.json"));
+}
+
+}  // namespace
+}  // namespace thetanet::obs

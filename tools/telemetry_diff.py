@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff two telemetry dumps (obs::write_telemetry_json output).
+
+Usage:
+    telemetry_diff.py BASELINE.json FRESH.json [--allow-growth PCT]
+
+Compares the counter and distribution sections of two
+`thetanet-telemetry/1` documents. A counter REGRESSES when its fresh value
+exceeds the baseline by more than --allow-growth percent (default 0:
+any increase fails) — counters here measure *work* (cells scanned, points
+examined, pairs emitted, transmissions), so growth means the code got more
+expensive on the same input. Counters that shrink or disappear are reported
+informationally; new counters are informational too (new instrumentation is
+not a regression). Distributions compare on count/max/sum under the same
+rule. Span wall times are never compared (timing is excluded from
+deterministic dumps by design); span structure differences are
+informational.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error,
+3 = malformed dump (wrong schema, non-integer values, missing sections).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "thetanet-telemetry/1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"telemetry_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def malformed(path, why):
+    print(f"telemetry_diff: {path}: {why}", file=sys.stderr)
+    sys.exit(3)
+
+
+def validate(doc, path):
+    """Check the document shape; exit 3 with a pointed diagnostic if off."""
+    if not isinstance(doc, dict):
+        malformed(path, f"top level is {type(doc).__name__}, expected object")
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        malformed(path, f"schema is {schema!r}, expected {SCHEMA!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        malformed(path, "missing or non-object 'counters' section")
+    for name, v in counters.items():
+        if not isinstance(v, int) or isinstance(v, bool):
+            malformed(path, f"counter {name!r} has non-integer value {v!r}")
+    dists = doc.get("distributions")
+    if not isinstance(dists, dict):
+        malformed(path, "missing or non-object 'distributions' section")
+    for name, d in dists.items():
+        if not isinstance(d, dict):
+            malformed(path, f"distribution {name!r} is not an object")
+        for field in ("count", "max", "min", "p50", "p99", "sum"):
+            v = d.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                malformed(path, f"distribution {name!r} field {field!r} "
+                                f"has non-integer value {v!r}")
+    return counters, dists
+
+
+def grew(base, fresh, allow_pct):
+    return fresh > base * (1.0 + allow_pct / 100.0)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--allow-growth", type=float, default=0.0, metavar="PCT",
+                    help="allowed counter growth in percent (default 0)")
+    args = ap.parse_args()
+
+    base_counters, base_dists = validate(load(args.baseline), args.baseline)
+    fresh_counters, fresh_dists = validate(load(args.fresh), args.fresh)
+
+    regressions = 0
+
+    for name in sorted(base_counters):
+        base = base_counters[name]
+        if name not in fresh_counters:
+            print(f"info: counter {name} gone (was {base})")
+            continue
+        fresh = fresh_counters[name]
+        if grew(base, fresh, args.allow_growth):
+            pct = 0.0 if base == 0 else 100.0 * (fresh - base) / base
+            print(f"REGRESSION: counter {name}: {base} -> {fresh} "
+                  f"(+{pct:.1f}%)")
+            regressions += 1
+        elif fresh < base:
+            print(f"info: counter {name} improved: {base} -> {fresh}")
+    for name in sorted(set(fresh_counters) - set(base_counters)):
+        print(f"info: new counter {name} = {fresh_counters[name]}")
+
+    for name in sorted(base_dists):
+        if name not in fresh_dists:
+            print(f"info: distribution {name} gone")
+            continue
+        for field in ("count", "max", "sum"):
+            base = base_dists[name][field]
+            fresh = fresh_dists[name][field]
+            if grew(base, fresh, args.allow_growth):
+                print(f"REGRESSION: distribution {name}.{field}: "
+                      f"{base} -> {fresh}")
+                regressions += 1
+    for name in sorted(set(fresh_dists) - set(base_dists)):
+        print(f"info: new distribution {name}")
+
+    if regressions:
+        print(f"telemetry_diff: {regressions} regression(s)")
+        return 1
+    print("telemetry_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Self-test for telemetry_diff.py, runnable standalone or via ctest.
+
+Each test_* function drives the real script through subprocess with
+synthetic thetanet-telemetry/1 documents and asserts on exit code and
+output. No third-party test framework: `python3 telemetry_diff_selftest.py`
+runs every test_* function and exits nonzero on the first failure.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "telemetry_diff.py")
+
+
+def doc(counters=None, distributions=None, schema="thetanet-telemetry/1"):
+    d = {"counters": counters or {}, "distributions": distributions or {},
+         "schema": schema, "spans": []}
+    if schema is None:
+        del d["schema"]
+    return d
+
+
+def dist(count=4, mn=1, mx=9, p50=3, p99=15, total=18):
+    return {"count": count, "max": mx, "min": mn, "p50": p50, "p99": p99,
+            "sum": total}
+
+
+def run_diff(tmp, baseline, fresh, *extra):
+    bpath = os.path.join(tmp, "baseline.json")
+    fpath = os.path.join(tmp, "fresh.json")
+    with open(bpath, "w", encoding="utf-8") as f:
+        json.dump(baseline, f)
+    with open(fpath, "w", encoding="utf-8") as f:
+        json.dump(fresh, f)
+    return subprocess.run(
+        [sys.executable, SCRIPT, bpath, fpath, *extra],
+        capture_output=True, text=True, check=False)
+
+
+def test_identical_dumps_pass(tmp):
+    d = doc({"grid.queries": 100, "theta.edges": 42},
+            {"router.round_peak_buffer": dist()})
+    p = run_diff(tmp, d, d)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "OK" in p.stdout
+
+
+def test_counter_regression_fails(tmp):
+    base = doc({"grid.points_examined": 1000})
+    fresh = doc({"grid.points_examined": 1500})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "REGRESSION" in p.stdout
+    assert "grid.points_examined" in p.stdout
+
+
+def test_allow_growth_tolerates_small_increase(tmp):
+    base = doc({"grid.points_examined": 1000})
+    fresh = doc({"grid.points_examined": 1040})
+    p = run_diff(tmp, base, fresh, "--allow-growth", "5")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_counter_improvement_passes(tmp):
+    base = doc({"interference.pairs": 5000})
+    fresh = doc({"interference.pairs": 4000})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "improved" in p.stdout
+
+
+def test_new_counter_is_informational(tmp):
+    base = doc({"a": 1})
+    fresh = doc({"a": 1, "b": 99})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "new counter b" in p.stdout
+
+
+def test_distribution_regression_fails(tmp):
+    base = doc(distributions={"router.round_peak_buffer": dist(mx=9)})
+    fresh = doc(distributions={"router.round_peak_buffer": dist(mx=30)})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "router.round_peak_buffer.max" in p.stdout
+
+
+def test_wrong_schema_exits_3(tmp):
+    base = doc({"a": 1})
+    fresh = doc({"a": 1}, schema="something-else/9")
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "schema" in p.stderr
+
+
+def test_missing_schema_exits_3(tmp):
+    p = run_diff(tmp, doc({"a": 1}, schema=None), doc({"a": 1}))
+    assert p.returncode == 3, p.stdout + p.stderr
+
+
+def test_non_integer_counter_exits_3_with_diagnostic(tmp):
+    base = doc({"a": 1})
+    fresh = doc({"a": 1.5})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "'a'" in p.stderr and "1.5" in p.stderr
+
+
+def test_malformed_distribution_exits_3(tmp):
+    base = doc(distributions={"d": dist()})
+    bad = dist()
+    del bad["p99"]
+    fresh = doc(distributions={"d": bad})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "p99" in p.stderr
+
+
+def test_unreadable_file_exits_2(tmp):
+    d = os.path.join(tmp, "only.json")
+    with open(d, "w", encoding="utf-8") as f:
+        json.dump(doc(), f)
+    p = subprocess.run(
+        [sys.executable, SCRIPT, d, os.path.join(tmp, "missing.json")],
+        capture_output=True, text=True, check=False)
+    assert p.returncode == 2, p.stdout + p.stderr
+
+
+def test_invalid_json_exits_2(tmp):
+    bad = os.path.join(tmp, "bad.json")
+    with open(bad, "w", encoding="utf-8") as f:
+        f.write("{not json")
+    good = os.path.join(tmp, "good.json")
+    with open(good, "w", encoding="utf-8") as f:
+        json.dump(doc(), f)
+    p = subprocess.run(
+        [sys.executable, SCRIPT, bad, good],
+        capture_output=True, text=True, check=False)
+    assert p.returncode == 2, p.stdout + p.stderr
+
+
+def main():
+    tests = sorted(
+        (name, fn) for name, fn in globals().items()
+        if name.startswith("test_") and callable(fn))
+    for name, fn in tests:
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                fn(tmp)
+            except AssertionError as e:
+                print(f"FAIL {name}: {e}")
+                return 1
+            print(f"ok {name}")
+    print(f"telemetry_diff_selftest: {len(tests)} tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
