@@ -54,7 +54,7 @@ int main() {
     for (int epoch = 0; epoch < epochs; ++epoch) {
       if (speed > 0.0) mobility.step(static_cast<double>(steps_per_epoch), d, rng);
       const core::ThetaTopology tt(d, bench::kPi / 9.0);
-      reconnects += graph::is_connected(tt.graph()) ? 1 : 0;
+      reconnects += graph::is_connected(tt.graph()) ? std::size_t{1} : 0;
       const auto proto = core::run_local_protocol(d, bench::kPi / 9.0);
       proto_msgs.add(static_cast<double>(proto.position_msgs +
                                          proto.neighborhood_msgs +

@@ -41,6 +41,7 @@
 #include "common.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace_sink.h"
 
 #include "core/balancing_router.h"
@@ -582,15 +583,26 @@ void run_thread_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --telemetry FILE before google-benchmark sees (and rejects) it.
+  // Strip --telemetry FILE / --telemetry-series POINTS before
+  // google-benchmark sees (and rejects) them.
   std::string telemetry_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
-      telemetry_path = argv[i + 1];
-      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      break;
+  const auto strip_flag = [&](const char* flag) -> std::string {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        const std::string value = argv[i + 1];
+        for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        return value;
+      }
     }
+    return {};
+  };
+  telemetry_path = strip_flag("--telemetry");
+  if (const std::string cap = strip_flag("--telemetry-series"); !cap.empty()) {
+    // Retained points per series before downsampling kicks in — lets a
+    // profiling run keep full per-round resolution (or clamp memory down).
+    obs::SeriesRegistry::global().set_capacity(
+        static_cast<std::size_t>(std::stoull(cap)));
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -15,8 +15,14 @@
 #include <iostream>
 #include <numbers>
 
+#include <vector>
+
 #include "core/balancing_router.h"
 #include "core/theta_topology.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
+#include "obs/trace_sink.h"
 #include "graph/connectivity.h"
 #include "graph/shortest_paths.h"
 #include "graph/stretch.h"
@@ -93,9 +99,15 @@ int main(int argc, char** argv) {
                         "vs_OPT_energy", "peak_buffer"});
   const double eps = 0.25;
   core::BalancingParams params = core::theorem31_params(trace.opt, eps);
+  std::vector<double> peak_buffer_series;
   for (const bool cost_aware : {true, false}) {
     core::BalancingParams p = params;
     if (!cost_aware) p.gamma = 0.0;
+    // Fresh telemetry per run, so the dump and the sparkline below describe
+    // exactly one collection episode.
+    obs::MetricsRegistry::global().reset();
+    obs::SeriesRegistry::global().reset();
+    obs::reset_spans();
     const auto res = sim::run_mac_given(trace, p, 30000);
     run_table.row({cost_aware ? "(T,gamma)-balancing" : "gamma=0 (cost-blind)",
                    sim::fmt(res.metrics.deliveries),
@@ -103,6 +115,15 @@ int main(int argc, char** argv) {
                    sim::fmt(res.metrics.avg_cost_per_delivery(), 4),
                    sim::fmt(res.cost_ratio(), 3),
                    sim::fmt(res.metrics.peak_buffer)});
+    if (cost_aware) {
+      for (const auto& s : obs::SeriesRegistry::global().snapshot())
+        if (s.name == "router.peak_buffer")
+          peak_buffer_series.assign(s.upoints.begin(), s.upoints.end());
+      if (obs::write_telemetry_json("sensor_field_telemetry.json"))
+        std::printf("wrote sensor_field_telemetry.json (deterministic dump; "
+                    "render with: thetanet_cli report --in "
+                    "sensor_field_telemetry.json)\n");
+    }
   }
   run_table.print(std::cout);
 
@@ -120,8 +141,14 @@ int main(int argc, char** argv) {
           (tree.dist[far] == graph::kUnreachable || tree.dist[v] > tree.dist[far]))
         far = v;
     canvas.add_path(tree.path_to(far), "#d62728", 2.0);
+    // Inset: the Theorem 3.1 buffer dynamics of the cost-aware run, so the
+    // plot carries both the topology and how routing behaved on it.
+    if (!peak_buffer_series.empty())
+      canvas.add_sparkline(peak_buffer_series, 16.0, 16.0, 200.0, 48.0,
+                           "#d62728", "router.peak_buffer");
     if (canvas.write("sensor_field.svg"))
-      std::printf("wrote sensor_field.svg (topology, sink, one route)\n");
+      std::printf("wrote sensor_field.svg (topology, sink, one route, "
+                  "peak-buffer sparkline)\n");
   }
   std::printf("Reading the table: both variants stay within the 1 + 2/eps\n"
               "energy bound of Theorem 3.1 — on ThetaALG's N the link costs\n"

@@ -1,0 +1,38 @@
+# Smoke test for the sensor_field example: it must run end to end and emit
+# the topology SVG (with the telemetry sparkline inset) and the
+# deterministic telemetry dump. Invoked by CTest as
+#   cmake -DEXE=<binary> -DWORKDIR=<scratch> -P sensor_field_smoke.cmake
+
+if(NOT DEFINED EXE OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "EXE and WORKDIR must be defined")
+endif()
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(COMMAND ${EXE} 150 7
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sensor_field failed (${rc}):\n${out}\n${err}")
+endif()
+
+foreach(f sensor_field.svg sensor_field_telemetry.json)
+  if(NOT EXISTS ${WORKDIR}/${f})
+    message(FATAL_ERROR "expected output ${f} missing")
+  endif()
+endforeach()
+
+file(READ ${WORKDIR}/sensor_field.svg svg)
+if(NOT svg MATCHES "router.peak_buffer")
+  message(FATAL_ERROR "sensor_field.svg is missing the sparkline inset")
+endif()
+file(READ ${WORKDIR}/sensor_field_telemetry.json dump)
+if(NOT dump MATCHES "thetanet-telemetry/2")
+  message(FATAL_ERROR "telemetry dump is missing the /2 schema marker")
+endif()
+if(NOT dump MATCHES "\"router.peak_buffer\": {\"agg\": \"max\"")
+  message(FATAL_ERROR "telemetry dump is missing the peak_buffer series")
+endif()
+
+message(STATUS "sensor_field smoke OK")

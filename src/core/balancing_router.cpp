@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace thetanet::core {
 
@@ -74,6 +75,7 @@ std::vector<PlannedTx> BalancingRouter::plan(
     }
   }
   TN_OBS_COUNT("router.planned_tx", txs.size());
+  TN_OBS_SERIES_ADD("router.active_edges", round_, active.size());
   return txs;
 }
 
@@ -133,6 +135,16 @@ void BalancingRouter::execute(std::span<const PlannedTx> txs,
   TN_OBS_COUNT("router.delivered", m.deliveries - before.deliveries);
   TN_OBS_COUNT("router.dropped_in_transit",
                m.dropped_in_transit - before.dropped_in_transit);
+  TN_OBS_SERIES_ADD("router.tx_attempted", round_,
+                    m.attempted_tx - before.attempted_tx);
+  TN_OBS_SERIES_ADD("router.tx_failed", round_,
+                    m.failed_tx - before.failed_tx);
+  TN_OBS_SERIES_ADD("router.tx_skipped", round_,
+                    m.skipped_tx - before.skipped_tx);
+  TN_OBS_SERIES_ADD("router.deliveries", round_,
+                    m.deliveries - before.deliveries);
+  TN_OBS_SERIES_ADD("router.dropped_in_transit", round_,
+                    m.dropped_in_transit - before.dropped_in_transit);
 }
 
 void BalancingRouter::inject(const Packet& p, RunMetrics& m) {
@@ -140,6 +152,7 @@ void BalancingRouter::inject(const Packet& p, RunMetrics& m) {
                 "cannot inject a packet at its own destination");
   ++m.injected_offered;
   TN_OBS_COUNT("router.injected", 1);
+  TN_OBS_SERIES_ADD("router.injections", round_, 1);
   if (buffers_.push(p.src, p)) {
     ++m.injected_accepted;
     TN_OBS_COUNT("router.accepted", 1);
@@ -149,15 +162,20 @@ void BalancingRouter::inject(const Packet& p, RunMetrics& m) {
   }
 }
 
-void BalancingRouter::end_step(RunMetrics& m) const {
+void BalancingRouter::end_step(RunMetrics& m) {
   // The single bookkeeping path for the §3 backlog bound: the per-round
-  // peak is computed once here and feeds BOTH the telemetry distribution
-  // and RunMetrics::peak_buffer (which check_router_bounds consumes). By
-  // construction m.peak_buffer equals the max of the recorded series.
+  // peak is computed once here and feeds the telemetry distribution, the
+  // peak_buffer series, AND RunMetrics::peak_buffer (which
+  // check_router_bounds consumes). By construction m.peak_buffer equals
+  // the max of the recorded series at any downsampling level (max-of-window
+  // folds are lossless for the overall max).
   const std::size_t h = buffers_.peak_height();
   TN_OBS_RECORD("router.round_peak_buffer", h);
   TN_OBS_COUNT("router.rounds", 1);
+  TN_OBS_SERIES_MAX("router.peak_buffer", round_, h);
+  TN_OBS_SERIES_MAX("router.total_buffer", round_, buffers_.total_packets());
   m.peak_buffer = std::max(m.peak_buffer, h);
+  ++round_;
 }
 
 }  // namespace thetanet::core

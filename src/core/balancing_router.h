@@ -16,6 +16,7 @@
 // activation for Section 3.3, honeycomb contestants for Section 3.4) and
 // report back which planned transmissions the medium actually carried.
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
@@ -102,8 +103,13 @@ class BalancingRouter {
   /// algorithm: stored if space remains, deleted otherwise).
   void inject(const route::Packet& p, route::RunMetrics& m);
 
-  /// Record end-of-step space metrics.
-  void end_step(route::RunMetrics& m) const;
+  /// Record end-of-step space metrics and advance the round clock.
+  void end_step(route::RunMetrics& m);
+
+  /// Rounds completed (end_step calls). Events recorded by plan / execute /
+  /// inject during a step are attributed to this round index, so the
+  /// per-round telemetry series line up with the step loop.
+  std::uint64_t round() const { return round_; }
 
   /// Packets still buffered (typically evaluated at the end of a run).
   std::size_t packets_in_flight() const { return buffers_.total_packets(); }
@@ -116,6 +122,7 @@ class BalancingRouter {
   BalancingParams params_;
   route::BufferBank buffers_;
   DestinationPredicate is_dest_;
+  std::uint64_t round_ = 0;
 };
 
 }  // namespace thetanet::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace thetanet::core {
 
@@ -70,6 +71,10 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
     }
   }
   TN_OBS_COUNT("router.control_messages", control_messages_ - before);
+  // Recorded before the inner end_step advances the round clock, so the
+  // control traffic of step t lands on round t like the other series.
+  TN_OBS_SERIES_ADD("router.control_messages", inner_.round(),
+                    control_messages_ - before);
   inner_.end_step(m);
 }
 

@@ -1,14 +1,47 @@
 #include "core/theta_maintenance.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace thetanet::core {
 
 using graph::kInvalidNode;
 using graph::NodeId;
+
+namespace {
+
+std::vector<std::pair<NodeId, NodeId>> edge_pairs(const graph::Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    out.emplace_back(g.edge(e).u, g.edge(e).v);
+  return out;  // already sorted: rebuild_graph_from_table adds sorted pairs
+}
+
+/// |A Δ B| for two sorted pair lists — edges added plus edges removed.
+std::size_t symmetric_difference_size(
+    const std::vector<std::pair<NodeId, NodeId>>& a,
+    const std::vector<std::pair<NodeId, NodeId>>& b) {
+  std::size_t diff = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i, ++j;
+    } else if (a[i] < b[j]) {
+      ++diff, ++i;
+    } else {
+      ++diff, ++j;
+    }
+  }
+  return diff + (a.size() - i) + (b.size() - j);
+}
+
+}  // namespace
 
 ThetaMaintainer::ThetaMaintainer(topo::Deployment d, double theta)
     : d_(std::move(d)),
@@ -48,8 +81,18 @@ std::size_t ThetaMaintainer::move_node(NodeId v, geom::Vec2 p) {
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());
 
+  const std::vector<std::pair<NodeId, NodeId>> before = edge_pairs(n_);
   for (const NodeId u : affected) recompute_table_row(u, grid);
   rebuild_graph_from_table();
+
+  // Per-move telemetry: the round index is the move number, so the
+  // edge-churn series reads as rewiring per mobility step.
+  const std::size_t churn = symmetric_difference_size(before, edge_pairs(n_));
+  TN_OBS_COUNT("maintenance.moves", 1);
+  TN_OBS_COUNT("maintenance.edge_churn_total", churn);
+  TN_OBS_SERIES_ADD("maintenance.edge_churn", moves_, churn);
+  TN_OBS_SERIES_ADD("maintenance.tables_recomputed", moves_, affected.size());
+  ++moves_;
   return affected.size();
 }
 

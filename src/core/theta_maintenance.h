@@ -11,6 +11,8 @@
 // `tables_recomputed` return value is the locality witness: for local moves
 // it is ~ the neighbourhood size, not n (bench E18 measures the ratio).
 
+#include <cstdint>
+
 #include "core/theta_topology.h"
 #include "geom/spatial_grid.h"
 
@@ -32,6 +34,11 @@ class ThetaMaintainer {
   /// full rebuild would always perform n).
   std::size_t move_node(graph::NodeId v, geom::Vec2 p);
 
+  /// Moves applied so far. Each move is one round of the
+  /// `maintenance.edge_churn` telemetry series (edges added + removed by
+  /// that move — the overlay's rewiring rate under mobility).
+  std::uint64_t moves() const { return moves_; }
+
   /// Audit: does the incrementally maintained topology equal a from-scratch
   /// ThetaTopology of the current deployment?
   bool matches_full_rebuild() const;
@@ -44,6 +51,7 @@ class ThetaMaintainer {
   double theta_;
   topo::SectorTable table_;
   graph::Graph n_;
+  std::uint64_t moves_ = 0;
 };
 
 }  // namespace thetanet::core

@@ -1,0 +1,366 @@
+#include "obs/telemetry_reader.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+namespace thetanet::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser. Covers everything the sinks emit
+// (and standard JSON generally, minus \uXXXX surrogate pairs, which no
+// telemetry name contains). Depth-capped so a hostile file cannot blow the
+// stack.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value(0);
+    if (v) {
+      skip_ws();
+      if (pos_ != s_.size()) fail("trailing characters after document");
+    }
+    if (!err_.empty()) {
+      if (error != nullptr) {
+        std::ostringstream ss;
+        ss << "offset " << pos_ << ": " << err_;
+        *error = ss.str();
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const std::string& why) {
+    if (err_.empty()) err_ = why;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') return null_value();
+    return number_value();
+  }
+
+  std::optional<JsonValue> object(int depth) {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return JsonValue{obj};
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        fail("expected object key string");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> key = string_value();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> val = value(depth + 1);
+      if (!val) return std::nullopt;
+      obj.emplace(key->string(), std::move(*val));
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue{std::move(obj)};
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array(int depth) {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return JsonValue{arr};
+    while (true) {
+      std::optional<JsonValue> val = value(depth + 1);
+      if (!val) return std::nullopt;
+      arr.push_back(std::move(*val));
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue{std::move(arr)};
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string_value() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return JsonValue{std::move(out)};
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          const auto res =
+              std::from_chars(s_.data() + pos_, s_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc() || res.ptr != s_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          pos_ += 4;
+          // The sink only escapes control characters; anything in the BMP
+          // below 0x80 round-trips, the rest is passed through as '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape character");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> bool_value() {
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    fail("bad literal");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> null_value() {
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{nullptr};
+    }
+    fail("bad literal");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number_value() {
+    double v = 0.0;
+    const auto res = std::from_chars(s_.data() + pos_, s_.data() + s_.size(), v);
+    if (res.ec != std::errc()) {
+      fail("bad number");
+      return std::nullopt;
+    }
+    pos_ = static_cast<std::size_t>(res.ptr - s_.data());
+    return JsonValue{v};
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+// ---------------------------------------------------------------------------
+// Shape extraction.
+
+bool shape_fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+std::uint64_t as_u64(const JsonValue& v) {
+  return v.is_number() && v.number() >= 0.0
+             ? static_cast<std::uint64_t>(v.number())
+             : 0;
+}
+
+bool extract_spans(const JsonArray& arr, std::vector<ParsedSpan>& out,
+                   std::string* error) {
+  for (const JsonValue& v : arr) {
+    if (!v.is_object()) return shape_fail(error, "span entry is not an object");
+    const JsonObject& o = v.object();
+    ParsedSpan span;
+    if (const auto it = o.find("name"); it != o.end() && it->second.is_string())
+      span.name = it->second.string();
+    if (const auto it = o.find("count"); it != o.end())
+      span.count = as_u64(it->second);
+    if (const auto it = o.find("children");
+        it != o.end() && it->second.is_array()) {
+      if (!extract_spans(it->second.array(), span.children, error))
+        return false;
+    }
+    out.push_back(std::move(span));
+  }
+  return true;
+}
+
+bool extract(const JsonValue& root, ParsedTelemetry& out, std::string* error) {
+  if (!root.is_object())
+    return shape_fail(error, "top level is not a JSON object");
+  const JsonObject& doc = root.object();
+
+  const auto schema_it = doc.find("schema");
+  if (schema_it == doc.end() || !schema_it->second.is_string())
+    return shape_fail(error, "missing 'schema' string");
+  out.schema = schema_it->second.string();
+  if (out.schema != "thetanet-telemetry/1" &&
+      out.schema != "thetanet-telemetry/2")
+    return shape_fail(error, "unsupported schema '" + out.schema + "'");
+
+  const auto counters_it = doc.find("counters");
+  if (counters_it == doc.end() || !counters_it->second.is_object())
+    return shape_fail(error, "missing 'counters' object");
+  for (const auto& [name, v] : counters_it->second.object()) {
+    if (!v.is_number())
+      return shape_fail(error, "counter '" + name + "' is not a number");
+    out.counters[name] = as_u64(v);
+  }
+
+  const auto dists_it = doc.find("distributions");
+  if (dists_it == doc.end() || !dists_it->second.is_object())
+    return shape_fail(error, "missing 'distributions' object");
+  for (const auto& [name, v] : dists_it->second.object()) {
+    if (!v.is_object())
+      return shape_fail(error, "distribution '" + name + "' is not an object");
+    const JsonObject& o = v.object();
+    ParsedDistribution d;
+    const auto field = [&](const char* key, std::uint64_t& dst) {
+      const auto it = o.find(key);
+      if (it != o.end()) dst = as_u64(it->second);
+    };
+    field("count", d.count);
+    field("min", d.min);
+    field("max", d.max);
+    field("sum", d.sum);
+    field("p50", d.p50);
+    field("p99", d.p99);
+    out.distributions[name] = d;
+  }
+
+  if (const auto it = doc.find("series");
+      it != doc.end() && it->second.is_object()) {
+    for (const auto& [name, v] : it->second.object()) {
+      if (!v.is_object())
+        return shape_fail(error, "series '" + name + "' is not an object");
+      const JsonObject& o = v.object();
+      ParsedSeries s;
+      if (const auto f = o.find("agg"); f != o.end() && f->second.is_string())
+        s.agg = f->second.string();
+      if (const auto f = o.find("kind"); f != o.end() && f->second.is_string())
+        s.kind = f->second.string();
+      if (const auto f = o.find("stride"); f != o.end())
+        s.stride = as_u64(f->second);
+      if (const auto f = o.find("rounds"); f != o.end())
+        s.rounds = as_u64(f->second);
+      const auto pts = o.find("points");
+      if (pts == o.end() || !pts->second.is_array())
+        return shape_fail(error, "series '" + name + "' has no points array");
+      for (const JsonValue& p : pts->second.array()) {
+        if (!p.is_number())
+          return shape_fail(error,
+                            "series '" + name + "' has a non-numeric point");
+        s.points.push_back(p.number());
+      }
+      out.series[name] = std::move(s);
+    }
+  }
+
+  if (const auto it = doc.find("spans");
+      it != doc.end() && it->second.is_array()) {
+    if (!extract_spans(it->second.array(), out.spans, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ParsedTelemetry> parse_telemetry_json(const std::string& text,
+                                                    std::string* error) {
+  Parser p(text);
+  const std::optional<JsonValue> root = p.parse(error);
+  if (!root) return std::nullopt;
+  ParsedTelemetry out;
+  if (!extract(*root, out, error)) return std::nullopt;
+  return out;
+}
+
+std::optional<ParsedTelemetry> load_telemetry_file(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_telemetry_json(ss.str(), error);
+}
+
+}  // namespace thetanet::obs

@@ -1,0 +1,57 @@
+#pragma once
+// Reader for telemetry dumps: parses a thetanet-telemetry/1 or /2 JSON
+// document (obs::write_telemetry_json output) back into plain structures,
+// so tools — the `thetanet_cli report` subcommand foremost — can ingest
+// dumps without a JSON dependency. The embedded parser handles the JSON
+// subset the sink emits (objects, arrays, strings, numbers, bools, null)
+// and is tolerant of extra keys, so future schema additions stay readable.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace thetanet::obs {
+
+struct ParsedDistribution {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+struct ParsedSeries {
+  std::string agg;   ///< "sum" or "max"
+  std::string kind;  ///< "u64" or "f64"
+  std::uint64_t stride = 1;
+  std::uint64_t rounds = 0;
+  std::vector<double> points;  ///< f64 view regardless of kind
+};
+
+struct ParsedSpan {
+  std::string name;
+  std::uint64_t count = 0;
+  std::vector<ParsedSpan> children;
+};
+
+struct ParsedTelemetry {
+  std::string schema;  ///< "thetanet-telemetry/1" or ".../2"
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, ParsedDistribution> distributions;
+  std::map<std::string, ParsedSeries> series;  ///< empty for /1 documents
+  std::vector<ParsedSpan> spans;
+};
+
+/// Parse a telemetry document. On failure returns nullopt and, when
+/// `error` is non-null, a one-line diagnostic (offset + reason for syntax
+/// errors, section + reason for shape errors).
+std::optional<ParsedTelemetry> parse_telemetry_json(const std::string& text,
+                                                    std::string* error);
+
+/// Convenience: read the file, then parse_telemetry_json.
+std::optional<ParsedTelemetry> load_telemetry_file(const std::string& path,
+                                                   std::string* error);
+
+}  // namespace thetanet::obs

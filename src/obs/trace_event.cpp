@@ -1,0 +1,130 @@
+#include "obs/trace_event.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+
+namespace thetanet::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+struct Emitter {
+  std::string out;
+  bool first = true;
+
+  void event_prefix() {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+  }
+};
+
+/// Aggregate duration of a span node in microseconds on the chosen clock.
+/// Virtual clock: 1 us of self time plus the children. Wall clock: the
+/// node's recorded time, floored at the children's span so the layout
+/// stays nested (a parallel phase's children can out-sum their parent).
+std::uint64_t span_dur_us(const SpanSnapshot& s, bool include_timing) {
+  std::uint64_t children = 0;
+  for (const SpanSnapshot& c : s.children)
+    children += span_dur_us(c, include_timing);
+  if (!include_timing) return 1 + children;
+  return std::max(s.wall_ns / 1000, children);
+}
+
+/// DFS layout: the node's event starts at `ts`, children follow
+/// sequentially inside it (sorted order — the snapshot's child order is
+/// already deterministic).
+void emit_span(Emitter& e, const SpanSnapshot& s, std::uint64_t ts,
+               bool include_timing) {
+  const std::uint64_t dur = span_dur_us(s, include_timing);
+  e.event_prefix();
+  e.out += "{\"args\": {\"count\": " + std::to_string(s.count) +
+           "}, \"cat\": \"span\", \"dur\": " + std::to_string(dur) +
+           ", \"name\": ";
+  append_escaped(e.out, s.name);
+  e.out += ", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": " +
+           std::to_string(ts) + "}";
+  std::uint64_t child_ts = ts;
+  for (const SpanSnapshot& c : s.children) {
+    emit_span(e, c, child_ts, include_timing);
+    child_ts += span_dur_us(c, include_timing);
+  }
+}
+
+void emit_series(Emitter& e, const SeriesSnapshot& s) {
+  const std::size_t npoints =
+      s.kind == SeriesKind::kU64 ? s.upoints.size() : s.fpoints.size();
+  for (std::size_t i = 0; i < npoints; ++i) {
+    e.event_prefix();
+    // The round-clock: a point covering rounds [i*stride, (i+1)*stride)
+    // is stamped at its window start, 1 round == 1 us.
+    e.out += "{\"args\": {\"value\": ";
+    if (s.kind == SeriesKind::kU64)
+      e.out += std::to_string(s.upoints[i]);
+    else
+      append_f64(e.out, s.fpoints[i]);
+    e.out += "}, \"cat\": \"series\", \"name\": ";
+    append_escaped(e.out, s.name);
+    e.out += ", \"ph\": \"C\", \"pid\": 2, \"ts\": " +
+             std::to_string(i * s.stride) + "}";
+  }
+}
+
+}  // namespace
+
+std::string to_trace_event_json(const TelemetrySnapshot& snap,
+                                bool include_timing) {
+  Emitter e;
+  e.out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  std::uint64_t ts = 0;
+  for (const SpanSnapshot& s : snap.spans) {
+    emit_span(e, s, ts, include_timing);
+    ts += span_dur_us(s, include_timing);
+  }
+  for (const SeriesSnapshot& s : snap.series) {
+    if (!include_timing && s.stability != Stability::kStable) continue;
+    emit_series(e, s);
+  }
+  if (!e.first) e.out += "\n  ";
+  e.out += "]\n}\n";
+  return e.out;
+}
+
+bool write_trace_event_json(const std::string& path, bool include_timing) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string doc =
+      to_trace_event_json(capture_telemetry(), include_timing);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace thetanet::obs

@@ -1,0 +1,41 @@
+#pragma once
+// Chrome trace-event export: the span tree and per-round series rendered as
+// a Trace Event Format JSON document loadable in chrome://tracing and
+// Perfetto (legacy JSON ingestion).
+//
+//   * Span nodes become complete ("ph": "X") events. The span tree stores
+//     aggregates (open count + total wall time), not individual intervals,
+//     so each node appears once with its aggregate duration; children are
+//     laid out sequentially inside the parent, which preserves nesting for
+//     the viewer.
+//   * Series become counter ("ph": "C") events — one per retained point,
+//     timestamped by the round the point's window starts at. Loading the
+//     trace shows e.g. router.peak_buffer as a track evolving across the
+//     run — the paper's Section 3 dynamics at a glance.
+//
+// Clocks. Trace timestamps are microseconds. In deterministic mode
+// (include_timing = false, the default) wall-clock values are excluded
+// entirely and a *virtual clock* is used: every span node occupies
+// 1 us plus its children, assigned in DFS order, and a series point at
+// round r is stamped ts = r. The document is then byte-identical across
+// runs and thread counts, like the telemetry JSON. With
+// include_timing = true span durations are real wall time (clamped up to
+// the sum of children, which can exceed the parent under parallelism).
+
+#include <string>
+
+#include "obs/trace_sink.h"
+
+namespace thetanet::obs {
+
+/// Render the snapshot as a Trace Event Format JSON document
+/// (a {"displayTimeUnit": ..., "traceEvents": [...]} object).
+std::string to_trace_event_json(const TelemetrySnapshot& snap,
+                                bool include_timing = false);
+
+/// capture_telemetry() + to_trace_event_json() + write to `path`
+/// (overwrites). Returns false when the file cannot be opened.
+bool write_trace_event_json(const std::string& path,
+                            bool include_timing = false);
+
+}  // namespace thetanet::obs

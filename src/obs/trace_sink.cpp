@@ -1,5 +1,6 @@
 #include "obs/trace_sink.h"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -8,7 +9,19 @@ namespace thetanet::obs {
 
 namespace {
 
-constexpr const char* kSchema = "thetanet-telemetry/1";
+constexpr const char* kSchema = "thetanet-telemetry/2";
+
+const char* agg_name(SeriesAgg a) {
+  return a == SeriesAgg::kSum ? "sum" : "max";
+}
+
+/// Shortest decimal round-trip — the same bits always print the same bytes,
+/// so f64 series stay inside the canonical-document contract.
+void append_f64(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
 
 void append_escaped(std::string& out, const std::string& s) {
   out += '"';
@@ -70,6 +83,7 @@ void append_span_json(std::string& out, const SpanSnapshot& s,
 TelemetrySnapshot capture_telemetry() {
   TelemetrySnapshot snap;
   snap.metrics = MetricsRegistry::global().snapshot();
+  snap.series = SeriesRegistry::global().snapshot();
   snap.spans = span_snapshot();
   return snap;
 }
@@ -118,6 +132,36 @@ std::string to_json(const TelemetrySnapshot& snap, bool include_timing) {
   append_escaped(out, kSchema);
   out += ",\n";
 
+  out += "  \"series\": {";
+  first = true;
+  for (const SeriesSnapshot& s : snap.series) {
+    if (!keep(s.stability)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, s.name);
+    out += ": {\"agg\": \"";
+    out += agg_name(s.agg);
+    out += "\", \"kind\": \"";
+    out += s.kind == SeriesKind::kU64 ? "u64" : "f64";
+    out += "\", \"points\": [";
+    if (s.kind == SeriesKind::kU64) {
+      for (std::size_t i = 0; i < s.upoints.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(s.upoints[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < s.fpoints.size(); ++i) {
+        if (i != 0) out += ", ";
+        append_f64(out, s.fpoints[i]);
+      }
+    }
+    out += "], \"rounds\": " + std::to_string(s.rounds) +
+           ", \"stride\": " + std::to_string(s.stride) + "}";
+  }
+  if (!first) out += "\n  ";
+  out += "},\n";
+
   out += "  \"spans\": [";
   for (std::size_t i = 0; i < snap.spans.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -165,6 +209,18 @@ std::string to_text(const TelemetrySnapshot& snap) {
                   static_cast<unsigned long long>(d.p50),
                   static_cast<unsigned long long>(d.p99),
                   d.stability == Stability::kTiming ? "  (timing)" : "");
+    out += line;
+  }
+  out += "series                                      agg    rounds     stride"
+         "     points\n";
+  for (const SeriesSnapshot& s : snap.series) {
+    std::snprintf(line, sizeof line, "  %-40s %6s %10llu %10llu %10zu%s\n",
+                  s.name.c_str(), agg_name(s.agg),
+                  static_cast<unsigned long long>(s.rounds),
+                  static_cast<unsigned long long>(s.stride),
+                  s.kind == SeriesKind::kU64 ? s.upoints.size()
+                                             : s.fpoints.size(),
+                  s.stability == Stability::kTiming ? "  (timing)" : "");
     out += line;
   }
   out += "spans                                           count      wall_ms\n";

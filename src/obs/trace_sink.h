@@ -2,30 +2,38 @@
 // Serialization of the telemetry state: one stable JSON document plus a
 // compact text table.
 //
-// JSON contract (schema "thetanet-telemetry/1"):
+// JSON contract (schema "thetanet-telemetry/2"):
 //   * top-level and nested object keys are emitted in sorted order,
-//   * all values are unsigned integers or strings — no floats,
+//   * all values are unsigned integers or strings, except the "points"
+//     arrays of f64 series, which are shortest-round-trip decimal floats
+//     (std::to_chars) — still bit-stable for identical doubles,
 //   * by default (include_timing = false) the document contains only
-//     deterministic data: kStable metrics and span {name, count, children}.
-//     Two runs of the same deterministic workload — at any TN_NUM_THREADS —
-//     serialize byte-identically, so dumps can be compared with cmp(1).
+//     deterministic data: kStable metrics/series and span
+//     {name, count, children}. Two runs of the same deterministic workload
+//     — at any TN_NUM_THREADS — serialize byte-identically, so dumps can
+//     be compared with cmp(1).
 //   * include_timing = true adds kTiming metrics and per-span "wall_ns";
 //     such dumps are for humans and profiling, never for diff tests.
 //
-// tools/telemetry_diff.py consumes these documents.
+// Schema history: /1 had no "series" section; /2 (this repo) adds it —
+// per-round time series from obs/timeseries.h. tools/telemetry_diff.py
+// consumes both.
 
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 
 namespace thetanet::obs {
 
 /// Everything a sink serializes; capture_telemetry() fills it from the
-/// global registry and span tree, tests may also construct one by hand.
+/// global registry, series registry, and span tree; tests may also
+/// construct one by hand.
 struct TelemetrySnapshot {
   MetricsSnapshot metrics;
+  std::vector<SeriesSnapshot> series;  ///< sorted by name
   std::vector<SpanSnapshot> spans;
 };
 

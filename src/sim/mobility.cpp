@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "geom/angles.h"
+#include "obs/timeseries.h"
 
 namespace thetanet::sim {
 
@@ -23,8 +24,10 @@ RandomWaypoint::RandomWaypoint(const geom::BBox& arena, std::size_t num_nodes,
 
 void RandomWaypoint::step(double dt, topo::Deployment& d, geom::Rng& rng) {
   TN_ASSERT(d.size() == waypoint_.size());
+  double displacement = 0.0;
   for (std::size_t i = 0; i < d.size(); ++i) {
     geom::Vec2& p = d.positions[i];
+    const geom::Vec2 start = p;
     double budget = speed_[i] * dt;
     // A fast node may reach several waypoints within one step.
     while (budget > 0.0) {
@@ -40,7 +43,11 @@ void RandomWaypoint::step(double dt, topo::Deployment& d, geom::Rng& rng) {
         budget = 0.0;
       }
     }
+    displacement += geom::norm(p - start);
   }
+  // Single recording site per step: deterministic for a fixed seed.
+  TN_OBS_SERIES_ADD_F64("mobility.displacement", steps_, displacement);
+  ++steps_;
 }
 
 GroupDrift::GroupDrift(const geom::BBox& arena, double drift_speed,
@@ -53,16 +60,22 @@ void GroupDrift::step(double dt, topo::Deployment& d, geom::Rng& rng) {
                          drift_speed_ * dt * std::sin(heading_)};
   const double w = arena_.width();
   const double h = arena_.height();
+  double displacement = 0.0;
   for (geom::Vec2& p : d.positions) {
-    p += drift;
-    p.x += jitter_ * dt * rng.normal();
-    p.y += jitter_ * dt * rng.normal();
+    const geom::Vec2 move{drift.x + jitter_ * dt * rng.normal(),
+                          drift.y + jitter_ * dt * rng.normal()};
+    p += move;
+    // Physical displacement, measured before the arena wrap below (a wrap
+    // is a coordinate change, not motion).
+    displacement += geom::norm(move);
     // Wrap around the arena so the convoy never leaves it.
     while (p.x < arena_.lo.x) p.x += w;
     while (p.x > arena_.hi.x) p.x -= w;
     while (p.y < arena_.lo.y) p.y += h;
     while (p.y > arena_.hi.y) p.y -= h;
   }
+  TN_OBS_SERIES_ADD_F64("mobility.displacement", steps_, displacement);
+  ++steps_;
 }
 
 }  // namespace thetanet::sim

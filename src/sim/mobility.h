@@ -5,6 +5,7 @@
 // changes, and the topology-control layer recomputes N. Used by the
 // mobile_convoy example and the dynamic-topology integration tests.
 
+#include <cstdint>
 #include <vector>
 
 #include "geom/bbox.h"
@@ -23,12 +24,18 @@ class RandomWaypoint {
                  double min_speed, double max_speed, geom::Rng& rng);
 
   /// Advance all nodes by dt and write positions into the deployment.
+  /// Each call is one round of the `mobility.displacement` telemetry
+  /// series (summed net node displacement for the step).
   void step(double dt, topo::Deployment& d, geom::Rng& rng);
+
+  /// Steps taken so far (the series round index for the next step).
+  std::uint64_t steps() const { return steps_; }
 
  private:
   geom::BBox arena_;
   std::vector<geom::Vec2> waypoint_;
   std::vector<double> speed_;
+  std::uint64_t steps_ = 0;
 };
 
 /// Group drift: all nodes share a slowly rotating drift velocity plus i.i.d.
@@ -39,11 +46,14 @@ class GroupDrift {
 
   void step(double dt, topo::Deployment& d, geom::Rng& rng);
 
+  std::uint64_t steps() const { return steps_; }
+
  private:
   geom::BBox arena_;
   double drift_speed_;
   double jitter_;
   double heading_ = 0.0;
+  std::uint64_t steps_ = 0;
 };
 
 }  // namespace thetanet::sim

@@ -1,5 +1,6 @@
 #include "sim/svg.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -89,6 +90,83 @@ void SvgCanvas::add_path(const std::vector<graph::NodeId>& nodes,
   }
   ss << "\"/>\n";
   body_ += ss.str();
+}
+
+namespace {
+
+/// Polyline points for a sparkline of `points` inside a (w, h) box at
+/// offset (x0, y0), autoscaled to [min, max] with a flat line at mid-height
+/// for constant series.
+std::string sparkline_points(const std::vector<double>& points, double x0,
+                             double y0, double w, double h) {
+  double lo = points[0], hi = points[0];
+  for (const double v : points) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  const double dx =
+      points.size() > 1 ? w / static_cast<double>(points.size() - 1) : 0.0;
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double t = span > 0.0 ? (points[i] - lo) / span : 0.5;
+    ss << num(x0 + dx * static_cast<double>(i)) << ','
+       << num(y0 + h - t * h) << ' ';
+  }
+  return ss.str();
+}
+
+}  // namespace
+
+void SvgCanvas::add_sparkline(const std::vector<double>& points, double x_px,
+                              double y_px, double w_px, double h_px,
+                              const std::string& color,
+                              const std::string& label) {
+  if (points.empty()) return;
+  std::ostringstream ss;
+  ss << "<g>\n<rect x=\"" << num(x_px) << "\" y=\"" << num(y_px)
+     << "\" width=\"" << num(w_px) << "\" height=\"" << num(h_px)
+     << "\" fill=\"white\" stroke=\"#999\" opacity=\"0.9\"/>\n"
+     << "<polyline fill=\"none\" stroke=\"" << color
+     << "\" stroke-width=\"1.5\" points=\""
+     << sparkline_points(points, x_px + 4.0, y_px + 4.0, w_px - 8.0,
+                         h_px - 8.0)
+     << "\"/>\n";
+  if (!label.empty())
+    ss << "<text x=\"" << num(x_px + 4.0) << "\" y=\"" << num(y_px - 3.0)
+       << "\" font-family=\"monospace\" font-size=\"10\">" << label
+       << "</text>\n";
+  ss << "</g>\n";
+  body_ += ss.str();
+}
+
+std::string sparkline_svg(const std::vector<double>& points, double width_px,
+                          double height_px, const std::string& color) {
+  std::ostringstream ss;
+  ss << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << num(width_px)
+     << "\" height=\"" << num(height_px) << "\" viewBox=\"0 0 "
+     << num(width_px) << ' ' << num(height_px) << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!points.empty()) {
+    ss << "<line x1=\"2\" y1=\"" << num(height_px - 2.0) << "\" x2=\""
+       << num(width_px - 2.0) << "\" y2=\"" << num(height_px - 2.0)
+       << "\" stroke=\"#ccc\"/>\n"
+       << "<polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.5\" points=\""
+       << sparkline_points(points, 2.0, 2.0, width_px - 4.0, height_px - 4.0)
+       << "\"/>\n";
+  }
+  ss << "</svg>\n";
+  return ss.str();
+}
+
+bool write_sparkline_svg(const std::string& path,
+                         const std::vector<double>& points, double width_px,
+                         double height_px, const std::string& color) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << sparkline_svg(points, width_px, height_px, color);
+  return static_cast<bool>(out);
 }
 
 std::string SvgCanvas::str() const {

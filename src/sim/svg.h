@@ -5,6 +5,7 @@
 // bench users can plot any Graph the library produces.
 
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
 #include "topology/deployment.h"
@@ -32,6 +33,12 @@ class SvgCanvas {
   void add_path(const std::vector<graph::NodeId>& nodes,
                 const std::string& color, double stroke_width = 2.0);
 
+  /// Inset a sparkline (telemetry series inside a topology plot) in a box
+  /// whose top-left corner is at pixel (x_px, y_px).
+  void add_sparkline(const std::vector<double>& points, double x_px,
+                     double y_px, double w_px, double h_px,
+                     const std::string& color, const std::string& label = "");
+
   /// Complete SVG document.
   std::string str() const;
 
@@ -52,5 +59,19 @@ class SvgCanvas {
   geom::Vec2 origin_;
   std::string body_;
 };
+
+/// Standalone sparkline document for a telemetry series: the points drawn
+/// as a min/max-autoscaled polyline with a baseline, sized for inlining in
+/// a markdown report (the `thetanet_cli report` subcommand writes one per
+/// series). Deterministic output for deterministic input.
+std::string sparkline_svg(const std::vector<double>& points,
+                          double width_px = 320.0, double height_px = 64.0,
+                          const std::string& color = "#2266cc");
+
+/// sparkline_svg + write to `path`; returns false on I/O failure.
+bool write_sparkline_svg(const std::string& path,
+                         const std::vector<double>& points,
+                         double width_px = 320.0, double height_px = 64.0,
+                         const std::string& color = "#2266cc");
 
 }  // namespace thetanet::sim

@@ -12,6 +12,7 @@
 #include "geom/spatial_grid.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace_sink.h"
 
 int main() {
@@ -38,12 +39,16 @@ int main() {
   // From here on, everything recorded would come from this TU's macros —
   // which are compiled out.
   obs::MetricsRegistry::global().reset();
+  obs::SeriesRegistry::global().reset();
   obs::reset_spans();
   TN_OBS_SPAN("off.phase");
   TN_OBS_COUNT("off.counter", 3);
   TN_OBS_COUNT_TIMING("off.timing", 1);
   TN_OBS_RECORD("off.dist", 42);
   TN_OBS_RECORD_TIMING("off.dist_timing", 7);
+  TN_OBS_SERIES_ADD("off.series_add", 0, 5);
+  TN_OBS_SERIES_MAX("off.series_max", 1, 9);
+  TN_OBS_SERIES_ADD_F64("off.series_f64", 2, 1.5);
 
   if (obs::MetricsRegistry::global().counter_value("off.counter") != 0) {
     std::fprintf(stderr, "disabled macros still recorded counters\n");
@@ -53,10 +58,21 @@ int main() {
     std::fprintf(stderr, "disabled TN_OBS_SPAN still recorded a span\n");
     rc = 1;
   }
+  // The disabled series macros must not have registered or recorded
+  // anything (reset() keeps registrations, so an accidental registration
+  // would show up in the snapshot).
+  if (!obs::SeriesRegistry::global().snapshot().empty()) {
+    std::fprintf(stderr, "disabled TN_OBS_SERIES_* still recorded series\n");
+    rc = 1;
+  }
   // The runtime API itself stays linkable and functional.
   const std::string doc = obs::to_json(obs::capture_telemetry());
-  if (doc.find("thetanet-telemetry/1") == std::string::npos) {
+  if (doc.find("thetanet-telemetry/2") == std::string::npos) {
     std::fprintf(stderr, "trace sink schema missing from dump\n");
+    rc = 1;
+  }
+  if (doc.find("\"series\": {}") == std::string::npos) {
+    std::fprintf(stderr, "empty series section missing from dump\n");
     rc = 1;
   }
   return rc;

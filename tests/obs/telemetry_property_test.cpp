@@ -16,6 +16,7 @@
 #include "interference/model.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace_sink.h"
 #include "sim/scenarios.h"
 #include "topology/distributions.h"
@@ -31,6 +32,7 @@ class TelemetryPropertyTest : public ::testing::Test {
       GTEST_SKIP() << "telemetry compiled out (THETANET_TELEMETRY=OFF)";
     obs::set_recording(true);
     obs::MetricsRegistry::global().reset();
+    obs::SeriesRegistry::global().reset();
     obs::reset_spans();
     tn::set_num_threads(1);
   }
@@ -89,6 +91,7 @@ TEST_F(TelemetryPropertyTest, RouterCountersConserveAgainstRunMetrics) {
       core::theorem31_params(trace.opt, 0.25, 4.0);
 
   obs::MetricsRegistry::global().reset();
+  obs::SeriesRegistry::global().reset();
   const sim::ScenarioResult res = sim::run_mac_given(trace, params, 200);
   const route::RunMetrics& m = res.metrics;
 
@@ -120,6 +123,40 @@ TEST_F(TelemetryPropertyTest, RouterCountersConserveAgainstRunMetrics) {
   EXPECT_EQ(peak->max, m.peak_buffer);
   EXPECT_EQ(peak->count, counter("router.rounds"));
   EXPECT_GT(counter("router.rounds"), 0U);
+
+  // The per-round series shadow the same single bookkeeping path: the max
+  // over the peak_buffer series IS RunMetrics::peak_buffer (downsampling
+  // folds windows with max, so this holds at any retained resolution), and
+  // the sum-series totals reconcile with the endpoint counters.
+  const std::vector<obs::SeriesSnapshot> series =
+      obs::SeriesRegistry::global().snapshot();
+  const auto find_series =
+      [&](std::string_view name) -> const obs::SeriesSnapshot* {
+    for (const obs::SeriesSnapshot& s : series)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  const obs::SeriesSnapshot* peak_series = find_series("router.peak_buffer");
+  ASSERT_NE(peak_series, nullptr);
+  std::uint64_t series_max = 0;
+  for (const std::uint64_t v : peak_series->upoints)
+    series_max = std::max(series_max, v);
+  EXPECT_EQ(series_max, m.peak_buffer);
+  EXPECT_EQ(peak_series->rounds, counter("router.rounds"));
+
+  const auto series_total = [&](std::string_view name) {
+    const obs::SeriesSnapshot* s = find_series(name);
+    std::uint64_t total = 0;
+    if (s != nullptr)
+      for (const std::uint64_t v : s->upoints) total += v;
+    return total;
+  };
+  EXPECT_EQ(series_total("router.injections"), m.injected_offered);
+  EXPECT_EQ(series_total("router.tx_attempted"), m.attempted_tx);
+  EXPECT_EQ(series_total("router.tx_failed"), m.failed_tx);
+  EXPECT_EQ(series_total("router.tx_skipped"), m.skipped_tx);
+  EXPECT_EQ(series_total("router.deliveries"), m.deliveries);
+  EXPECT_EQ(series_total("router.dropped_in_transit"), m.dropped_in_transit);
 }
 
 TEST_F(TelemetryPropertyTest, SpanChildTimeIsBoundedByParentTime) {

@@ -1,0 +1,189 @@
+#include "obs/telemetry_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace thetanet::obs {
+namespace {
+
+/// The reader's contract is round-tripping whatever the sink writes, so the
+/// primary fixture is a real to_json document, not a hand-written one.
+TelemetrySnapshot sink_snapshot() {
+  TelemetrySnapshot snap;
+  snap.metrics.counters.push_back({"router.injected", Stability::kStable, 42});
+  snap.metrics.counters.push_back({"grid.queries", Stability::kStable, 7});
+  DistributionSnapshot d;
+  d.name = "router.round_peak_buffer";
+  d.stability = Stability::kStable;
+  d.count = 10;
+  d.min = 0;
+  d.max = 6;
+  d.sum = 23;
+  d.p50 = 2;
+  d.p99 = 6;
+  snap.metrics.distributions.push_back(d);
+  SeriesSnapshot u;
+  u.name = "router.peak_buffer";
+  u.agg = SeriesAgg::kMax;
+  u.kind = SeriesKind::kU64;
+  u.stride = 4;
+  u.rounds = 10;
+  u.upoints = {2, 6, 3};
+  snap.series.push_back(u);
+  SeriesSnapshot f;
+  f.name = "mobility.displacement";
+  f.agg = SeriesAgg::kSum;
+  f.kind = SeriesKind::kF64;
+  f.rounds = 2;
+  f.fpoints = {0.5, 1.25};
+  snap.series.push_back(f);
+  SpanSnapshot child;
+  child.name = "theta.phase1";
+  child.count = 3;
+  SpanSnapshot root;
+  root.name = "theta.build";
+  root.count = 1;
+  root.children.push_back(child);
+  snap.spans.push_back(root);
+  return snap;
+}
+
+TEST(TelemetryReader, RoundTripsTheSinkOutput) {
+  const std::string doc = to_json(sink_snapshot(), /*include_timing=*/true);
+  std::string err;
+  const auto parsed = parse_telemetry_json(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+
+  EXPECT_EQ(parsed->schema, "thetanet-telemetry/2");
+  ASSERT_EQ(parsed->counters.size(), 2U);
+  EXPECT_EQ(parsed->counters.at("router.injected"), 42U);
+  EXPECT_EQ(parsed->counters.at("grid.queries"), 7U);
+
+  ASSERT_EQ(parsed->distributions.size(), 1U);
+  const ParsedDistribution& d =
+      parsed->distributions.at("router.round_peak_buffer");
+  EXPECT_EQ(d.count, 10U);
+  EXPECT_EQ(d.min, 0U);
+  EXPECT_EQ(d.max, 6U);
+  EXPECT_EQ(d.sum, 23U);
+  EXPECT_EQ(d.p50, 2U);
+  EXPECT_EQ(d.p99, 6U);
+
+  ASSERT_EQ(parsed->series.size(), 2U);
+  const ParsedSeries& u = parsed->series.at("router.peak_buffer");
+  EXPECT_EQ(u.agg, "max");
+  EXPECT_EQ(u.kind, "u64");
+  EXPECT_EQ(u.stride, 4U);
+  EXPECT_EQ(u.rounds, 10U);
+  EXPECT_EQ(u.points, (std::vector<double>{2, 6, 3}));
+  const ParsedSeries& f = parsed->series.at("mobility.displacement");
+  EXPECT_EQ(f.agg, "sum");
+  EXPECT_EQ(f.kind, "f64");
+  EXPECT_EQ(f.points, (std::vector<double>{0.5, 1.25}));
+
+  ASSERT_EQ(parsed->spans.size(), 1U);
+  EXPECT_EQ(parsed->spans[0].name, "theta.build");
+  EXPECT_EQ(parsed->spans[0].count, 1U);
+  ASSERT_EQ(parsed->spans[0].children.size(), 1U);
+  EXPECT_EQ(parsed->spans[0].children[0].name, "theta.phase1");
+}
+
+TEST(TelemetryReader, AcceptsSchemaV1WithoutSeries) {
+  const std::string doc = R"({
+  "counters": {"a": 1},
+  "distributions": {},
+  "schema": "thetanet-telemetry/1",
+  "spans": []
+}
+)";
+  std::string err;
+  const auto parsed = parse_telemetry_json(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->schema, "thetanet-telemetry/1");
+  EXPECT_TRUE(parsed->series.empty());
+  EXPECT_EQ(parsed->counters.at("a"), 1U);
+}
+
+TEST(TelemetryReader, EscapedNamesRoundTrip) {
+  TelemetrySnapshot snap;
+  snap.metrics.counters.push_back(
+      {"weird\"name\\with\nstuff", Stability::kStable, 5});
+  const std::string doc = to_json(snap);
+  std::string err;
+  const auto parsed = parse_telemetry_json(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->counters.at("weird\"name\\with\nstuff"), 5U);
+}
+
+TEST(TelemetryReader, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                         // empty
+      "{not json",                // bare token
+      "[1, 2, 3]",                // root must be an object
+      "{\"schema\": \"x\"}",      // unknown schema
+      R"({"counters": [], "distributions": {}, "schema": "thetanet-telemetry/1", "spans": []})",  // counters not an object
+      R"({"counters": {}, "distributions": {}, "schema": "thetanet-telemetry/2", "series": {"s": {"agg": "sum", "kind": "u64"}}, "spans": []})",  // series without points
+      R"({"counters": {}, "distributions": {}, "schema": "thetanet-telemetry/1", "spans": []} trailing)",
+      R"({"counters": {"a": "nope"}, "distributions": {}, "schema": "thetanet-telemetry/1", "spans": []})",
+  };
+  for (const char* doc : bad) {
+    std::string err;
+    EXPECT_FALSE(parse_telemetry_json(doc, &err).has_value())
+        << "accepted: " << doc;
+    EXPECT_FALSE(err.empty()) << "no diagnostic for: " << doc;
+  }
+}
+
+TEST(TelemetryReader, RejectsRunawayNesting) {
+  std::string doc = R"({"counters": {}, "distributions": {}, "schema": "thetanet-telemetry/1", "spans": )";
+  doc += std::string(256, '[');
+  doc += std::string(256, ']');
+  doc += "}";
+  std::string err;
+  EXPECT_FALSE(parse_telemetry_json(doc, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TelemetryReader, ToleratesUnknownKeys) {
+  // Future schema additions must stay readable by today's tools.
+  const std::string doc = R"({
+  "counters": {"a": 1},
+  "distributions": {},
+  "future_section": {"x": [1, {"y": null}], "z": true},
+  "schema": "thetanet-telemetry/2",
+  "series": {"s": {"agg": "sum", "kind": "u64", "points": [1], "rounds": 1, "stride": 1, "new_field": 3}},
+  "spans": []
+}
+)";
+  std::string err;
+  const auto parsed = parse_telemetry_json(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->series.at("s").points, (std::vector<double>{1}));
+}
+
+TEST(TelemetryReader, LoadTelemetryFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/reader_roundtrip.json";
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << to_json(sink_snapshot());
+  }
+  std::string err;
+  const auto parsed = load_telemetry_file(path, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->counters.at("router.injected"), 42U);
+}
+
+TEST(TelemetryReader, LoadMissingFileFails) {
+  std::string err;
+  EXPECT_FALSE(
+      load_telemetry_file("/nonexistent-dir/never/x.json", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace thetanet::obs

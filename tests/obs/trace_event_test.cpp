@@ -1,0 +1,127 @@
+#include "obs/trace_event.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace thetanet::obs {
+namespace {
+
+/// Span tree (root: two children) plus one stable and one timing series —
+/// enough to pin the DFS layout, the virtual round-clock, and the
+/// stability filter.
+TelemetrySnapshot sample_snapshot() {
+  SpanSnapshot a;
+  a.name = "phase.a";
+  a.count = 2;
+  a.wall_ns = 3000;
+  SpanSnapshot b;
+  b.name = "phase.b";
+  b.count = 1;
+  b.wall_ns = 5000;
+  SpanSnapshot root;
+  root.name = "build";
+  root.count = 1;
+  root.wall_ns = 10000;
+  root.children.push_back(a);
+  root.children.push_back(b);
+  TelemetrySnapshot snap;
+  snap.spans.push_back(root);
+  SeriesSnapshot s;
+  s.name = "router.peak_buffer";
+  s.agg = SeriesAgg::kMax;
+  s.kind = SeriesKind::kU64;
+  s.stride = 4;
+  s.rounds = 12;
+  s.upoints = {2, 6, 3};
+  snap.series.push_back(s);
+  SeriesSnapshot t;
+  t.name = "timing.only";
+  t.agg = SeriesAgg::kSum;
+  t.kind = SeriesKind::kF64;
+  t.stability = Stability::kTiming;
+  t.rounds = 1;
+  t.fpoints = {1.5};
+  snap.series.push_back(t);
+  return snap;
+}
+
+TEST(TraceEvent, DeterministicGolden) {
+  // Byte-exact: virtual clock (each node 1us + children, DFS layout),
+  // series points stamped at window starts (i * stride), kTiming series
+  // excluded.
+  const std::string expected = R"({
+  "displayTimeUnit": "ms",
+  "traceEvents": [
+    {"args": {"count": 1}, "cat": "span", "dur": 3, "name": "build", "ph": "X", "pid": 1, "tid": 1, "ts": 0},
+    {"args": {"count": 2}, "cat": "span", "dur": 1, "name": "phase.a", "ph": "X", "pid": 1, "tid": 1, "ts": 0},
+    {"args": {"count": 1}, "cat": "span", "dur": 1, "name": "phase.b", "ph": "X", "pid": 1, "tid": 1, "ts": 1},
+    {"args": {"value": 2}, "cat": "series", "name": "router.peak_buffer", "ph": "C", "pid": 2, "ts": 0},
+    {"args": {"value": 6}, "cat": "series", "name": "router.peak_buffer", "ph": "C", "pid": 2, "ts": 4},
+    {"args": {"value": 3}, "cat": "series", "name": "router.peak_buffer", "ph": "C", "pid": 2, "ts": 8}
+  ]
+}
+)";
+  EXPECT_EQ(to_trace_event_json(sample_snapshot(), /*include_timing=*/false),
+            expected);
+}
+
+TEST(TraceEvent, TimingModeUsesWallClockAndKeepsTimingSeries) {
+  const std::string doc =
+      to_trace_event_json(sample_snapshot(), /*include_timing=*/true);
+  // Root: 10000 ns -> 10 us, children 3 + 5 us laid out inside it.
+  EXPECT_NE(doc.find("\"dur\": 10, \"name\": \"build\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\": 3, \"name\": \"phase.a\""), std::string::npos);
+  EXPECT_NE(
+      doc.find("\"dur\": 5, \"name\": \"phase.b\", \"ph\": \"X\", \"pid\": 1, "
+               "\"tid\": 1, \"ts\": 3"),
+      std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"timing.only\""), std::string::npos);
+  EXPECT_NE(doc.find("{\"args\": {\"value\": 1.5}"), std::string::npos);
+}
+
+TEST(TraceEvent, WallClockFlooredAtChildSpan) {
+  // A parallel phase's children can out-sum the parent's wall time; the
+  // layout floors the parent so nesting survives in the viewer.
+  SpanSnapshot child;
+  child.name = "c";
+  child.wall_ns = 9000;
+  SpanSnapshot root;
+  root.name = "r";
+  root.wall_ns = 4000;  // less than the child
+  root.children.push_back(child);
+  TelemetrySnapshot snap;
+  snap.spans.push_back(root);
+  const std::string doc = to_trace_event_json(snap, /*include_timing=*/true);
+  EXPECT_NE(doc.find("\"dur\": 9, \"name\": \"r\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\": 9, \"name\": \"c\""), std::string::npos);
+}
+
+TEST(TraceEvent, EmptySnapshotIsAValidEnvelope) {
+  const TelemetrySnapshot empty;
+  const std::string expected = R"({
+  "displayTimeUnit": "ms",
+  "traceEvents": []
+}
+)";
+  EXPECT_EQ(to_trace_event_json(empty), expected);
+}
+
+TEST(TraceEvent, WriteTraceEventJsonCreatesTheFile) {
+  const std::string path = ::testing::TempDir() + "/trace_event_test.json";
+  ASSERT_TRUE(write_trace_event_json(path));
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceEvent, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(write_trace_event_json("/nonexistent-dir/never/x.json"));
+}
+
+}  // namespace
+}  // namespace thetanet::obs

@@ -24,6 +24,22 @@ TelemetrySnapshot sample_snapshot() {
   d.p50 = 3;
   d.p99 = 15;
   snap.metrics.distributions.push_back(d);
+  SeriesSnapshot s;
+  s.name = "alpha.series";
+  s.agg = SeriesAgg::kMax;
+  s.kind = SeriesKind::kU64;
+  s.stride = 2;
+  s.rounds = 6;
+  s.upoints = {1, 7, 4};
+  snap.series.push_back(s);
+  SeriesSnapshot t;
+  t.name = "beta.series";
+  t.agg = SeriesAgg::kSum;
+  t.kind = SeriesKind::kF64;
+  t.stability = Stability::kTiming;
+  t.rounds = 2;
+  t.fpoints = {0.5, 1.25};
+  snap.series.push_back(t);
   SpanSnapshot child;
   child.name = "child";
   child.count = 2;
@@ -38,8 +54,8 @@ TelemetrySnapshot sample_snapshot() {
 }
 
 TEST(TraceSink, GoldenDeterministicJson) {
-  // Byte-exact golden: deterministic mode drops kTiming metrics and all
-  // wall_ns fields; keys at every level are sorted.
+  // Byte-exact golden: deterministic mode drops kTiming metrics/series and
+  // all wall_ns fields; keys at every level are sorted.
   const std::string expected = R"({
   "counters": {
     "alpha.count": 3
@@ -47,7 +63,10 @@ TEST(TraceSink, GoldenDeterministicJson) {
   "distributions": {
     "alpha.dist": {"count": 4, "max": 9, "min": 1, "p50": 3, "p99": 15, "sum": 18}
   },
-  "schema": "thetanet-telemetry/1",
+  "schema": "thetanet-telemetry/2",
+  "series": {
+    "alpha.series": {"agg": "max", "kind": "u64", "points": [1, 7, 4], "rounds": 6, "stride": 2}
+  },
   "spans": [
     {
       "children": [
@@ -71,12 +90,17 @@ TEST(TraceSink, TimingModeAddsTimingMetricsAndWallTime) {
   EXPECT_NE(doc.find("\"beta.count\": 9"), std::string::npos);
   EXPECT_NE(doc.find("\"wall_ns\": 100"), std::string::npos);
   EXPECT_NE(doc.find("\"wall_ns\": 50"), std::string::npos);
+  // Timing-class series appear, f64 points in shortest round-trip form.
+  EXPECT_NE(doc.find("\"beta.series\": {\"agg\": \"sum\", \"kind\": \"f64\", "
+                     "\"points\": [0.5, 1.25]"),
+            std::string::npos);
 }
 
 TEST(TraceSink, DeterministicModeExcludesWallTime) {
   const std::string doc = to_json(sample_snapshot(), /*include_timing=*/false);
   EXPECT_EQ(doc.find("wall_ns"), std::string::npos);
   EXPECT_EQ(doc.find("beta.count"), std::string::npos);
+  EXPECT_EQ(doc.find("beta.series"), std::string::npos);
 }
 
 TEST(TraceSink, EmptySnapshotIsValidJson) {
@@ -84,7 +108,8 @@ TEST(TraceSink, EmptySnapshotIsValidJson) {
   const std::string expected = R"({
   "counters": {},
   "distributions": {},
-  "schema": "thetanet-telemetry/1",
+  "schema": "thetanet-telemetry/2",
+  "series": {},
   "spans": []
 }
 )";
@@ -106,6 +131,8 @@ TEST(TraceSink, TextTableListsEverySection) {
   EXPECT_NE(text.find("beta.count"), std::string::npos);
   EXPECT_NE(text.find("(timing)"), std::string::npos);
   EXPECT_NE(text.find("alpha.dist"), std::string::npos);
+  EXPECT_NE(text.find("alpha.series"), std::string::npos);
+  EXPECT_NE(text.find("beta.series"), std::string::npos);
   EXPECT_NE(text.find("root"), std::string::npos);
   EXPECT_NE(text.find("child"), std::string::npos);
 }

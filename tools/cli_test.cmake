@@ -36,12 +36,56 @@ foreach(f dep.tsv topo.tsv topo.svg gg.tsv beta.tsv cbtc.tsv knn.tsv mst.tsv hub
   endif()
 endforeach()
 
-# Unknown subcommand / malformed input must fail loudly.
-execute_process(COMMAND ${CLI} frobnicate
+# report: render a telemetry dump (with and without a baseline) to markdown
+# plus one sparkline SVG per series.
+file(WRITE ${WORKDIR}/telemetry.json
+"{\n"
+"  \"counters\": {\"router.injected\": 120, \"router.rounds\": 64},\n"
+"  \"distributions\": {\"router.round_peak_buffer\": {\"count\": 64, \"max\": 7, \"min\": 0, \"p50\": 2, \"p99\": 7, \"sum\": 150}},\n"
+"  \"schema\": \"thetanet-telemetry/2\",\n"
+"  \"series\": {\"router.peak_buffer\": {\"agg\": \"max\", \"kind\": \"u64\", \"points\": [1, 3, 7, 5], \"rounds\": 4, \"stride\": 1}},\n"
+"  \"spans\": []\n"
+"}\n")
+file(WRITE ${WORKDIR}/telemetry_base.json
+"{\n"
+"  \"counters\": {\"router.injected\": 100, \"router.rounds\": 64},\n"
+"  \"distributions\": {},\n"
+"  \"schema\": \"thetanet-telemetry/2\",\n"
+"  \"series\": {},\n"
+"  \"spans\": []\n"
+"}\n")
+run_step(${CLI} report --in telemetry.json --out report.md)
+run_step(${CLI} report --in telemetry.json --baseline telemetry_base.json
+         --out report_vs_base.md)
+foreach(f report.md report_assets/router_peak_buffer.svg report_vs_base.md)
+  if(NOT EXISTS ${WORKDIR}/${f})
+    message(FATAL_ERROR "expected report output ${f} missing")
+  endif()
+endforeach()
+file(READ ${WORKDIR}/report_vs_base.md report_md)
+if(NOT report_md MATCHES "router.injected.*120.*100.*\\+20")
+  message(FATAL_ERROR "report is missing the ranked counter delta:\n${report_md}")
+endif()
+
+# report on a malformed dump must fail.
+file(WRITE ${WORKDIR}/broken.json "{not json")
+execute_process(COMMAND ${CLI} report --in broken.json
   WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE rc
   OUTPUT_QUIET ERROR_QUIET)
 if(rc EQUAL 0)
+  message(FATAL_ERROR "report on a malformed dump should fail")
+endif()
+
+# Unknown subcommand / malformed input must fail loudly, and the failure
+# must print the usage text.
+execute_process(COMMAND ${CLI} frobnicate
+  WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0)
   message(FATAL_ERROR "unknown subcommand should fail")
+endif()
+if(NOT err MATCHES "usage: thetanet_cli")
+  message(FATAL_ERROR "unknown subcommand should print usage, got: ${err}")
 endif()
 execute_process(COMMAND ${CLI} build --in does-not-exist.tsv
   WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE rc

@@ -4,17 +4,20 @@
 Usage:
     telemetry_diff.py BASELINE.json FRESH.json [--allow-growth PCT]
 
-Compares the counter and distribution sections of two
-`thetanet-telemetry/1` documents. A counter REGRESSES when its fresh value
-exceeds the baseline by more than --allow-growth percent (default 0:
-any increase fails) — counters here measure *work* (cells scanned, points
-examined, pairs emitted, transmissions), so growth means the code got more
-expensive on the same input. Counters that shrink or disappear are reported
-informationally; new counters are informational too (new instrumentation is
-not a regression). Distributions compare on count/max/sum under the same
-rule. Span wall times are never compared (timing is excluded from
-deterministic dumps by design); span structure differences are
-informational.
+Compares the counter, distribution, and series sections of two
+`thetanet-telemetry/1` or `/2` documents. A counter REGRESSES when its
+fresh value exceeds the baseline by more than --allow-growth percent
+(default 0: any increase fails) — counters here measure *work* (cells
+scanned, points examined, pairs emitted, transmissions), so growth means
+the code got more expensive on the same input. Counters that shrink or
+disappear are reported informationally; new counters are informational too
+(new instrumentation is not a regression). Distributions compare on
+count/max/sum/p50/p99 under the same rule. Series (/2 documents) compare
+on the peak point value and, for sum-aggregated series, the total across
+points; a series whose agg or kind changed between dumps is a regression
+(one name, one meaning). Span wall times are never compared (timing is
+excluded from deterministic dumps by design); span structure differences
+are informational.
 
 Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error,
 3 = malformed dump (wrong schema, non-integer values, missing sections).
@@ -24,7 +27,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "thetanet-telemetry/1"
+SCHEMAS = ("thetanet-telemetry/1", "thetanet-telemetry/2")
 
 
 def load(path):
@@ -46,8 +49,8 @@ def validate(doc, path):
     if not isinstance(doc, dict):
         malformed(path, f"top level is {type(doc).__name__}, expected object")
     schema = doc.get("schema")
-    if schema != SCHEMA:
-        malformed(path, f"schema is {schema!r}, expected {SCHEMA!r}")
+    if schema not in SCHEMAS:
+        malformed(path, f"schema is {schema!r}, expected one of {SCHEMAS!r}")
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         malformed(path, "missing or non-object 'counters' section")
@@ -65,7 +68,33 @@ def validate(doc, path):
             if not isinstance(v, int) or isinstance(v, bool):
                 malformed(path, f"distribution {name!r} field {field!r} "
                                 f"has non-integer value {v!r}")
-    return counters, dists
+    series = doc.get("series", {})
+    if schema == SCHEMAS[1] and not isinstance(series, dict):
+        malformed(path, "missing or non-object 'series' section")
+    for name, s in series.items():
+        if not isinstance(s, dict):
+            malformed(path, f"series {name!r} is not an object")
+        if s.get("agg") not in ("sum", "max"):
+            malformed(path, f"series {name!r} has bad agg {s.get('agg')!r}")
+        if s.get("kind") not in ("u64", "f64"):
+            malformed(path, f"series {name!r} has bad kind {s.get('kind')!r}")
+        for field in ("stride", "rounds"):
+            v = s.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                malformed(path, f"series {name!r} field {field!r} "
+                                f"has non-integer value {v!r}")
+        pts = s.get("points")
+        if not isinstance(pts, list):
+            malformed(path, f"series {name!r} has no points array")
+        integral = s["kind"] == "u64"
+        for v in pts:
+            bad = (isinstance(v, bool) or not isinstance(v, int)) if integral \
+                else (isinstance(v, bool) or not isinstance(v, (int, float)))
+            if bad:
+                malformed(path, f"series {name!r} has non-"
+                                f"{'integer' if integral else 'numeric'} "
+                                f"point {v!r}")
+    return counters, dists, series
 
 
 def grew(base, fresh, allow_pct):
@@ -80,8 +109,10 @@ def main():
                     help="allowed counter growth in percent (default 0)")
     args = ap.parse_args()
 
-    base_counters, base_dists = validate(load(args.baseline), args.baseline)
-    fresh_counters, fresh_dists = validate(load(args.fresh), args.fresh)
+    base_counters, base_dists, base_series = validate(
+        load(args.baseline), args.baseline)
+    fresh_counters, fresh_dists, fresh_series = validate(
+        load(args.fresh), args.fresh)
 
     regressions = 0
 
@@ -105,7 +136,7 @@ def main():
         if name not in fresh_dists:
             print(f"info: distribution {name} gone")
             continue
-        for field in ("count", "max", "sum"):
+        for field in ("count", "max", "sum", "p50", "p99"):
             base = base_dists[name][field]
             fresh = fresh_dists[name][field]
             if grew(base, fresh, args.allow_growth):
@@ -114,6 +145,30 @@ def main():
                 regressions += 1
     for name in sorted(set(fresh_dists) - set(base_dists)):
         print(f"info: new distribution {name}")
+
+    for name in sorted(base_series):
+        if name not in fresh_series:
+            print(f"info: series {name} gone")
+            continue
+        b, f = base_series[name], fresh_series[name]
+        if (b["agg"], b["kind"]) != (f["agg"], f["kind"]):
+            print(f"REGRESSION: series {name} changed meaning: "
+                  f"{b['agg']}/{b['kind']} -> {f['agg']}/{f['kind']}")
+            regressions += 1
+            continue
+        comparisons = [("peak", max(b["points"], default=0),
+                        max(f["points"], default=0))]
+        if b["agg"] == "sum":
+            comparisons.append(("total", sum(b["points"]), sum(f["points"])))
+        for what, base, fresh in comparisons:
+            if grew(base, fresh, args.allow_growth):
+                print(f"REGRESSION: series {name} {what}: {base} -> {fresh}")
+                regressions += 1
+            elif fresh < base:
+                print(f"info: series {name} {what} improved: "
+                      f"{base} -> {fresh}")
+    for name in sorted(set(fresh_series) - set(base_series)):
+        print(f"info: new series {name}")
 
     if regressions:
         print(f"telemetry_diff: {regressions} regression(s)")

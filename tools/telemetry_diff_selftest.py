@@ -30,6 +30,17 @@ def dist(count=4, mn=1, mx=9, p50=3, p99=15, total=18):
             "sum": total}
 
 
+def doc2(counters=None, distributions=None, series=None):
+    d = doc(counters, distributions, schema="thetanet-telemetry/2")
+    d["series"] = series or {}
+    return d
+
+
+def series(points, agg="max", kind="u64", stride=1, rounds=None):
+    return {"agg": agg, "kind": kind, "points": points, "stride": stride,
+            "rounds": len(points) * stride if rounds is None else rounds}
+
+
 def run_diff(tmp, baseline, fresh, *extra):
     bpath = os.path.join(tmp, "baseline.json")
     fpath = os.path.join(tmp, "fresh.json")
@@ -88,6 +99,78 @@ def test_distribution_regression_fails(tmp):
     p = run_diff(tmp, base, fresh)
     assert p.returncode == 1, p.stdout + p.stderr
     assert "router.round_peak_buffer.max" in p.stdout
+
+
+def test_v2_dumps_with_identical_series_pass(tmp):
+    d = doc2({"router.rounds": 64},
+             series={"router.peak_buffer": series([1, 4, 7, 3])})
+    p = run_diff(tmp, d, d)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "OK" in p.stdout
+
+
+def test_distribution_p99_regression_fails(tmp):
+    base = doc(distributions={"router.round_peak_buffer": dist(p99=15)})
+    fresh = doc(distributions={"router.round_peak_buffer": dist(p99=40)})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "router.round_peak_buffer.p99" in p.stdout
+
+
+def test_series_peak_regression_fails(tmp):
+    base = doc2(series={"router.peak_buffer": series([1, 4, 7, 3])})
+    fresh = doc2(series={"router.peak_buffer": series([1, 4, 12, 3])})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "series router.peak_buffer peak" in p.stdout
+
+
+def test_series_total_regression_fails_for_sum_agg(tmp):
+    base = doc2(series={"router.tx_failed": series([2, 2, 2], agg="sum")})
+    fresh = doc2(series={"router.tx_failed": series([2, 2, 9], agg="sum")})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "series router.tx_failed" in p.stdout
+
+
+def test_series_meaning_change_fails(tmp):
+    base = doc2(series={"s": series([1, 2], agg="sum")})
+    fresh = doc2(series={"s": series([1, 2], agg="max")})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "changed meaning" in p.stdout
+
+
+def test_new_series_is_informational(tmp):
+    base = doc2()
+    fresh = doc2(series={"mobility.displacement":
+                         series([1.5, 2.5], agg="sum", kind="f64")})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "new series mobility.displacement" in p.stdout
+
+
+def test_f64_points_in_u64_series_exit_3(tmp):
+    bad = doc2(series={"s": series([1, 2.5])})
+    p = run_diff(tmp, bad, doc2())
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "non-integer point" in p.stderr
+
+
+def test_series_bad_agg_exits_3(tmp):
+    bad = doc2(series={"s": series([1], agg="median")})
+    p = run_diff(tmp, doc2(), bad)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "bad agg" in p.stderr
+
+
+def test_v1_baseline_v2_fresh_compares_counters(tmp):
+    base = doc({"grid.queries": 100})
+    fresh = doc2({"grid.queries": 100},
+                 series={"router.peak_buffer": series([3])})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "new series" in p.stdout
 
 
 def test_wrong_schema_exits_3(tmp):

@@ -1,9 +1,11 @@
 // thetanet_cli — build and inspect ad hoc network topologies from the shell.
 //
 //   thetanet_cli generate --n 256 --dist uniform --seed 7 --out dep.tsv
-//   thetanet_cli build    --in dep.tsv --topology theta --theta 20 \
+//   thetanet_cli build    --in dep.tsv --topology theta --theta 20
 //                         --out topo.tsv --svg topo.svg
 //   thetanet_cli stats    --in dep.tsv --graph topo.tsv
+//   thetanet_cli report   --in run.json --baseline prev.json
+//                         --out report.md
 //
 // generate: node distributions (uniform | clustered | grid | civilized |
 //           hub). --range defaults to the connectivity radius
@@ -13,15 +15,27 @@
 //           --beta, --k, --alpha for the respective baselines.
 // stats:    degree / stretch / interference summary of a graph against the
 //           deployment's transmission graph.
+// report:   render a telemetry dump (obs::write_telemetry_json output) as a
+//           markdown report: counters (delta-ranked against --baseline when
+//           given), distribution summaries, one SVG sparkline per series
+//           (written next to --out), and the verdict lines of a
+//           --conformance report when given.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <numbers>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/theta_topology.h"
+#include "obs/telemetry_reader.h"
 #include "graph/connectivity.h"
 #include "graph/stretch.h"
 #include "interference/model.h"
@@ -194,10 +208,185 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+/// Series names become sparkline file names; keep them path-safe.
+std::string slug(const std::string& name) {
+  std::string s = name;
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+std::string fmt_point(double v) {
+  // Integral values (u64 series, counters) print without a fraction.
+  if (v == static_cast<double>(static_cast<long long>(v)))
+    return std::to_string(static_cast<long long>(v));
+  std::ostringstream ss;
+  ss.precision(6);
+  ss << v;
+  return ss.str();
+}
+
+int cmd_report(const Args& args) {
+  const std::string in = get(args, "in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "report: --in <telemetry.json> is required\n");
+    return 2;
+  }
+  std::string error;
+  const auto cur = obs::load_telemetry_file(in, &error);
+  if (!cur) {
+    std::fprintf(stderr, "cannot read telemetry %s: %s\n", in.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::optional<obs::ParsedTelemetry> base;
+  const std::string baseline = get(args, "baseline", "");
+  if (!baseline.empty()) {
+    base = obs::load_telemetry_file(baseline, &error);
+    if (!base) {
+      std::fprintf(stderr, "cannot read baseline %s: %s\n", baseline.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+
+  const std::string out = get(args, "out", "telemetry_report.md");
+  const std::filesystem::path out_path(out);
+  const std::filesystem::path assets_dir =
+      out_path.parent_path() / (out_path.stem().string() + "_assets");
+
+  std::ostringstream md;
+  md << "# thetanet telemetry report\n\n"
+     << "Source: `" << in << "` (schema `" << cur->schema << "`)";
+  if (base) md << ", baseline: `" << baseline << '`';
+  md << "\n\n";
+
+  // Counters — delta-ranked against the baseline when one is given.
+  md << "## Counters\n\n";
+  if (base) {
+    struct Row {
+      std::string name;
+      std::uint64_t cur = 0, base = 0;
+      long long delta() const {
+        return static_cast<long long>(cur) - static_cast<long long>(base);
+      }
+    };
+    std::vector<Row> rows;
+    for (const auto& [name, v] : cur->counters) {
+      const auto it = base->counters.find(name);
+      rows.push_back({name, v, it == base->counters.end() ? 0 : it->second});
+    }
+    for (const auto& [name, v] : base->counters)
+      if (!cur->counters.count(name)) rows.push_back({name, 0, v});
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      const auto da = std::llabs(a.delta()), db = std::llabs(b.delta());
+      return da != db ? da > db : a.name < b.name;
+    });
+    md << "| counter | value | baseline | delta |\n"
+       << "|---|---:|---:|---:|\n";
+    for (const Row& r : rows)
+      md << "| `" << r.name << "` | " << r.cur << " | " << r.base << " | "
+         << (r.delta() > 0 ? "+" : "") << r.delta() << " |\n";
+  } else {
+    md << "| counter | value |\n|---|---:|\n";
+    for (const auto& [name, v] : cur->counters)
+      md << "| `" << name << "` | " << v << " |\n";
+  }
+
+  if (!cur->distributions.empty()) {
+    md << "\n## Distributions\n\n"
+       << "| distribution | count | min | max | sum | p50 | p99 |\n"
+       << "|---|---:|---:|---:|---:|---:|---:|\n";
+    for (const auto& [name, d] : cur->distributions)
+      md << "| `" << name << "` | " << d.count << " | " << d.min << " | "
+         << d.max << " | " << d.sum << " | " << d.p50 << " | " << d.p99
+         << " |\n";
+  }
+
+  if (!cur->series.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(assets_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n",
+                   assets_dir.string().c_str(), ec.message().c_str());
+      return 1;
+    }
+    md << "\n## Series\n";
+    for (const auto& [name, s] : cur->series) {
+      double lo = 0.0, hi = 0.0;
+      if (!s.points.empty()) {
+        lo = hi = s.points[0];
+        for (const double v : s.points) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      md << "\n### `" << name << "`\n\n"
+         << s.agg << " of " << s.kind << " per round; " << s.rounds
+         << " rounds in " << s.points.size() << " points (stride " << s.stride
+         << "), min " << fmt_point(lo) << ", max " << fmt_point(hi) << ".";
+      if (base) {
+        const auto it = base->series.find(name);
+        if (it != base->series.end()) {
+          double bhi = 0.0;
+          for (const double v : it->second.points) bhi = std::max(bhi, v);
+          md << " Baseline max " << fmt_point(bhi) << '.';
+        }
+      }
+      md << "\n\n";
+      const std::string file = slug(name) + ".svg";
+      if (!sim::write_sparkline_svg((assets_dir / file).string(), s.points)) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     (assets_dir / file).string().c_str());
+        return 1;
+      }
+      md << "![" << name << "](" << assets_dir.filename().string() << '/'
+         << file << ")\n";
+    }
+  }
+
+  const std::string conf = get(args, "conformance", "");
+  if (!conf.empty()) {
+    std::ifstream cf(conf);
+    if (!cf) {
+      std::fprintf(stderr, "cannot read conformance report %s\n",
+                   conf.c_str());
+      return 1;
+    }
+    md << "\n## Conformance\n\n```\n";
+    std::string line;
+    while (std::getline(cf, line)) {
+      // Keep the verdict lines; drop per-violation details into the report
+      // verbatim as well — the file is already deterministic text.
+      md << line << '\n';
+    }
+    md << "```\n";
+  }
+
+  std::ofstream of(out, std::ios::binary | std::ios::trunc);
+  if (!of) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  of << md.str();
+  if (!of) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu counters, %zu distributions, %zu series)\n",
+              out.c_str(), cur->counters.size(), cur->distributions.size(),
+              cur->series.size());
+  return 0;
+}
+
 void usage() {
-  std::fprintf(stderr,
-               "usage: thetanet_cli <generate|build|stats> [--flag value]...\n"
-               "see the header comment of tools/thetanet_cli.cpp\n");
+  std::fprintf(
+      stderr,
+      "usage: thetanet_cli <generate|build|stats|report> [--flag value]...\n"
+      "see the header comment of tools/thetanet_cli.cpp\n");
 }
 
 }  // namespace
@@ -212,6 +401,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "build") return cmd_build(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "report") return cmd_report(args);
   usage();
   return 2;
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event Format document (obs::to_trace_event_json
+output) the way chrome://tracing / Perfetto's legacy JSON importer would:
+it must parse as JSON, be a {"traceEvents": [...]} object, and every event
+must carry the fields its phase requires. Complete ("X") events must nest:
+children laid out inside [ts, ts + dur] of their parent on the same
+pid/tid must not cross the parent's end. Counter ("C") events must carry a
+numeric args value and be non-decreasing in ts per counter name.
+
+Usage: trace_event_check.py TRACE.json [--expect-series NAME]...
+
+--expect-series fails the check when no counter events exist for NAME —
+the ctest fixture uses it to pin the router series into the trace.
+
+Exit status: 0 = valid, 1 = invalid, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(why):
+    print(f"trace_event_check: {why}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--expect-series", action="append", default=[],
+                    metavar="NAME", help="require counter events for NAME")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_event_check: cannot read {args.trace}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if not isinstance(doc, dict):
+        fail(f"top level is {type(doc).__name__}, expected object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing or non-array 'traceEvents'")
+
+    counters = {}
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event {i} is not an object")
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"event {i} has no name")
+        ph = e.get("ph")
+        ts = e.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"event {i} ({name}): bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(f"event {i} ({name}): bad dur {dur!r}")
+            for field in ("pid", "tid"):
+                if not isinstance(e.get(field), int):
+                    fail(f"event {i} ({name}): missing {field}")
+                spans.append((e["pid"], e["tid"], ts, ts + dur, name))
+        elif ph == "C":
+            v = (e.get("args") or {}).get("value")
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                fail(f"event {i} ({name}): counter without numeric "
+                     f"args.value")
+            counters.setdefault(name, []).append(ts)
+        else:
+            fail(f"event {i} ({name}): unsupported phase {ph!r}")
+
+    # Complete events on one track must nest, never partially overlap.
+    # Ties on ts put the longer span first: a parent and its first child
+    # share a start, and the parent must be on the stack before the child.
+    spans.sort(key=lambda s: (s[0], s[1], s[2], -s[3]))
+    stack = []
+    prev_track = None
+    for pid, tid, begin, end, name in spans:
+        if (pid, tid) != prev_track:
+            stack, prev_track = [], (pid, tid)
+        while stack and stack[-1][1] <= begin:
+            stack.pop()
+        if stack and end > stack[-1][1] and begin < stack[-1][1]:
+            fail(f"span {name} [{begin}, {end}) crosses enclosing span "
+                 f"{stack[-1][2]} ending at {stack[-1][1]}")
+        stack.append((begin, end, name))
+
+    for name, stamps in counters.items():
+        if stamps != sorted(stamps):
+            fail(f"counter {name}: timestamps not non-decreasing")
+
+    for name in args.expect_series:
+        if name not in counters:
+            fail(f"expected counter events for series {name!r}, found none "
+                 f"(have: {sorted(counters) or 'no counters'})")
+
+    print(f"trace_event_check: OK ({len(spans)} spans, "
+          f"{len(counters)} counters, {len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
