@@ -5,17 +5,24 @@
 //
 // Before the google-benchmark suite, main() runs a thread-count sweep
 // (TN_NUM_THREADS 1/2/4/max) of the parallelized construction kernels over
-// n in {1k, 10k, 100k} and writes machine-readable BENCH_kernels.json to
-// the working directory, including a per-(kernel, n) bit-identity check
-// across thread counts and per-kernel grid scan counters (queries /
-// points examined) so spatial over-scan is observable. Each entry is
-// timed in a forked child so allocator state left by earlier entries
+// n in {1k, 10k, 100k, 1M} and writes machine-readable BENCH_kernels.json
+// to the working directory, including a per-(kernel, n) bit-identity check
+// across thread counts, per-kernel grid scan counters (queries / points
+// examined) so spatial over-scan is observable, and per-entry peak RSS
+// (getrusage in the forked child) reported as ns/node + bytes/node so the
+// large-n memory footprint is a first-class benchmark output. Each entry
+// is timed in a forked child so allocator state left by earlier entries
 // cannot contaminate its numbers (see time_kernel). TN_BENCH_SWEEP=0
 // skips the sweep; TN_BENCH_SWEEP_MAX_N caps the largest n (e.g. 10000 for
 // a quick pass); TN_BENCH_SWEEP_NS="500,2000" replaces the size list
-// entirely (the ctest smoke run uses 500). Any kernel whose speedup_vs_1
-// drops below 0.9 (and whose 1-thread run is >= 5 ms — shorter runs are
-// jitter) is flagged on stderr and in "speedup_regressions".
+// entirely (the ctest smoke run uses 500). --max-rss-mb N (or
+// TN_BENCH_MAX_RSS_MB) sets a peak-RSS budget: an entry whose footprint,
+// extrapolated from the same kernel's last completed size, would exceed
+// the budget is skipped-and-noted in the JSON instead of OOM-killing the
+// child (an RLIMIT backstop in the child catches runaway allocation the
+// prediction missed). Any kernel whose speedup_vs_1 drops below 0.9 (and
+// whose 1-thread run is >= 5 ms — shorter runs are jitter) is flagged on
+// stderr and in "speedup_regressions".
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +35,7 @@
 #include <malloc.h>
 #endif
 #if defined(__linux__)
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
@@ -241,7 +249,26 @@ struct SweepResult {
   // neighbour mass is the over-scan factor of the kernel's grid sizing.
   std::uint64_t grid_queries;
   std::uint64_t grid_points;
+  // Peak RSS of the forked child (MB). The child starts from the parent's
+  // copy-on-write image, so this is "inputs + the kernel's own footprint" —
+  // the number an application embedding the kernel at this n would see.
+  double rss_mb;
+  bool ok;  // false: the child died (memory backstop) — entry is skipped
 };
+
+// Peak-RSS budget for sweep entries; 0 = unlimited. Set by --max-rss-mb or
+// TN_BENCH_MAX_RSS_MB.
+double g_max_rss_mb = 0.0;
+
+double peak_rss_mb() {
+#if defined(__linux__)
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return static_cast<double>(u.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+#else
+  return 0.0;
+#endif
+}
 
 struct SweepKernel {
   const char* name;
@@ -332,7 +359,8 @@ SweepResult measure_in_process(const SweepKernel& k, const topo::Deployment& d,
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (r == 0 || ms < best_ms) best_ms = ms;
   }
-  return {k.name, n, threads, best_ms, checksum, queries, points};
+  return {k.name,  n,      threads,       best_ms, checksum,
+          queries, points, peak_rss_mb(), true};
 }
 
 // Measure one sweep entry in a forked child so every entry sees a pristine
@@ -355,14 +383,26 @@ SweepResult time_kernel(const SweepKernel& k, const topo::Deployment& d,
     std::uint64_t checksum;
     std::uint64_t queries;
     std::uint64_t points;
+    double rss_mb;
   };
   int fds[2];
   if (pipe(fds) == 0) {
     const pid_t pid = fork();
     if (pid == 0) {
       close(fds[0]);
+      if (g_max_rss_mb > 0.0) {
+        // Backstop against a prediction miss: cap the child's address
+        // space far above the RSS budget (reserve-heavy kernels map much
+        // more than they touch) so runaway allocation dies with bad_alloc
+        // in the child instead of summoning the system OOM killer.
+        const auto cap = static_cast<rlim_t>(
+            (g_max_rss_mb * 4.0 + 4096.0) * 1024.0 * 1024.0);
+        rlimit rl{cap, cap};
+        setrlimit(RLIMIT_AS, &rl);
+      }
       const SweepResult r = measure_in_process(k, d, theta, n, threads);
-      const Payload p{r.ms, r.checksum, r.grid_queries, r.grid_points};
+      const Payload p{r.ms, r.checksum, r.grid_queries, r.grid_points,
+                      r.rss_mb};
       const char* src = reinterpret_cast<const char*>(&p);
       std::size_t sent = 0;
       while (sent < sizeof p) {
@@ -386,7 +426,18 @@ SweepResult time_kernel(const SweepKernel& k, const topo::Deployment& d,
       int status = 0;
       waitpid(pid, &status, 0);
       if (got == sizeof p && WIFEXITED(status) && WEXITSTATUS(status) == 0)
-        return {k.name, n, threads, p.ms, p.checksum, p.queries, p.points};
+        return {k.name,    n,        threads, p.ms,     p.checksum,
+                p.queries, p.points, p.rss_mb, true};
+      if (g_max_rss_mb > 0.0) {
+        // Under a memory budget a dead child means the backstop fired:
+        // report the entry as skipped, do NOT re-run in-process (that
+        // would hand the runaway allocation to the parent).
+        std::fprintf(stderr,
+                     "sweep: child for %s n=%zu threads=%d died under the "
+                     "%.0f MB budget backstop; skipping\n",
+                     k.name, n, threads, g_max_rss_mb);
+        return {k.name, n, threads, 0.0, 0, 0, 0, 0.0, false};
+      }
       std::fprintf(stderr,
                    "sweep: child for %s n=%zu threads=%d failed; "
                    "measuring in-process\n",
@@ -446,7 +497,7 @@ TelemetryOverhead measure_telemetry_overhead() {
 }
 
 std::vector<std::size_t> sweep_sizes() {
-  std::vector<std::size_t> ns{1000, 10000, 100000};
+  std::vector<std::size_t> ns{1000, 10000, 100000, 1000000};
   if (const char* s = std::getenv("TN_BENCH_SWEEP_NS")) {
     ns.clear();
     const char* p = s;
@@ -458,10 +509,10 @@ std::vector<std::size_t> sweep_sizes() {
       p = *end == ',' ? end + 1 : end;
     }
   }
-  std::size_t max_n = 100000;
-  if (const char* s = std::getenv("TN_BENCH_SWEEP_MAX_N"))
-    max_n = static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
-  std::erase_if(ns, [&](std::size_t n) { return n > max_n; });
+  if (const char* s = std::getenv("TN_BENCH_SWEEP_MAX_N")) {
+    const auto max_n = static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
+    std::erase_if(ns, [&](std::size_t n) { return n > max_n; });
+  }
   return ns;
 }
 
@@ -482,17 +533,63 @@ void run_thread_sweep() {
       {"interference_set_sizes", run_interference_sizes},
   };
 
+  struct Skipped {
+    const char* kernel;
+    std::size_t n;
+    int threads;
+    std::string reason;
+  };
   std::vector<SweepResult> results;
+  std::vector<Skipped> skipped;
+  // Last completed footprint per kernel, for predicting the next size's
+  // RSS before committing to it. The construction kernels are all
+  // asymptotically linear-or-better in memory per node, so linear
+  // extrapolation from the largest completed n is an upper-bound-ish
+  // estimate — good enough to refuse entries that would sail past the
+  // budget instead of discovering that via the OOM killer.
+  struct LastRss {
+    std::size_t n = 0;
+    double rss_mb = 0.0;
+  };
+  const std::size_t num_kernels = std::size(kernels);
+  std::vector<LastRss> last_rss(num_kernels);
   bool all_identical = true;
   for (const std::size_t n : sweep_sizes()) {
     const topo::Deployment d = deployment(n);
     tn::set_num_threads(1);
     const graph::Graph theta = core::ThetaTopology(d, kTheta).graph();
-    for (const SweepKernel& k : kernels) {
+    for (std::size_t ki = 0; ki < num_kernels; ++ki) {
+      const SweepKernel& k = kernels[ki];
+      if (g_max_rss_mb > 0.0 && last_rss[ki].n > 0) {
+        const double predicted = last_rss[ki].rss_mb *
+                                 static_cast<double>(n) /
+                                 static_cast<double>(last_rss[ki].n);
+        if (predicted > g_max_rss_mb) {
+          char why[160];
+          std::snprintf(why, sizeof why,
+                        "predicted peak RSS %.0f MB (from %.0f MB at "
+                        "n=%zu) exceeds budget %.0f MB",
+                        predicted, last_rss[ki].rss_mb, last_rss[ki].n,
+                        g_max_rss_mb);
+          std::fprintf(stderr, "sweep: skipping %s n=%zu: %s\n", k.name, n,
+                       why);
+          for (const int t : threads) skipped.push_back({k.name, n, t, why});
+          continue;
+        }
+      }
+      bool have_baseline = false;
       std::uint64_t baseline = 0;
       for (const int t : threads) {
         const SweepResult r = time_kernel(k, d, theta, n, t);
-        if (t == 1) baseline = r.checksum;
+        if (!r.ok) {
+          skipped.push_back(
+              {k.name, n, t, "child died under the RSS budget backstop"});
+          continue;
+        }
+        if (!have_baseline) {
+          baseline = r.checksum;
+          have_baseline = true;
+        }
         if (r.checksum != baseline) {
           all_identical = false;
           std::fprintf(stderr,
@@ -500,8 +597,10 @@ void run_thread_sweep() {
                        k.name, n, t);
         }
         results.push_back(r);
-        std::printf("sweep %-24s n=%-7zu threads=%-2d %10.2f ms\n", k.name, n,
-                    t, r.ms);
+        last_rss[ki] = {n, std::max(last_rss[ki].rss_mb, r.rss_mb)};
+        std::printf(
+            "sweep %-24s n=%-7zu threads=%-2d %10.2f ms  rss %7.1f MB\n",
+            k.name, n, t, r.ms, r.rss_mb);
         std::fflush(stdout);
       }
     }
@@ -553,6 +652,15 @@ void run_thread_sweep() {
                overhead.overhead_pct);
   std::fprintf(out, "  \"outputs_bit_identical_across_threads\": %s,\n",
                all_identical ? "true" : "false");
+  std::fprintf(out, "  \"max_rss_budget_mb\": %.1f,\n", g_max_rss_mb);
+  std::fprintf(out, "  \"skipped\": [");
+  for (std::size_t i = 0; i < skipped.size(); ++i)
+    std::fprintf(out,
+                 "%s\n    {\"kernel\": \"%s\", \"n\": %zu, \"threads\": %d, "
+                 "\"reason\": \"%s\"}",
+                 i ? "," : "", skipped[i].kernel, skipped[i].n,
+                 skipped[i].threads, skipped[i].reason.c_str());
+  std::fprintf(out, "%s],\n", skipped.empty() ? "" : "\n  ");
   std::fprintf(out, "  \"speedup_regressions\": [");
   for (std::size_t i = 0; i < regressions.size(); ++i)
     std::fprintf(out, "%s{\"kernel\": \"%s\", \"n\": %zu, \"threads\": %d}",
@@ -567,9 +675,13 @@ void run_thread_sweep() {
     std::fprintf(out,
                  "    {\"kernel\": \"%s\", \"n\": %zu, \"threads\": %d, "
                  "\"ms\": %.3f, \"speedup_vs_1\": %.3f, "
+                 "\"ns_per_node\": %.1f, \"peak_rss_mb\": %.1f, "
+                 "\"bytes_per_node\": %.1f, "
                  "\"checksum\": \"%016llx\", "
                  "\"grid_queries\": %llu, \"grid_points_examined\": %llu}%s\n",
                  r.kernel, r.n, r.threads, r.ms, speedup(r),
+                 r.ms * 1e6 / static_cast<double>(r.n), r.rss_mb,
+                 r.rss_mb * 1048576.0 / static_cast<double>(r.n),
                  static_cast<unsigned long long>(r.checksum),
                  static_cast<unsigned long long>(r.grid_queries),
                  static_cast<unsigned long long>(r.grid_points),
@@ -598,6 +710,10 @@ int main(int argc, char** argv) {
     return {};
   };
   telemetry_path = strip_flag("--telemetry");
+  if (const std::string cap = strip_flag("--max-rss-mb"); !cap.empty())
+    g_max_rss_mb = std::stod(cap);
+  else if (const char* env = std::getenv("TN_BENCH_MAX_RSS_MB"))
+    g_max_rss_mb = std::strtod(env, nullptr);
   if (const std::string cap = strip_flag("--telemetry-series"); !cap.empty()) {
     // Retained points per series before downsampling kicks in — lets a
     // profiling run keep full per-round resolution (or clamp memory down).

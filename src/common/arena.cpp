@@ -1,0 +1,52 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace thetanet::tn {
+
+namespace {
+constexpr std::size_t kMinBlock = 64 * 1024;
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  // Next block: at least min_bytes, at least double the largest existing
+  // block (geometric growth keeps the block count logarithmic in total
+  // footprint, so allocate()'s slow path stays rare).
+  std::size_t want = std::max(min_bytes, kMinBlock);
+  for (const Block& b : blocks_) want = std::max(want, 2 * b.size);
+  Block nb;
+  nb.data = std::make_unique<std::byte[]>(want);
+  nb.size = want;
+  blocks_.push_back(std::move(nb));
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Retire the current block (its tail is wasted — bounded by one
+  // allocation's size per block) and move to the next block, growing until
+  // one fits. Terminates: grow() always appends a block of at least
+  // bytes + align, which satisfies the fast path's padded request.
+  while (true) {
+    if (block_ < blocks_.size()) {
+      block_base_in_use_ += cursor_;
+      ++block_;
+      cursor_ = 0;
+    }
+    if (block_ >= blocks_.size()) grow(bytes + align);
+    std::byte* const base = blocks_[block_].data.get();
+    const auto addr = reinterpret_cast<std::uintptr_t>(base);
+    const std::size_t pad = (align - (addr & (align - 1))) & (align - 1);
+    if (pad + bytes <= blocks_[block_].size) {
+      cursor_ = pad + bytes;
+      in_use_ = block_base_in_use_ + cursor_;
+      if (in_use_ > high_water_) high_water_ = in_use_;
+      return base + pad;
+    }
+  }
+}
+
+Arena& scratch_arena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace thetanet::tn

@@ -1,0 +1,180 @@
+#pragma once
+// Bump-pointer arena for per-phase scratch memory. The construction kernels
+// (ThetaALG phase 1/2, interference discovery, the per-set radix sort) need
+// short-lived buffers inside tn::parallel_for chunk bodies; allocating them
+// from the heap per chunk costs a malloc/free pair — and, for the large
+// buffers of the 10^6-node regime, a fresh mmap whose pages fault in on
+// first touch — once per chunk. An Arena hands out memory by advancing a
+// cursor through geometrically-grown blocks and recycles all of it on
+// reset(): after the first chunk on a worker, every later chunk's scratch
+// is served from already-faulted pages.
+//
+// Determinism: arenas only ever hold *scratch* (stamp arrays, candidate
+// buffers, radix staging). Allocation addresses and block boundaries never
+// influence kernel output, so arena reuse is invisible to the bit-identity
+// contracts. Arena itself is not thread-safe; use one per thread (see
+// scratch_arena()).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace thetanet::tn {
+
+class Arena {
+ public:
+  Arena() = default;
+  /// Pre-reserve `initial_bytes` in the first block (rounded up internally).
+  explicit Arena(std::size_t initial_bytes) { reserve(initial_bytes); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw allocation: `bytes` bytes aligned to `align` (a power of two,
+  /// at most alignof(std::max_align_t) blocks are guaranteed to satisfy;
+  /// stricter alignments are honoured by padding). Never returns nullptr
+  /// for bytes == 0 (hands back a distinct valid pointer).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    TN_ASSERT_MSG((align & (align - 1)) == 0, "alignment must be a power of 2");
+    if (block_ < blocks_.size()) {
+      std::byte* const base = blocks_[block_].data.get();
+      const auto addr = reinterpret_cast<std::uintptr_t>(base) + cursor_;
+      const std::size_t pad = (align - (addr & (align - 1))) & (align - 1);
+      const std::size_t off = cursor_ + pad;
+      if (off + bytes <= blocks_[block_].size) {
+        cursor_ = off + bytes;
+        in_use_ = block_base_in_use_ + cursor_;
+        if (in_use_ > high_water_) high_water_ = in_use_;
+        return base + off;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Typed uninitialized span of `count` elements. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  std::span<T> alloc_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    T* p = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    return {p, count};
+  }
+
+  /// Typed zero-filled span.
+  template <typename T>
+  std::span<T> alloc_zeroed(std::size_t count) {
+    auto s = alloc_span<T>(count);
+    std::memset(s.data(), 0, s.size_bytes());
+    return s;
+  }
+
+  /// Drop every allocation but keep the blocks: the next allocation reuses
+  /// the same (already-faulted) pages. This is the per-phase recycle point.
+  void reset() {
+    block_ = 0;
+    cursor_ = 0;
+    block_base_in_use_ = 0;
+    in_use_ = 0;
+  }
+
+  /// Cursor snapshot for scoped reuse: allocations made after mark() are
+  /// dropped by rewind(mark), everything before it stays valid. This is what
+  /// lets ScratchScopes nest (outer phase holds buffers across an inner
+  /// scope's lifetime).
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t cursor = 0;
+    std::size_t block_base_in_use = 0;
+  };
+  Marker mark() const { return {block_, cursor_, block_base_in_use_}; }
+  void rewind(Marker m) {
+    block_ = m.block;
+    cursor_ = m.cursor;
+    block_base_in_use_ = m.block_base_in_use;
+    in_use_ = block_base_in_use_ + cursor_;
+  }
+
+  /// Release all memory back to the heap (reset + free blocks).
+  void release() {
+    blocks_.clear();
+    reset();
+  }
+
+  /// Make sure at least `bytes` are available contiguously without a new
+  /// block allocation mid-phase.
+  void reserve(std::size_t bytes) {
+    if (block_ < blocks_.size() &&
+        cursor_ + bytes <= blocks_[block_].size)
+      return;
+    grow(bytes);
+  }
+
+  /// Bytes currently handed out (including alignment padding).
+  std::size_t bytes_in_use() const { return in_use_; }
+  /// Max bytes_in_use() ever observed — the sizing feedback for reserve().
+  std::size_t high_water() const { return high_water_; }
+  /// Total bytes owned across all blocks.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t min_bytes);
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // index of the block the cursor lives in
+  std::size_t cursor_ = 0;  // offset of the next free byte in blocks_[block_]
+  std::size_t block_base_in_use_ = 0;  // in-use bytes in blocks before block_
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// The calling thread's scratch arena (one per thread, lazily created,
+/// retained for the thread's lifetime so its high-water pages stay warm
+/// across kernel invocations). Pool workers and the main thread each get
+/// their own, which is exactly the per-chunk-body isolation parallel_for
+/// scratch needs.
+Arena& scratch_arena();
+
+/// RAII scratch phase: snapshots the calling thread's arena cursor on entry
+/// and rewinds to it on destruction, so everything allocated inside the
+/// scope is recycled while allocations made before it survive. Scopes nest
+/// (a serial phase holding buffers can dispatch work whose chunk bodies
+/// open their own scopes on the same thread).
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(scratch_arena()), mark_(arena_.mark()) {}
+  explicit ScratchScope(std::size_t reserve_bytes)
+      : arena_(scratch_arena()), mark_(arena_.mark()) {
+    arena_.reserve(reserve_bytes);
+  }
+  ~ScratchScope() { arena_.rewind(mark_); }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Marker mark_;
+};
+
+}  // namespace thetanet::tn

@@ -1,0 +1,40 @@
+#pragma once
+
+// Best-effort transparent-huge-page hint for large, hot buffers.
+//
+// The construction kernels stream and scatter over multi-GB arrays; with
+// 4 KB pages the scatter passes spend a measurable fraction of their time
+// in dTLB walks and first-touch faults. madvise(MADV_HUGEPAGE) asks the
+// kernel to back the region with 2 MB pages at fault time (honored when
+// THP runs in "madvise" or "always" mode), cutting both costs ~500x. The
+// hint must land BEFORE the pages are first touched — advise freshly
+// reserved memory, then fill it.
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace thetanet::tn {
+
+/// Hint that [p, p + bytes) should use huge pages. Rounds inward to 2 MB
+/// boundaries (madvise needs aligned full pages); silently a no-op when
+/// the range spans no aligned 2 MB block, on madvise failure, and on
+/// non-Linux builds. Purely advisory: never affects results, only layout.
+inline void advise_huge(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr std::uintptr_t kHuge = std::uintptr_t{2} << 20;
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t lo = (base + kHuge - 1) & ~(kHuge - 1);
+  const std::uintptr_t hi = (base + bytes) & ~(kHuge - 1);
+  if (hi > lo)
+    (void)madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace thetanet::tn

@@ -87,7 +87,10 @@ T parallel_reduce(std::size_t n, std::size_t grain, T identity, Map&& map,
   if (n == 0) return identity;
   const std::size_t g = detail::resolve_grain(n, grain);
   const std::size_t chunks = (n + g - 1) / g;
-  std::vector<T> partials(chunks, identity);
+  // Default-constructed (not copied from identity): every slot is
+  // overwritten by map() before the fold, and requiring only default-
+  // construction + move lets partials hold move-only types.
+  std::vector<T> partials(chunks);
   detail::run_chunks(chunks, [&](std::size_t c) {
     const std::size_t begin = c * g;
     const std::size_t end = begin + g < n ? begin + g : n;

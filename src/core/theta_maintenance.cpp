@@ -129,6 +129,7 @@ void ThetaMaintainer::rebuild_graph_from_table() {
     const double len = d_.distance(a, b);
     n_.add_edge(a, b, len, d_.cost_of_length(len));
   }
+  n_.finalize();
 }
 
 bool ThetaMaintainer::matches_full_rebuild() const {

@@ -1,7 +1,9 @@
 #include "core/theta_topology.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/arena.h"
 #include "common/parallel.h"
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
@@ -44,11 +46,16 @@ void ThetaTopology::build() {
   // over selectors u; the admission min-merge is a serial fold. The fold is
   // order-insensitive anyway — topo::nearer is a strict total order, so the
   // admitted candidate per slot is the unique minimum — but chunk-ordered
-  // concatenation makes the merge sequence itself deterministic too.
+  // concatenation makes the merge sequence itself deterministic too. Each
+  // candidate carries its squared distance (the discovery loop has both
+  // endpoints in hand anyway), so the fold is a pure compare against the
+  // per-slot running minimum instead of two position gathers per candidate.
   struct Candidate {
-    std::size_t slot;
+    std::uint32_t slot;
     NodeId u;
+    double d2;  // dist_sq(positions[v], positions[u]), as topo::nearer uses
   };
+  TN_DCHECK(n * static_cast<std::size_t>(k) <= 0xffffffffu);
   const std::vector<Candidate> candidates = tn::parallel_reduce(
       n, 256, std::vector<Candidate>{},
       [&](std::size_t begin, std::size_t end) {
@@ -60,7 +67,8 @@ void ThetaTopology::build() {
             if (v == kInvalidNode) continue;
             const int sv =
                 geom::sector_index(d.positions[v], d.positions[u], theta_);
-            out.push_back({slot(v, sv), u});
+            out.push_back({static_cast<std::uint32_t>(slot(v, sv)), u,
+                           geom::dist_sq(d.positions[v], d.positions[u])});
           }
         }
         return out;
@@ -70,10 +78,23 @@ void ThetaTopology::build() {
         return acc;
       });
   TN_OBS_COUNT("theta.candidates", candidates.size());
-  for (const Candidate& c : candidates) {
-    const NodeId v = static_cast<NodeId>(c.slot / static_cast<std::size_t>(k));
-    NodeId& cur = admitted_[c.slot];
-    if (topo::nearer(d, v, c.u, cur)) cur = c.u;
+  {
+    // Arena-backed per-slot minimum distance, recycled across builds.
+    tn::ScratchScope scope;
+    std::span<double> best_d2 =
+        scope.arena().alloc_span<double>(n * static_cast<std::size_t>(k));
+    std::fill(best_d2.begin(), best_d2.end(),
+              std::numeric_limits<double>::infinity());
+    for (const Candidate& c : candidates) {
+      NodeId& cur = admitted_[c.slot];
+      double& bd = best_d2[c.slot];
+      // Same (dist_sq, id) strict order as topo::nearer; an empty slot has
+      // bd == inf, which any finite candidate beats.
+      if (c.d2 < bd || (c.d2 == bd && c.u < cur)) {
+        bd = c.d2;
+        cur = c.u;
+      }
+    }
   }
 
   // Materialize N: one edge per admission, deduplicated (an edge can be
@@ -90,10 +111,12 @@ void ThetaTopology::build() {
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   TN_OBS_COUNT("theta.edges", pairs.size());
+  n_.reserve_edges(pairs.size());
   for (const auto& [a, b] : pairs) {
     const double len = d.distance(a, b);
     n_.add_edge(a, b, len, d.cost_of_length(len));
   }
+  n_.finalize();
 }
 
 graph::Graph ThetaTopology::yao_graph() const {

@@ -58,6 +58,14 @@ SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size)
   // Keep ids within each cell sorted so query output is deterministic.
   for (std::size_t c = 0; c < ncells; ++c)
     std::sort(ids_.begin() + starts_[c], ids_.begin() + starts_[c + 1]);
+  // Cell-ordered coordinate copies: scans stream these instead of gathering
+  // points_[id] (see the member comment in the header).
+  xs_.resize(points_.size());
+  ys_.resize(points_.size());
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    xs_[k] = points_[ids_[k]].x;
+    ys_[k] = points_[ids_[k]].y;
+  }
 }
 
 SpatialGrid::CellCoord SpatialGrid::cell_of(Vec2 p) const {
@@ -121,7 +129,7 @@ SpatialGrid::NodeId SpatialGrid::nearest(Vec2 center, NodeId exclude) const {
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
           const NodeId id = ids_[k];
           if (id == exclude) continue;
-          const double d2 = dist_sq(points_[id], center);
+          const double d2 = dist_sq({xs_[k], ys_[k]}, center);
           if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
             best_d2 = d2;
             best = id;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "geom/bbox.h"
@@ -56,8 +57,16 @@ class SpatialGrid {
                              NodeId exclude = kNone) const;
 
   /// Visit ids within radius without allocating. Fast path: the visitor is
-  /// inlined into the scan. Enumeration order is cell-major (row by row),
+  /// inlined into the scan, and coordinates come from the cell-ordered
+  /// xs_/ys_ copies — a forward stream per cell, no indirection through the
+  /// caller's point array. Enumeration order is cell-major (row by row),
   /// ascending id within a cell — callers needing a canonical order sort.
+  /// A visitor invocable as `visit(id, d2)` additionally receives the
+  /// squared distance the prefilter just computed (same value, same bits,
+  /// as dist_sq(point(id), center)); `visit(id, d2, p)` also gets the
+  /// point's coordinates (the scan just streamed them — callers that need
+  /// them, like the sector classifier, skip a gather from their own point
+  /// array). A plain `visit(id)` works unchanged.
   template <typename Visitor>
   void for_each_within(Vec2 center, double radius, Visitor&& visit) const {
     if (points_.empty()) return;
@@ -73,10 +82,16 @@ class SpatialGrid {
         // keeps the scan as tight as the uninstrumented one.
         examined += starts_[c + 1] - starts_[c];
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
-          const NodeId id = ids_[k];
-          if (dist_sq(points_[id], center) <= r2) {
+          const Vec2 p{xs_[k], ys_[k]};
+          const double d2 = dist_sq(p, center);
+          if (d2 <= r2) {
             ++hits;
-            visit(id);
+            if constexpr (std::is_invocable_v<Visitor&, NodeId, double, Vec2>)
+              visit(ids_[k], d2, p);
+            else if constexpr (std::is_invocable_v<Visitor&, NodeId, double>)
+              visit(ids_[k], d2);
+            else
+              visit(ids_[k]);
           }
         }
       }
@@ -111,13 +126,12 @@ class SpatialGrid {
         const std::size_t c = cell_index(cx, cy);
         examined += starts_[c + 1] - starts_[c];  // per cell, see above
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
-          const NodeId id = ids_[k];
-          const Vec2 p = points_[id];
+          const Vec2 p{xs_[k], ys_[k]};
           const double d1 = dist_sq(p, c1);
           const double d2 = dist_sq(p, c2);
           if (d1 <= r2 || d2 <= r2) {
             ++hits;
-            visit(id, d1, d2);
+            visit(ids_[k], d1, d2);
           }
         }
       }
@@ -140,10 +154,9 @@ class SpatialGrid {
       for (std::int32_t cx = e.x_lo; cx <= e.x_hi; ++cx) {
         const std::size_t c = cell_index(cx, cy);
         for (std::uint32_t k = starts_[c]; k < starts_[c + 1]; ++k) {
-          const NodeId id = ids_[k];
-          if (dist_sq(points_[id], center) <= r2) {
+          if (dist_sq({xs_[k], ys_[k]}, center) <= r2) {
             ++hits;
-            if (!visit(id)) {
+            if (!visit(ids_[k])) {
               // Early exit mid-cell: completed cells plus the slice of this
               // one up to and including the witness.
               record_scan(e, examined + (k - starts_[c] + 1), hits);
@@ -219,6 +232,13 @@ class SpatialGrid {
   // CSR layout: ids of points in cell c occupy starts_[c]..starts_[c+1).
   std::vector<std::uint32_t> starts_;
   std::vector<NodeId> ids_;
+  // Coordinates in cell order (xs_[k] = points_[ids_[k]].x): the scan's
+  // distance tests stream these arrays forward instead of gathering from
+  // points_ by id, which is the difference between one cache line per point
+  // and one per *pair of doubles* at large n. Bit-identical copies, so
+  // distances match the points_-based values exactly.
+  std::vector<double> xs_;
+  std::vector<double> ys_;
 };
 
 }  // namespace thetanet::geom

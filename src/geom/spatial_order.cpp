@@ -1,0 +1,68 @@
+#include "geom/spatial_order.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "geom/bbox.h"
+#include "geom/morton.h"
+
+namespace thetanet::geom {
+
+namespace {
+
+bool parse_env_enabled() {
+  const char* s = std::getenv("TN_MORTON");
+  if (s == nullptr) return true;
+  return !(std::strcmp(s, "0") == 0 || std::strcmp(s, "off") == 0 ||
+           std::strcmp(s, "false") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{parse_env_enabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool spatial_order_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_spatial_order_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+SpatialOrder::SpatialOrder(std::span<const Vec2> positions) {
+  const std::size_t n = positions.size();
+  to_orig_.resize(n);
+  to_sorted_.resize(n);
+  if (spatial_order_enabled() && n > 1) {
+    // Sort ids by (Morton key, id): the id tie-break makes the permutation a
+    // pure function of the point set, even with lattice collisions
+    // (near-coincident points, degenerate extents).
+    const BBox box = BBox::of(positions);
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i)
+      keys[i] = morton_key(positions[i], box);
+    for (std::size_t i = 0; i < n; ++i)
+      to_orig_[i] = static_cast<std::uint32_t>(i);
+    std::sort(to_orig_.begin(), to_orig_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return keys[a] < keys[b] || (keys[a] == keys[b] && a < b);
+              });
+    identity_ = std::is_sorted(to_orig_.begin(), to_orig_.end());
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      to_orig_[i] = static_cast<std::uint32_t>(i);
+    identity_ = true;
+  }
+  points_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    points_[s] = positions[to_orig_[s]];
+    to_sorted_[to_orig_[s]] = static_cast<std::uint32_t>(s);
+  }
+}
+
+}  // namespace thetanet::geom

@@ -4,8 +4,19 @@
 // graphs — is materialized as a Graph whose edges carry both the Euclidean
 // length |uv| and the transmission-energy cost |uv|^kappa (Section 2 of the
 // paper).
+//
+// Storage is struct-of-arrays, sized for the 10^6-node regime:
+//   * edges live in four parallel arrays (u, v, length, cost) — 24 bytes per
+//     edge with no per-edge allocation, and scans that only need one field
+//     (Dijkstra reads costs, stretch reads lengths) stream just that array;
+//   * adjacency is CSR (one offsets array + one flat Half array) instead of
+//     a vector per node, built lazily from the edge list on first query.
+// Edge ids and the per-node adjacency order are identical to the historical
+// vector-of-vectors layout (adjacency is filled in edge-id order), so every
+// output and golden file is unchanged.
 
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
@@ -38,40 +49,78 @@ struct Half {
 
 class Graph {
  public:
-  Graph() = default;
-  explicit Graph(std::size_t n) : adj_(n) {}
+  class EdgeRange;
 
-  std::size_t num_nodes() const { return adj_.size(); }
-  std::size_t num_edges() const { return edges_.size(); }
+  Graph() = default;
+  explicit Graph(std::size_t n) : num_nodes_(n) {}
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return eu_.size(); }
+
+  /// Pre-size the edge arrays (builders know their edge count after dedup).
+  void reserve_edges(std::size_t m) {
+    eu_.reserve(m);
+    ev_.reserve(m);
+    elen_.reserve(m);
+    ecost_.reserve(m);
+  }
 
   /// Add undirected edge (u, v); parallel edges are the caller's
   /// responsibility to avoid (topology builders dedup before insertion).
+  /// Appends to the edge arrays only — adjacency is rebuilt on the next
+  /// query (or an explicit finalize()).
   EdgeId add_edge(NodeId u, NodeId v, double length, double cost) {
-    TN_ASSERT(u < adj_.size() && v < adj_.size() && u != v);
-    const EdgeId id = static_cast<EdgeId>(edges_.size());
-    edges_.push_back({u, v, length, cost});
-    adj_[u].push_back({v, id});
-    adj_[v].push_back({u, id});
+    TN_ASSERT(u < num_nodes_ && v < num_nodes_ && u != v);
+    const EdgeId id = static_cast<EdgeId>(eu_.size());
+    eu_.push_back(u);
+    ev_.push_back(v);
+    elen_.push_back(length);
+    ecost_.push_back(cost);
+    adj_dirty_ = true;
     return id;
   }
 
+  /// Rebuild the CSR adjacency now if edges were added since the last
+  /// build. The lazy rebuild inside neighbors() is NOT safe to trigger from
+  /// concurrent readers — every builder calls this before a graph escapes
+  /// to (possibly parallel) consumers, making later queries pure reads.
+  void finalize() const {
+    if (adj_dirty_) build_adjacency();
+  }
+
   std::span<const Half> neighbors(NodeId u) const {
-    TN_ASSERT(u < adj_.size());
-    return adj_[u];
+    TN_ASSERT(u < num_nodes_);
+    finalize();
+    return {adj_half_.data() + adj_off_[u], adj_off_[u + 1] - adj_off_[u]};
   }
 
-  const Edge& edge(EdgeId e) const {
-    TN_ASSERT(e < edges_.size());
-    return edges_[e];
+  /// The edge with the given id, assembled from the four arrays. Returned
+  /// by value; `const Edge& e = g.edge(id)` binds fine (lifetime
+  /// extension). Hot loops that need one field should use edge_u()/
+  /// edge_v()/edge_length()/edge_cost() and skip the assembly.
+  Edge edge(EdgeId e) const {
+    TN_ASSERT(e < eu_.size());
+    return {eu_[e], ev_[e], elen_[e], ecost_[e]};
   }
 
-  std::span<const Edge> edges() const { return edges_; }
+  NodeId edge_u(EdgeId e) const { return eu_[e]; }
+  NodeId edge_v(EdgeId e) const { return ev_[e]; }
+  double edge_length(EdgeId e) const { return elen_[e]; }
+  double edge_cost(EdgeId e) const { return ecost_[e]; }
+
+  /// Iterable view over all edges in id order (values, not references —
+  /// range-for with `const Edge&` works unchanged).
+  EdgeRange edges() const;
 
   std::size_t degree(NodeId u) const { return neighbors(u).size(); }
 
   std::size_t max_degree() const {
+    finalize();
     std::size_t d = 0;
-    for (const auto& a : adj_) d = a.size() > d ? a.size() : d;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      const std::size_t deg = adj_off_[u + 1] - adj_off_[u];
+      d = deg > d ? deg : d;
+    }
     return d;
   }
 
@@ -95,20 +144,99 @@ class Graph {
   /// Sum of edge costs (total energy to light every link once).
   double total_cost() const {
     double s = 0.0;
-    for (const Edge& e : edges_) s += e.cost;
+    for (const double c : ecost_) s += c;
     return s;
   }
 
   double total_length() const {
     double s = 0.0;
-    for (const Edge& e : edges_) s += e.length;
+    for (const double l : elen_) s += l;
     return s;
   }
 
  private:
-  std::vector<std::vector<Half>> adj_;
-  std::vector<Edge> edges_;
+  // Counting sort of the half-edges by endpoint, in edge-id order — exactly
+  // the order the old per-node vectors accumulated in, so neighbour
+  // enumeration (and everything downstream: Dijkstra tie-breaks, router
+  // traces, goldens) is unchanged. Members are mutable so a serial caller
+  // that interleaves add_edge and neighbors keeps working lazily.
+  void build_adjacency() const {
+    adj_off_.assign(num_nodes_ + 1, 0);
+    for (std::size_t e = 0; e < eu_.size(); ++e) {
+      ++adj_off_[eu_[e] + 1];
+      ++adj_off_[ev_[e] + 1];
+    }
+    for (std::size_t u = 0; u < num_nodes_; ++u) adj_off_[u + 1] += adj_off_[u];
+    adj_half_.resize(2 * eu_.size());
+    std::vector<std::uint32_t> cursor(adj_off_.begin(), adj_off_.end() - 1);
+    for (std::size_t e = 0; e < eu_.size(); ++e) {
+      const auto id = static_cast<EdgeId>(e);
+      adj_half_[cursor[eu_[e]]++] = {ev_[e], id};
+      adj_half_[cursor[ev_[e]]++] = {eu_[e], id};
+    }
+    adj_dirty_ = false;
+  }
+
+  std::size_t num_nodes_ = 0;
+  // Edge arrays (struct-of-arrays; index = EdgeId).
+  std::vector<NodeId> eu_;
+  std::vector<NodeId> ev_;
+  std::vector<double> elen_;
+  std::vector<double> ecost_;
+  // CSR adjacency: halves of node u occupy adj_half_[adj_off_[u]..
+  // adj_off_[u+1]). Derived from the edge arrays; rebuilt lazily.
+  mutable std::vector<std::uint32_t> adj_off_;
+  mutable std::vector<Half> adj_half_;
+  mutable bool adj_dirty_ = true;
 };
+
+/// Proxy iterator over a Graph's edges: dereferences to an Edge *value*
+/// assembled from the SoA arrays. Supports everything range-for and simple
+/// index arithmetic need.
+class Graph::EdgeRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Edge;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Edge;
+
+    iterator() = default;
+    iterator(const Graph* g, EdgeId e) : g_(g), e_(e) {}
+    Edge operator*() const { return g_->edge(e_); }
+    iterator& operator++() {
+      ++e_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++e_;
+      return t;
+    }
+    friend bool operator==(iterator a, iterator b) { return a.e_ == b.e_; }
+    friend bool operator!=(iterator a, iterator b) { return a.e_ != b.e_; }
+
+   private:
+    const Graph* g_ = nullptr;
+    EdgeId e_ = 0;
+  };
+
+  explicit EdgeRange(const Graph* g) : g_(g) {}
+  iterator begin() const { return {g_, 0}; }
+  iterator end() const { return {g_, static_cast<EdgeId>(g_->num_edges())}; }
+  std::size_t size() const { return g_->num_edges(); }
+  bool empty() const { return g_->num_edges() == 0; }
+  Edge operator[](std::size_t i) const {
+    return g_->edge(static_cast<EdgeId>(i));
+  }
+
+ private:
+  const Graph* g_;
+};
+
+inline Graph::EdgeRange Graph::edges() const { return EdgeRange(this); }
 
 /// Which per-edge weight a path computation minimizes.
 enum class Weight {
@@ -123,6 +251,21 @@ inline double edge_weight(const Edge& e, Weight w) {
       return e.cost;
     case Weight::kLength:
       return e.length;
+    case Weight::kHops:
+      return 1.0;
+  }
+  TN_ASSERT_MSG(false, "unreachable");
+  return 0.0;
+}
+
+/// Single-field read for hot relaxation loops: touches only the array the
+/// weight actually needs instead of assembling a full Edge.
+inline double edge_weight(const Graph& g, EdgeId e, Weight w) {
+  switch (w) {
+    case Weight::kCost:
+      return g.edge_cost(e);
+    case Weight::kLength:
+      return g.edge_length(e);
     case Weight::kHops:
       return 1.0;
   }

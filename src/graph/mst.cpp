@@ -31,6 +31,7 @@ Graph mst_subgraph(const Graph& g, Weight weight) {
     const Edge& edge = g.edge(e);
     out.add_edge(edge.u, edge.v, edge.length, edge.cost);
   }
+  out.finalize();
   return out;
 }
 

@@ -37,7 +37,7 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source, Weight weight,
     ++settled;
     if (stop_after_settled > 0 && settled >= stop_after_settled) break;
     for (const Half& h : g.neighbors(u)) {
-      const double w = edge_weight(g.edge(h.edge), weight);
+      const double w = edge_weight(g, h.edge, weight);
       const double nd = d + w;
       if (nd < t.dist[h.to]) {
         t.dist[h.to] = nd;

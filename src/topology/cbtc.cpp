@@ -82,10 +82,12 @@ graph::Graph cbtc_graph(const Deployment& d, double alpha) {
   }
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.reserve_edges(edges.size());
   for (const auto& [u, v] : edges) {
     const double len = d.distance(u, v);
     g.add_edge(u, v, len, d.cost_of_length(len));
   }
+  g.finalize();
   return g;
 }
 

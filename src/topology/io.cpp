@@ -77,6 +77,7 @@ std::optional<graph::Graph> load_graph(std::istream& is) {
       return std::nullopt;
     g.add_edge(u, v, len, cost);
   }
+  g.finalize();
   return g;
 }
 

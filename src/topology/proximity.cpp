@@ -62,10 +62,12 @@ graph::Graph build_pairwise(const Deployment& d, const Keep& keep) {
         return out;
       },
       concat);
+  g.reserve_edges(kept.size());
   for (const auto& [u, v] : kept) {
     const double len = d.distance(u, v);
     g.add_edge(u, v, len, d.cost_of_length(len));
   }
+  g.finalize();
   return g;
 }
 
@@ -109,6 +111,7 @@ graph::Graph restricted_delaunay_graph(const Deployment& d) {
     if (len > d.max_range) continue;
     g.add_edge(u, v, len, d.cost_of_length(len));
   }
+  g.finalize();
   return g;
 }
 
@@ -135,10 +138,12 @@ graph::Graph knn_graph(const Deployment& d, std::size_t k) {
       concat);
   std::sort(chosen.begin(), chosen.end());
   chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  g.reserve_edges(chosen.size());
   for (const auto& [u, v] : chosen) {
     const double len = d.distance(u, v);
     g.add_edge(u, v, len, d.cost_of_length(len));
   }
+  g.finalize();
   return g;
 }
 

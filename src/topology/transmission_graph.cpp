@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/parallel.h"
+#include "common/radix.h"
 #include "geom/spatial_grid.h"
+#include "geom/spatial_order.h"
 
 namespace thetanet::topo {
 
@@ -11,35 +14,51 @@ graph::Graph build_transmission_graph(const Deployment& d) {
   const std::size_t n = d.size();
   graph::Graph g(n);
   if (n < 2) return g;
-  const geom::SpatialGrid grid(d.positions, d.max_range);
-  using EdgePair = std::pair<graph::NodeId, graph::NodeId>;
-  // Read-only range queries per node; chunks concatenate in node order with
-  // each node's neighbour list sorted, so edge ids are assigned in (u, v)
-  // lexicographic order for any thread count.
-  const std::vector<EdgePair> pairs = tn::parallel_reduce(
-      n, 64, std::vector<EdgePair>{},
+  // Morton-ordered discovery: grid and query loop both run over the Z-order
+  // permutation, so consecutive queries scan adjacent (cached) cells. Each
+  // unordered pair is discovered exactly twice — once from each endpoint —
+  // and `vs > si` in the SORTED domain keeps exactly one copy, whichever
+  // endpoint sorts first. Pairs are packed as (min << 32 | max) in ORIGINAL
+  // ids; the pair SET is permutation-independent, so the global sort below
+  // re-derives the exact (u, v)-lexicographic edge order the identity
+  // ordering produces.
+  const geom::SpatialOrder ord(d.positions);
+  const geom::SpatialGrid grid(ord.points(), d.max_range);
+  std::vector<std::uint64_t> packed = tn::parallel_reduce(
+      n, 256, std::vector<std::uint64_t>{},
       [&](std::size_t begin, std::size_t end) {
-        std::vector<EdgePair> out;
-        for (std::size_t ui = begin; ui < end; ++ui) {
-          const auto u = static_cast<graph::NodeId>(ui);
-          const std::size_t first = out.size();
-          grid.for_each_within(d.positions[u], d.max_range,
-                               [&](std::uint32_t v) {
-                                 if (v > u) out.emplace_back(u, v);
+        std::vector<std::uint64_t> out;
+        for (std::size_t si = begin; si < end; ++si) {
+          const graph::NodeId u = ord.to_orig(static_cast<std::uint32_t>(si));
+          grid.for_each_within(ord.points()[si], d.max_range,
+                               [&](std::uint32_t vs) {
+                                 if (vs <= si) return;
+                                 const graph::NodeId v = ord.to_orig(vs);
+                                 const auto [a, b] = std::minmax(u, v);
+                                 out.push_back((std::uint64_t{a} << 32) | b);
                                });
-          std::sort(out.begin() + static_cast<std::ptrdiff_t>(first),
-                    out.end());
         }
         return out;
       },
-      [](std::vector<EdgePair> acc, std::vector<EdgePair> part) {
+      [](std::vector<std::uint64_t> acc, std::vector<std::uint64_t> part) {
         acc.insert(acc.end(), part.begin(), part.end());
         return acc;
       });
-  for (const auto& [u, v] : pairs) {
+  {
+    // Keys are unique (one copy per pair), so the radix sort yields the
+    // unique ascending order — no dedup pass needed.
+    tn::ScratchScope scope;
+    tn::radix_sort_u64(packed,
+                       scope.arena().alloc_span<std::uint64_t>(packed.size()));
+  }
+  g.reserve_edges(packed.size());
+  for (const std::uint64_t key : packed) {
+    const auto u = static_cast<graph::NodeId>(key >> 32);
+    const auto v = static_cast<graph::NodeId>(key & 0xffffffffu);
     const double len = d.distance(u, v);
     g.add_edge(u, v, len, d.cost_of_length(len));
   }
+  g.finalize();
   return g;
 }
 

@@ -1,10 +1,13 @@
 #include "topology/yao.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/arena.h"
 #include "common/parallel.h"
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
+#include "geom/spatial_order.h"
 
 namespace thetanet::topo {
 
@@ -29,20 +32,50 @@ SectorTable compute_sector_table(const Deployment& d, double theta) {
   TN_ASSERT_MSG(theta > 0.0 && theta <= std::numbers::pi / 3.0 + 1e-12,
                 "ThetaALG requires theta <= pi/3");
   const std::size_t n = d.size();
-  SectorTable table(n, geom::sector_count(theta));
+  const int k = geom::sector_count(theta);
+  SectorTable table(n, k);
   if (n < 2) return table;
-  const geom::SpatialGrid grid(d.positions, d.max_range);
-  // Each node's sector row is written only by the chunk owning u, from
-  // read-only grid queries — disjoint writes, so the table is bit-identical
-  // for any thread count (no cross-thread merge needed).
-  tn::parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t ui = begin; ui < end; ++ui) {
-      const auto u = static_cast<graph::NodeId>(ui);
-      grid.for_each_within(d.positions[u], d.max_range, [&](std::uint32_t v) {
-        if (v == u) return;
-        const int s = geom::sector_index(d.positions[u], d.positions[v], theta);
-        if (nearer(d, u, v, table.nearest(u, s))) table.set_nearest(u, s, v);
-      });
+  // Morton-ordered traversal: the grid is built over the Z-order copy of
+  // the points and nodes are processed in that order, so consecutive
+  // queries land in the same (already cached) grid cells. Sector rows are
+  // addressed by ORIGINAL id — each original id occurs exactly once in the
+  // permutation, so writes stay disjoint across chunks and the table is
+  // bit-identical for any thread count and for the ordering ON or OFF (the
+  // per-sector winner is the unique (dist_sq, id) minimum, which no
+  // enumeration order can change).
+  const geom::SpatialOrder ord(d.positions);
+  const geom::SpatialGrid grid(ord.points(), d.max_range);
+  tn::parallel_for(n, 256, [&](std::size_t begin, std::size_t end) {
+    // Per-chunk winner row (squared distance + original id per sector),
+    // recycled from the thread's scratch arena.
+    tn::ScratchScope scope;
+    const auto kk = static_cast<std::size_t>(k);
+    std::span<double> best_d2 = scope.arena().alloc_span<double>(kk);
+    std::span<graph::NodeId> best = scope.arena().alloc_span<graph::NodeId>(kk);
+    for (std::size_t si = begin; si < end; ++si) {
+      const graph::NodeId u = ord.to_orig(static_cast<std::uint32_t>(si));
+      const geom::Vec2 pu = ord.points()[si];
+      for (std::size_t s = 0; s < kk; ++s) {
+        best_d2[s] = std::numeric_limits<double>::infinity();
+        best[s] = graph::kInvalidNode;
+      }
+      grid.for_each_within(
+          pu, d.max_range,
+          [&](std::uint32_t vs, double d2, geom::Vec2 pv) {
+            if (vs == si) return;
+            const graph::NodeId v = ord.to_orig(vs);
+            const auto s =
+                static_cast<std::size_t>(geom::sector_index(pu, pv, theta));
+            // Same strict (dist_sq, id) order as topo::nearer; d2 from the
+            // scan is bit-identical to dist_sq(positions[u], positions[v]).
+            if (d2 < best_d2[s] || (d2 == best_d2[s] && v < best[s])) {
+              best_d2[s] = d2;
+              best[s] = v;
+            }
+          });
+      for (int s = 0; s < k; ++s)
+        if (best[static_cast<std::size_t>(s)] != graph::kInvalidNode)
+          table.set_nearest(u, s, best[static_cast<std::size_t>(s)]);
     }
   });
   return table;
@@ -70,10 +103,12 @@ graph::Graph yao_graph(const Deployment& d, double theta,
   }
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  g.reserve_edges(pairs.size());
   for (const auto& [a, b] : pairs) {
     const double len = d.distance(a, b);
     g.add_edge(a, b, len, d.cost_of_length(len));
   }
+  g.finalize();
   return g;
 }
 

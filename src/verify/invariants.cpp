@@ -52,6 +52,7 @@ graph::Graph recost(const graph::Graph& g, double kappa) {
   graph::Graph out(g.num_nodes());
   for (const graph::Edge& e : g.edges())
     out.add_edge(e.u, e.v, e.length, std::pow(e.length, kappa));
+  out.finalize();
   return out;
 }
 

@@ -1,0 +1,194 @@
+// Unit tests for the bump-pointer scratch arena (common/arena.h): alignment
+// of raw and typed allocations, reset() page reuse, high-water accounting,
+// and the thread-local scratch_arena()/ScratchScope pairing used by the
+// construction kernels.
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace thetanet {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  tn::Arena arena;
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 64);
+  void* d = arena.allocate(256, 256);
+  EXPECT_TRUE(aligned_to(b, 8));
+  EXPECT_TRUE(aligned_to(c, 64));
+  EXPECT_TRUE(aligned_to(d, 256));
+
+  // Byte-disjoint: writing through each pointer must not clobber another.
+  std::memset(a, 0xa1, 3);
+  std::memset(b, 0xb2, 8);
+  std::memset(c, 0xc3, 1);
+  std::memset(d, 0xd4, 256);
+  EXPECT_EQ(static_cast<std::byte*>(a)[0], std::byte{0xa1});
+  EXPECT_EQ(static_cast<std::byte*>(b)[7], std::byte{0xb2});
+  EXPECT_EQ(static_cast<std::byte*>(c)[0], std::byte{0xc3});
+  EXPECT_EQ(static_cast<std::byte*>(d)[255], std::byte{0xd4});
+}
+
+TEST(Arena, TypedSpansAreUsable) {
+  tn::Arena arena;
+  std::span<std::uint32_t> s = arena.alloc_span<std::uint32_t>(1000);
+  ASSERT_EQ(s.size(), 1000u);
+  EXPECT_TRUE(aligned_to(s.data(), alignof(std::uint32_t)));
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = std::uint32_t(i * 7);
+  for (std::size_t i = 0; i < s.size(); ++i) ASSERT_EQ(s[i], i * 7);
+
+  std::span<double> z = arena.alloc_zeroed<double>(257);
+  EXPECT_TRUE(aligned_to(z.data(), alignof(double)));
+  for (double v : z) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  tn::Arena arena;
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+  EXPECT_EQ(arena.alloc_span<int>(0).size(), 0u);
+}
+
+TEST(Arena, GrowsAcrossBlocksWithoutInvalidatingEarlierAllocations) {
+  tn::Arena arena;
+  // Force several block transitions: first block is 64 KiB, so a sequence
+  // of 48 KiB requests straddles block boundaries repeatedly.
+  std::vector<std::span<std::uint8_t>> spans;
+  for (std::size_t i = 0; i < 16; ++i) {
+    auto s = arena.alloc_span<std::uint8_t>(48 * 1024);
+    std::memset(s.data(), static_cast<int>(i + 1), s.size());
+    spans.push_back(s);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(spans[i].front(), i + 1) << "block " << i << " clobbered";
+    ASSERT_EQ(spans[i].back(), i + 1) << "block " << i << " clobbered";
+  }
+  EXPECT_GE(arena.bytes_reserved(), 16u * 48 * 1024);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnBlock) {
+  tn::Arena arena;
+  auto s = arena.alloc_span<std::uint64_t>(1 << 20);  // 8 MiB > any block yet
+  s.front() = 1;
+  s.back() = 2;
+  EXPECT_EQ(s.front(), 1u);
+  EXPECT_EQ(s.back(), 2u);
+}
+
+TEST(Arena, ResetReusesMemoryWithoutNewReservation) {
+  tn::Arena arena;
+  (void)arena.alloc_span<std::uint8_t>(100 * 1024);
+  const std::size_t reserved = arena.bytes_reserved();
+  void* first = arena.allocate(0, 1);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+
+  // Same request pattern after reset: identical addresses, no growth.
+  (void)arena.alloc_span<std::uint8_t>(100 * 1024);
+  EXPECT_EQ(arena.allocate(0, 1), first);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, HighWaterTracksPeakAcrossResets) {
+  tn::Arena arena;
+  (void)arena.allocate(1000, 1);
+  EXPECT_EQ(arena.bytes_in_use(), 1000u);
+  EXPECT_EQ(arena.high_water(), 1000u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.high_water(), 1000u) << "reset must not clear the peak";
+
+  (void)arena.allocate(400, 1);
+  EXPECT_EQ(arena.high_water(), 1000u) << "smaller phase keeps old peak";
+  (void)arena.allocate(2000, 1);
+  EXPECT_GE(arena.high_water(), 2400u) << "larger phase raises the peak";
+}
+
+TEST(Arena, ReleaseFreesBlocks) {
+  tn::Arena arena;
+  (void)arena.allocate(1 << 20, 8);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  // Still usable after release.
+  auto s = arena.alloc_zeroed<int>(10);
+  EXPECT_EQ(s[9], 0);
+}
+
+TEST(Arena, ReserveAvoidsMidPhaseGrowth) {
+  tn::Arena arena;
+  arena.reserve(1 << 20);
+  const std::size_t reserved = arena.bytes_reserved();
+  (void)arena.alloc_span<std::uint8_t>(1 << 20);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ScratchArenaIsPerThread) {
+  tn::Arena* main_arena = &tn::scratch_arena();
+  tn::Arena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &tn::scratch_arena(); });
+  t.join();
+  EXPECT_NE(main_arena, worker_arena);
+  EXPECT_EQ(main_arena, &tn::scratch_arena()) << "stable within a thread";
+}
+
+TEST(Arena, MarkRewindDropsOnlyLaterAllocations) {
+  tn::Arena arena;
+  auto keep = arena.alloc_span<std::uint32_t>(100);
+  keep[0] = 7;
+  keep[99] = 9;
+  const tn::Arena::Marker m = arena.mark();
+  const std::size_t before = arena.bytes_in_use();
+  (void)arena.alloc_span<std::uint8_t>(1 << 20);  // spills to a new block
+  arena.rewind(m);
+  EXPECT_EQ(arena.bytes_in_use(), before);
+  EXPECT_EQ(keep[0], 7u);
+  EXPECT_EQ(keep[99], 9u);
+  // Post-rewind allocation lands where the dropped one started.
+  void* a = arena.allocate(8, 8);
+  arena.rewind(m);
+  EXPECT_EQ(arena.allocate(8, 8), a);
+}
+
+TEST(Arena, ScratchScopesNest) {
+  tn::Arena& arena = tn::scratch_arena();
+  arena.reset();
+  tn::ScratchScope outer;
+  auto held = outer.arena().alloc_span<std::uint64_t>(64);
+  for (std::size_t i = 0; i < held.size(); ++i) held[i] = i;
+  const std::size_t outer_use = arena.bytes_in_use();
+  {
+    tn::ScratchScope inner;
+    (void)inner.arena().alloc_span<std::uint64_t>(4096);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), outer_use)
+      << "inner scope must rewind to its own entry point";
+  for (std::size_t i = 0; i < held.size(); ++i)
+    ASSERT_EQ(held[i], i) << "outer allocation survived the inner scope";
+}
+
+TEST(Arena, ScratchScopeResetsOnExit) {
+  tn::Arena& arena = tn::scratch_arena();
+  arena.reset();
+  {
+    tn::ScratchScope scope(64 * 1024);
+    auto s = scope.arena().alloc_span<std::uint32_t>(1024);
+    s[0] = 42;
+    EXPECT_GE(arena.bytes_in_use(), 1024u * sizeof(std::uint32_t));
+  }
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace thetanet

@@ -1,0 +1,177 @@
+// Morton key construction (geom/morton.h) and the SpatialOrder id-remap
+// layer (geom/spatial_order.h): bit-interleave correctness, quantization
+// edge cases, permutation validity, bit-identical coordinate copies, and the
+// TN_MORTON-style enable toggle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/morton.h"
+#include "geom/rng.h"
+#include "geom/spatial_order.h"
+
+namespace thetanet::geom {
+namespace {
+
+class OrderToggleRestorer {
+ public:
+  OrderToggleRestorer() : saved_(spatial_order_enabled()) {}
+  ~OrderToggleRestorer() { set_spatial_order_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Morton, SpreadPlacesBitAtTwiceItsPosition) {
+  EXPECT_EQ(morton_spread(0u), 0u);
+  EXPECT_EQ(morton_spread(1u), 1u);
+  EXPECT_EQ(morton_spread(0b11u), 0b101u);
+  EXPECT_EQ(morton_spread(0x80000000u), 1ull << 62);
+  EXPECT_EQ(morton_spread(0xffffffffu), 0x5555555555555555ull);
+  // Each input bit independently: spread(1<<i) == 1 << (2i).
+  for (int i = 0; i < 32; ++i)
+    ASSERT_EQ(morton_spread(1u << i), 1ull << (2 * i)) << "bit " << i;
+}
+
+TEST(Morton, InterleaveIsExhaustiveOverBothInputs) {
+  EXPECT_EQ(morton_interleave(0, 0), 0u);
+  EXPECT_EQ(morton_interleave(1, 0), 0b01u);
+  EXPECT_EQ(morton_interleave(0, 1), 0b10u);
+  EXPECT_EQ(morton_interleave(0b11, 0b11), 0b1111u);
+  EXPECT_EQ(morton_interleave(0xffffffffu, 0xffffffffu), ~0ull);
+  // x fills even bits, y odd bits; they never collide.
+  EXPECT_EQ(morton_interleave(0xffffffffu, 0), 0x5555555555555555ull);
+  EXPECT_EQ(morton_interleave(0, 0xffffffffu), 0xaaaaaaaaaaaaaaaaull);
+}
+
+TEST(Morton, QuantizeHandlesDegenerateAndBoundaryInputs) {
+  EXPECT_EQ(morton_quantize(0.0, 1.0), 0u);
+  EXPECT_EQ(morton_quantize(1.0, 1.0), 0xffffffffu);
+  EXPECT_EQ(morton_quantize(0.5, 1.0), 0x7fffffffu);
+  // Degenerate extent (all points share the axis value): everything maps to
+  // cell 0 instead of dividing by zero.
+  EXPECT_EQ(morton_quantize(0.0, 0.0), 0u);
+  EXPECT_EQ(morton_quantize(5.0, 0.0), 0u);
+  // Monotone: a larger offset never gets a smaller lattice cell.
+  std::uint32_t prev = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    const std::uint32_t q = morton_quantize(i / 1000.0, 1.0);
+    ASSERT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Morton, KeyOrdersQuadrantsInZOrder) {
+  BBox box;
+  box.expand({0.0, 0.0});
+  box.expand({1.0, 1.0});
+  // Z-order visits quadrants: lower-left, lower-right, upper-left,
+  // upper-right (x in even bits, y in odd bits).
+  const std::uint64_t ll = morton_key({0.1, 0.1}, box);
+  const std::uint64_t lr = morton_key({0.9, 0.1}, box);
+  const std::uint64_t ul = morton_key({0.1, 0.9}, box);
+  const std::uint64_t ur = morton_key({0.9, 0.9}, box);
+  EXPECT_LT(ll, lr);
+  EXPECT_LT(lr, ul);
+  EXPECT_LT(ul, ur);
+}
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts(n);
+  for (Vec2& p : pts) p = {rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+TEST(SpatialOrder, IsAPermutationWithBitIdenticalCoordinates) {
+  OrderToggleRestorer restore;
+  set_spatial_order_enabled(true);
+  const std::vector<Vec2> pts = random_points(2000, 0x5ee1);
+  const SpatialOrder ord(pts);
+  ASSERT_EQ(ord.size(), pts.size());
+
+  std::vector<bool> hit(pts.size(), false);
+  for (std::uint32_t s = 0; s < pts.size(); ++s) {
+    const std::uint32_t o = ord.to_orig(s);
+    ASSERT_LT(o, pts.size());
+    ASSERT_FALSE(hit[o]) << "duplicate original id in permutation";
+    hit[o] = true;
+    ASSERT_EQ(ord.to_sorted(o), s) << "to_sorted must invert to_orig";
+    // Bit-identical copy, not almost-equal.
+    ASSERT_EQ(ord.points()[s].x, pts[o].x);
+    ASSERT_EQ(ord.points()[s].y, pts[o].y);
+  }
+  // A random cloud should actually get reordered.
+  EXPECT_FALSE(ord.identity());
+}
+
+TEST(SpatialOrder, IsDeterministic) {
+  OrderToggleRestorer restore;
+  set_spatial_order_enabled(true);
+  const std::vector<Vec2> pts = random_points(1500, 0xabcd);
+  const SpatialOrder a(pts);
+  const SpatialOrder b(pts);
+  for (std::uint32_t s = 0; s < pts.size(); ++s)
+    ASSERT_EQ(a.to_orig(s), b.to_orig(s));
+}
+
+TEST(SpatialOrder, CoincidentPointsTieBreakById) {
+  OrderToggleRestorer restore;
+  set_spatial_order_enabled(true);
+  const std::vector<Vec2> pts(17, Vec2{0.25, 0.75});
+  const SpatialOrder ord(pts);
+  // All keys collide; (key, id) ordering degenerates to the identity.
+  for (std::uint32_t s = 0; s < pts.size(); ++s)
+    ASSERT_EQ(ord.to_orig(s), s);
+  EXPECT_TRUE(ord.identity());
+}
+
+TEST(SpatialOrder, DisabledToggleYieldsIdentity) {
+  OrderToggleRestorer restore;
+  set_spatial_order_enabled(false);
+  const std::vector<Vec2> pts = random_points(500, 0x0ff);
+  const SpatialOrder ord(pts);
+  EXPECT_TRUE(ord.identity());
+  for (std::uint32_t s = 0; s < pts.size(); ++s) {
+    ASSERT_EQ(ord.to_orig(s), s);
+    ASSERT_EQ(ord.to_sorted(s), s);
+    ASSERT_EQ(ord.points()[s].x, pts[s].x);
+    ASSERT_EQ(ord.points()[s].y, pts[s].y);
+  }
+}
+
+TEST(SpatialOrder, SortedNeighborsAreSpatiallyLocal) {
+  // The point of the exercise: consecutive sorted points should usually be
+  // close. Compare the mean adjacent-pair distance in sorted order against
+  // original (random) order — Z-order should win by a wide margin.
+  OrderToggleRestorer restore;
+  set_spatial_order_enabled(true);
+  const std::vector<Vec2> pts = random_points(4000, 0x10ca1);
+  const SpatialOrder ord(pts);
+  auto mean_adjacent = [](std::span<const Vec2> v) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i)
+      sum += dist(v[i - 1], v[i]);
+    return sum / static_cast<double>(v.size() - 1);
+  };
+  EXPECT_LT(mean_adjacent(ord.points()), 0.25 * mean_adjacent(pts));
+}
+
+TEST(SpatialOrder, HandlesTrivialSizes) {
+  OrderToggleRestorer restore;
+  set_spatial_order_enabled(true);
+  const SpatialOrder empty{std::span<const Vec2>{}};
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.identity());
+
+  const std::vector<Vec2> one{{0.5, 0.5}};
+  const SpatialOrder single(one);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_EQ(single.to_orig(0), 0u);
+  EXPECT_TRUE(single.identity());
+}
+
+}  // namespace
+}  // namespace thetanet::geom

@@ -2,15 +2,21 @@
 """Diff a fresh BENCH_kernels.json against a committed baseline.
 
 Usage:
-    bench_compare.py BASELINE.json FRESH.json [--threshold 0.25] [--min-ms 1.0]
+    bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+                     [--min-ms 1.0] [--min-rss-mb 50.0]
 
 Entries are matched on (kernel, n, threads). A kernel REGRESSES when its
 fresh time exceeds the baseline by more than --threshold (default 25%);
-entries faster than --min-ms in both files are skipped as noise. The script
-also fails when the fresh run reports a cross-thread determinism violation.
-Exit status: 0 = no regression, 1 = regression or determinism failure,
-2 = usage/parse error, 3 = malformed results (a record is missing one of
-kernel/n/threads/ms). Improvements are reported informationally.
+entries faster than --min-ms in both files are skipped as noise. Peak RSS
+is held to the same gate: growth beyond --threshold at a matched entry
+fails, with --min-rss-mb (default 50) as the noise floor — footprints
+below it are dominated by runtime/allocator baseline, not the kernel.
+Entries without a peak_rss_mb field (pre-RSS baselines) skip the memory
+check silently. The script also fails when the fresh run reports a
+cross-thread determinism violation. Exit status: 0 = no regression,
+1 = regression or determinism failure, 2 = usage/parse error,
+3 = malformed results (a record is missing one of kernel/n/threads/ms).
+Improvements are reported informationally.
 """
 
 import argparse
@@ -54,6 +60,8 @@ def main():
                     help="allowed fractional slowdown (default 0.25 = 25%%)")
     ap.add_argument("--min-ms", type=float, default=1.0,
                     help="ignore entries below this many ms in both files")
+    ap.add_argument("--min-rss-mb", type=float, default=50.0,
+                    help="ignore peak-RSS below this many MB in both files")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -68,31 +76,54 @@ def main():
 
     common = sorted(set(base) & set(fresh))
     regressions, improvements, skipped = [], [], 0
+    rss_regressions, rss_improvements = [], []
     for key in common:
         b, f = base[key]["ms"], fresh[key]["ms"]
         if b < args.min_ms and f < args.min_ms:
             skipped += 1
+        else:
+            ratio = f / b if b > 0 else float("inf")
+            if ratio > 1.0 + args.threshold:
+                regressions.append((key, b, f, ratio))
+            elif ratio < 1.0 / (1.0 + args.threshold):
+                improvements.append((key, b, f, ratio))
+
+        # Memory gate, same threshold as time. Old baselines predate the
+        # peak_rss_mb field; skip the check rather than punishing the first
+        # run that records it.
+        brss = base[key].get("peak_rss_mb")
+        frss = fresh[key].get("peak_rss_mb")
+        if brss is None or frss is None:
             continue
-        ratio = f / b if b > 0 else float("inf")
-        if ratio > 1.0 + args.threshold:
-            regressions.append((key, b, f, ratio))
-        elif ratio < 1.0 / (1.0 + args.threshold):
-            improvements.append((key, b, f, ratio))
+        if brss < args.min_rss_mb and frss < args.min_rss_mb:
+            continue
+        rss_ratio = frss / brss if brss > 0 else float("inf")
+        if rss_ratio > 1.0 + args.threshold:
+            rss_regressions.append((key, brss, frss, rss_ratio))
+        elif rss_ratio < 1.0 / (1.0 + args.threshold):
+            rss_improvements.append((key, brss, frss, rss_ratio))
 
     for (kernel, n, threads), b, f, ratio in regressions:
         print(f"FAIL: {kernel} n={n} threads={threads}: "
               f"{b:.2f} ms -> {f:.2f} ms ({ratio:.2f}x)")
+    for (kernel, n, threads), b, f, ratio in rss_regressions:
+        print(f"FAIL: {kernel} n={n} threads={threads}: peak RSS "
+              f"{b:.1f} MB -> {f:.1f} MB ({ratio:.2f}x)")
     for (kernel, n, threads), b, f, ratio in improvements:
         print(f"improved: {kernel} n={n} threads={threads}: "
               f"{b:.2f} ms -> {f:.2f} ms ({1.0 / ratio:.2f}x faster)")
+    for (kernel, n, threads), b, f, ratio in rss_improvements:
+        print(f"improved: {kernel} n={n} threads={threads}: peak RSS "
+              f"{b:.1f} MB -> {f:.1f} MB ({1.0 / ratio:.2f}x smaller)")
 
     print(f"bench_compare: {len(common)} comparable entries "
-          f"({skipped} below noise floor), {len(regressions)} regressions, "
-          f"{len(improvements)} improvements")
+          f"({skipped} below noise floor), "
+          f"{len(regressions) + len(rss_regressions)} regressions, "
+          f"{len(improvements) + len(rss_improvements)} improvements")
     if not common:
         print("bench_compare: warning: no overlapping (kernel, n, threads) "
               "entries between the two files")
-    sys.exit(1 if (regressions or failed) else 0)
+    sys.exit(1 if (regressions or rss_regressions or failed) else 0)
 
 
 if __name__ == "__main__":

@@ -107,6 +107,42 @@ def test_unreadable_file_exit_2(tmp):
     assert p.returncode == 2, p.stdout + p.stderr
 
 
+def test_rss_regression_detected(tmp):
+    base = {"results": [record(ms=10.0, peak_rss_mb=1000.0)]}
+    fresh = {"results": [record(ms=10.0, peak_rss_mb=2000.0)]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "peak RSS" in p.stdout and "FAIL" in p.stdout
+
+
+def test_rss_improvement_is_not_failure(tmp):
+    base = {"results": [record(ms=10.0, peak_rss_mb=2000.0)]}
+    fresh = {"results": [record(ms=10.0, peak_rss_mb=1000.0)]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "peak RSS" in p.stdout and "smaller" in p.stdout
+
+
+def test_rss_below_floor_is_skipped(tmp):
+    # 10x growth, but both sides under --min-rss-mb: allocator baseline
+    # noise, not a kernel regression.
+    base = {"results": [record(ms=10.0, peak_rss_mb=2.0)]}
+    fresh = {"results": [record(ms=10.0, peak_rss_mb=20.0)]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "FAIL" not in p.stdout
+
+
+def test_rss_missing_field_tolerated(tmp):
+    # Baselines recorded before the peak_rss_mb field existed must still
+    # compare cleanly on time alone.
+    base = {"results": [record(ms=10.0)]}
+    fresh = {"results": [record(ms=10.0, peak_rss_mb=5000.0)]}
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "FAIL" not in p.stdout
+
+
 def test_disjoint_entries_warn_but_pass(tmp):
     base = {"results": [record(kernel="a")]}
     fresh = {"results": [record(kernel="b")]}
