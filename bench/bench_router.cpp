@@ -1,0 +1,701 @@
+// Sustained-load router benchmark: drives the (T, gamma)-balancing stack
+// (SoA BufferBank + allocation-free step loop) for up to 10^6 rounds under
+// the injection processes of routing/injection.h and writes machine-readable
+// BENCH_router.json to the working directory.
+//
+// Default (matrix) mode sweeps nodes x workload x engine:
+//
+//   * engine "soa"       — the production sustained-load path
+//                          (plan_all_edges_into: active-node candidate scan);
+//   * engine "soa_dense" — plan_into over every edge (the parallelizable
+//                          dense scan; the thread sweep runs here);
+//   * engine "reference" — the pre-SoA map-of-vectors oracle
+//                          (routing/reference_router.h), measured at matched
+//                          workload so speedup_vs_reference is apples to
+//                          apples.
+//
+// Per entry: rounds/sec, packets/sec (deliveries), ns per packet-hop, the
+// forked child's peak RSS, a warm-up RSS snapshot with an rss_flat verdict
+// (peak RSS after warm-up must not keep growing — the O(capacity) steady-
+// state memory claim), and an FNV checksum over the full planned-tx stream.
+// The checksum doubles as the cross-thread bit-identity check (TN_NUM_THREADS
+// 1/2/4 must plan identical transmissions) and as the reference-equivalence
+// check (the oracle must plan the same stream at matched workload).
+//
+// Each entry is timed in a forked child (same isolation rationale as
+// bench_kernels: allocator state must not leak across entries; an RLIMIT_AS
+// backstop catches runaway allocation under --max-rss-mb).
+//
+// --single mode runs one configuration in-process (used by the ctest smoke,
+// memory-budget and telemetry byte-identity tests):
+//
+//   bench_router --single [--workload poisson|bursty|hotspot|adversarial]
+//     [--engine soa|soa_dense|reference] [--n N] [--rate R] [--rounds K]
+//     [--window W] [--sources S] [--dests D] [--threshold T] [--gamma G]
+//     [--max-height H] [--seed S] [--telemetry FILE] [--max-rss-mb MB]
+//     [--rlimit-as-mb MB] [--check-flat-rss]
+//
+// Environment: TN_BENCH_ROUTER_ROUNDS caps the per-entry base rounds,
+// TN_BENCH_ROUTER_MAX_N caps n, TN_BENCH_ROUTER_ACCEPT_ROUNDS overrides the
+// 10^6-round acceptance entry (the ctest smoke uses tiny values for all).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/parallel.h"
+#include "core/balancing_router.h"
+#include "core/theta_topology.h"
+#include "geom/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
+#include "obs/trace_sink.h"
+#include "routing/injection.h"
+#include "routing/reference_router.h"
+#include "topology/distributions.h"
+
+namespace {
+
+using namespace thetanet;
+constexpr double kTheta = std::numbers::pi / 9.0;
+
+double peak_rss_mb() {
+#if defined(__linux__)
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return static_cast<double>(u.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+#else
+  return 0.0;
+#endif
+}
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+};
+
+enum class Engine { kSoa, kSoaDense, kReference };
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kSoa: return "soa";
+    case Engine::kSoaDense: return "soa_dense";
+    case Engine::kReference: return "reference";
+  }
+  return "?";
+}
+
+struct RunConfig {
+  route::InjectionSpec spec;
+  Engine engine = Engine::kSoa;
+  std::uint64_t rounds = 20000;
+  // T must sit below the typical height gradient or traffic freezes: at
+  // closed-loop occupancy (~1 packet per node-destination) gradients are
+  // mostly 1, so T = 0.5 keeps the benchmark measuring flow, not stalls.
+  double threshold = 0.5;
+  double gamma = 0.0;
+  std::size_t max_height = 32;
+  int threads = 0;  // 0: inherit (TN_NUM_THREADS / set_num_threads)
+};
+
+struct SimOut {
+  double ms = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t attempted_tx = 0;
+  std::uint64_t injected_accepted = 0;
+  std::uint64_t dropped = 0;  // at injection + in transit
+  std::uint64_t leftover = 0;
+  std::uint64_t peak_buffer = 0;
+  double warm_rss_mb = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+template <typename Tx>
+void mix_txs(Fnv& f, const std::vector<Tx>& txs) {
+  f.mix(txs.size());
+  for (const Tx& tx : txs) {
+    f.mix(tx.edge);
+    f.mix(tx.from);
+    f.mix(tx.dest);
+    f.mix_double(tx.benefit);
+  }
+}
+
+/// One full sustained run. The warm-up RSS snapshot is taken at 1/5 of the
+/// run; a steady-state loop must not grow its footprint past that point
+/// (modulo the final snapshot's own noise), which is what rss_flat asserts.
+SimOut run_sim(const graph::Graph& g, const RunConfig& cfg) {
+  if (cfg.threads > 0) tn::set_num_threads(cfg.threads);
+  std::vector<double> costs(g.num_edges());
+  for (graph::EdgeId e = 0; e < costs.size(); ++e) costs[e] = g.edge(e).cost;
+  std::vector<graph::EdgeId> all_edges;
+  if (cfg.engine != Engine::kSoa) {
+    all_edges.resize(g.num_edges());
+    for (graph::EdgeId e = 0; e < all_edges.size(); ++e) all_edges[e] = e;
+  }
+
+  route::InjectionEngine engine(g, cfg.spec);
+  route::RunMetrics m;
+  Fnv f;
+  SimOut out;
+  std::vector<route::Packet> arrivals;
+  const std::vector<bool> no_failures;
+  const std::uint64_t warm_at = std::max<std::uint64_t>(1, cfg.rounds / 5);
+
+  const core::BalancingParams params{cfg.threshold, cfg.gamma,
+                                     cfg.max_height};
+  const auto t0 = std::chrono::steady_clock::now();
+  if (cfg.engine == Engine::kReference) {
+    route::ReferenceRouter router(g.num_nodes(), cfg.threshold, cfg.gamma,
+                                  cfg.max_height);
+    for (std::uint64_t t = 0; t < cfg.rounds; ++t) {
+      const auto now = static_cast<route::Time>(t);
+      const std::vector<route::ReferenceTx> txs =
+          router.plan(g, all_edges, costs);
+      mix_txs(f, txs);
+      router.execute(txs, no_failures, costs, now, m);
+      engine.step(now, m, arrivals);
+      for (const route::Packet& p : arrivals) router.inject(p, m);
+      router.end_step(m);
+      if (t + 1 == warm_at) out.warm_rss_mb = peak_rss_mb();
+    }
+    out.leftover = router.packets_in_flight();
+  } else {
+    core::BalancingRouter router(g.num_nodes(), params);
+    std::vector<core::PlannedTx> txs;
+    for (std::uint64_t t = 0; t < cfg.rounds; ++t) {
+      const auto now = static_cast<route::Time>(t);
+      if (cfg.engine == Engine::kSoa) {
+        router.plan_all_edges_into(g, costs, txs);
+      } else {
+        router.plan_into(g, all_edges, costs, txs);
+      }
+      mix_txs(f, txs);
+      router.execute(txs, no_failures, costs, now, m);
+      engine.step(now, m, arrivals);
+      for (const route::Packet& p : arrivals) router.inject(p, m);
+      router.end_step(m);
+      if (t + 1 == warm_at) out.warm_rss_mb = peak_rss_mb();
+    }
+    out.leftover = router.packets_in_flight();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.rounds = cfg.rounds;
+  out.checksum = f.h;
+  out.deliveries = m.deliveries;
+  out.attempted_tx = m.attempted_tx;
+  out.injected_accepted = m.injected_accepted;
+  out.dropped = m.dropped_at_injection + m.dropped_in_transit;
+  out.peak_buffer = m.peak_buffer;
+  out.peak_rss_mb = peak_rss_mb();
+  return out;
+}
+
+topo::Deployment deployment(std::size_t n) {
+  geom::Rng rng(0xbe9c4 + n);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = 1.6 * std::sqrt(std::log(static_cast<double>(n)) /
+                                static_cast<double>(n));
+  d.kappa = 2.0;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix mode (forked children -> BENCH_router.json)
+
+double g_max_rss_mb = 0.0;
+
+bool rss_flat(const SimOut& r) {
+  // Steady state: post-warm-up growth bounded by a fixed allowance (pool /
+  // allocator settling) — not proportional to the rounds that follow.
+  const double allowance = std::max(24.0, 0.10 * r.warm_rss_mb);
+  return r.peak_rss_mb <= r.warm_rss_mb + allowance;
+}
+
+/// Run one entry in a forked child (pristine allocator, RLIMIT_AS backstop
+/// under a budget); falls back to in-process without fork support.
+SimOut time_entry(const graph::Graph& g, const RunConfig& cfg, bool* ok) {
+  *ok = true;
+#if defined(__linux__)
+  int fds[2];
+  if (pipe(fds) == 0) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(fds[0]);
+      if (g_max_rss_mb > 0.0) {
+        const auto cap = static_cast<rlim_t>(
+            (g_max_rss_mb * 4.0 + 4096.0) * 1024.0 * 1024.0);
+        rlimit rl{cap, cap};
+        setrlimit(RLIMIT_AS, &rl);
+      }
+#if defined(__GLIBC__)
+      malloc_trim(0);
+#endif
+      const SimOut r = run_sim(g, cfg);
+      const char* src = reinterpret_cast<const char*>(&r);
+      std::size_t sent = 0;
+      while (sent < sizeof r) {
+        const ssize_t w = write(fds[1], src + sent, sizeof r - sent);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+      _exit(0);  // no destructors: the pool must not be torn down twice
+    }
+    if (pid > 0) {
+      close(fds[1]);
+      SimOut r{};
+      char* dst = reinterpret_cast<char*>(&r);
+      std::size_t got = 0;
+      while (got < sizeof r) {
+        const ssize_t n = read(fds[0], dst + got, sizeof r - got);
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      close(fds[0]);
+      int status = 0;
+      waitpid(pid, &status, 0);
+      if (got == sizeof r && WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        return r;
+      std::fprintf(stderr,
+                   "bench_router: child for %s/%s n=%zu died%s; skipping\n",
+                   route::injection_process_name(cfg.spec.process),
+                   engine_name(cfg.engine), g.num_nodes(),
+                   g_max_rss_mb > 0.0 ? " (RSS budget backstop?)" : "");
+      *ok = false;
+      return {};
+    }
+    close(fds[0]);
+    close(fds[1]);
+  }
+#endif
+  return run_sim(g, cfg);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* s = std::getenv(name))
+    return std::strtoull(s, nullptr, 10);
+  return fallback;
+}
+
+struct Entry {
+  RunConfig cfg;
+  std::size_t n = 0;
+  SimOut r;
+  bool accept = false;  // the 10^6-round acceptance row
+};
+
+route::InjectionSpec workload_spec(route::InjectionSpec::Process p,
+                                   std::size_t n) {
+  route::InjectionSpec spec;
+  spec.process = p;
+  spec.seed = 0x9e3779b9 + n;
+  spec.num_sources = static_cast<std::uint32_t>(std::min<std::size_t>(64, n / 4));
+  spec.window = 256;  // closed loop: O(window) packets outstanding
+  switch (p) {
+    case route::InjectionSpec::Process::kPoisson:
+      spec.rate = 4.0;
+      spec.num_destinations = 8;
+      break;
+    case route::InjectionSpec::Process::kBursty:
+      spec.rate = 2.0;
+      spec.num_destinations = 8;
+      spec.burst_len = 64;
+      spec.gap_len = 192;
+      spec.burst_multiplier = 4.0;
+      break;
+    case route::InjectionSpec::Process::kHotspot:
+      spec.rate = 4.0;
+      spec.num_destinations = 4;
+      break;
+    case route::InjectionSpec::Process::kAdversarialCut:
+      spec.rate = 0.25;  // x deg(target): near the cut capacity
+      spec.num_destinations = 1;
+      break;
+  }
+  return spec;
+}
+
+int run_matrix() {
+  const std::uint64_t base_rounds = env_u64("TN_BENCH_ROUTER_ROUNDS", 20000);
+  const std::uint64_t max_n = env_u64("TN_BENCH_ROUTER_MAX_N", 1000000);
+  const std::uint64_t accept_rounds = std::min(
+      env_u64("TN_BENCH_ROUTER_ACCEPT_ROUNDS", 1000000),
+      std::max<std::uint64_t>(base_rounds, 1) * 50);
+
+  using P = route::InjectionSpec::Process;
+  const P processes[] = {P::kPoisson, P::kBursty, P::kHotspot,
+                         P::kAdversarialCut};
+
+  std::vector<Entry> entries;
+  bool all_identical = true;
+  bool reference_match = true;
+
+  std::vector<std::size_t> sizes{1000, 10000};
+  std::erase_if(sizes, [&](std::size_t n) { return n > max_n; });
+  if (sizes.empty()) sizes.push_back(static_cast<std::size_t>(max_n));
+
+  for (const std::size_t n : sizes) {
+    tn::set_num_threads(1);  // parent stays pool-free (fork safety)
+    const topo::Deployment d = deployment(n);
+    const core::ThetaTopology tt(d, kTheta);
+    const graph::Graph& g = tt.graph();
+    g.neighbors(0);  // force the adjacency build outside the timed children
+
+    for (const P p : processes) {
+      for (const Engine eng :
+           {Engine::kSoa, Engine::kSoaDense, Engine::kReference}) {
+        Entry e;
+        e.n = n;
+        e.cfg.spec = workload_spec(p, n);
+        e.cfg.engine = eng;
+        e.cfg.rounds = base_rounds;
+        e.cfg.threads = 1;
+        bool ok = true;
+        e.r = time_entry(g, e.cfg, &ok);
+        if (!ok) continue;
+        std::printf(
+            "router %-11s %-9s n=%-7zu rounds=%-8llu %10.2f ms  "
+            "%9.0f rounds/s  rss %7.1f MB\n",
+            route::injection_process_name(p), engine_name(eng), n,
+            static_cast<unsigned long long>(e.r.rounds), e.r.ms,
+            e.r.ms > 0 ? 1000.0 * static_cast<double>(e.r.rounds) / e.r.ms
+                       : 0.0,
+            e.r.peak_rss_mb);
+        std::fflush(stdout);
+        entries.push_back(e);
+      }
+      // The oracle must plan the exact same transmission stream.
+      const auto find = [&](Engine eng) -> const Entry* {
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+          if (it->n == n && it->cfg.engine == eng &&
+              it->cfg.spec.process == p)
+            return &*it;
+        return nullptr;
+      };
+      const Entry* soa = find(Engine::kSoa);
+      const Entry* dense = find(Engine::kSoaDense);
+      const Entry* ref = find(Engine::kReference);
+      for (const Entry* fast : {soa, dense})
+        if (fast != nullptr && ref != nullptr &&
+            fast->r.checksum != ref->r.checksum) {
+          reference_match = false;
+          std::fprintf(stderr,
+                       "REFERENCE MISMATCH: %s/%s n=%zu plans diverge from "
+                       "the oracle\n",
+                       route::injection_process_name(p),
+                       engine_name(fast->cfg.engine), n);
+        }
+    }
+
+    // Cross-thread bit-identity on the dense (parallelizable) scan.
+    std::uint64_t baseline = 0;
+    bool have_baseline = false;
+    for (const int threads : {1, 2, 4}) {
+      Entry e;
+      e.n = n;
+      e.cfg.spec = workload_spec(P::kPoisson, n);
+      e.cfg.engine = Engine::kSoaDense;
+      e.cfg.rounds = std::max<std::uint64_t>(1, base_rounds / 4);
+      e.cfg.threads = threads;
+      bool ok = true;
+      e.r = time_entry(g, e.cfg, &ok);
+      if (!ok) continue;
+      if (!have_baseline) {
+        baseline = e.r.checksum;
+        have_baseline = true;
+      } else if (e.r.checksum != baseline) {
+        all_identical = false;
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: poisson/soa_dense n=%zu "
+                     "threads=%d\n",
+                     n, threads);
+      }
+      std::printf("router poisson     soa_dense n=%-7zu threads=%d  %10.2f ms\n",
+                  n, threads, e.r.ms);
+      entries.push_back(e);
+    }
+  }
+
+  // Acceptance row: >= 10^6 rounds of sustained Poisson load on the largest
+  // size, production engine, O(window) steady-state memory.
+  {
+    const std::size_t n = sizes.back();
+    tn::set_num_threads(1);
+    const topo::Deployment d = deployment(n);
+    const core::ThetaTopology tt(d, kTheta);
+    tt.graph().neighbors(0);
+    Entry e;
+    e.n = n;
+    e.cfg.spec = workload_spec(P::kPoisson, n);
+    e.cfg.engine = Engine::kSoa;
+    e.cfg.rounds = accept_rounds;
+    e.cfg.threads = 1;
+    e.accept = true;
+    bool ok = true;
+    e.r = time_entry(tt.graph(), e.cfg, &ok);
+    if (ok) {
+      std::printf(
+          "router sustained   soa       n=%-7zu rounds=%-8llu %10.2f ms  "
+          "rss %7.1f MB (warm %.1f) %s\n",
+          n, static_cast<unsigned long long>(e.r.rounds), e.r.ms,
+          e.r.peak_rss_mb, e.r.warm_rss_mb,
+          rss_flat(e.r) ? "flat" : "GROWING");
+      entries.push_back(e);
+    }
+  }
+  tn::set_num_threads(1);
+
+  // Speedups vs the reference oracle at matched (workload, n, rounds).
+  struct Speedup {
+    const char* workload;
+    const char* engine;
+    std::size_t n;
+    double speedup;
+  };
+  std::vector<Speedup> speedups;
+  for (const Entry& e : entries) {
+    if (e.cfg.engine == Engine::kReference || e.cfg.threads != 1 || e.accept)
+      continue;
+    for (const Entry& ref : entries) {
+      if (ref.cfg.engine == Engine::kReference && ref.n == e.n &&
+          ref.cfg.spec.process == e.cfg.spec.process &&
+          ref.cfg.rounds == e.cfg.rounds && e.r.ms > 0.0) {
+        speedups.push_back({route::injection_process_name(e.cfg.spec.process),
+                            engine_name(e.cfg.engine), e.n,
+                            ref.r.ms / e.r.ms});
+        break;
+      }
+    }
+  }
+  for (const Speedup& s : speedups)
+    std::printf("speedup %-11s %-9s n=%-7zu %.2fx vs reference\n", s.workload,
+                s.engine, s.n, s.speedup);
+
+  std::FILE* out = std::fopen("BENCH_router.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_router.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"thetanet-bench-router/1\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %d,\n",
+               tn::hardware_threads());
+  std::fprintf(out, "  \"outputs_bit_identical_across_threads\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(out, "  \"reference_plans_match\": %s,\n",
+               reference_match ? "true" : "false");
+  std::fprintf(out, "  \"speedups_vs_reference\": [");
+  for (std::size_t i = 0; i < speedups.size(); ++i)
+    std::fprintf(out,
+                 "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", "
+                 "\"n\": %zu, \"speedup\": %.2f}",
+                 i ? "," : "", speedups[i].workload, speedups[i].engine,
+                 speedups[i].n, speedups[i].speedup);
+  std::fprintf(out, "%s],\n", speedups.empty() ? "" : "\n  ");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    const SimOut& r = e.r;
+    const double sec = r.ms / 1000.0;
+    std::fprintf(
+        out,
+        "    {\"workload\": \"%s\", \"engine\": \"%s\", \"n\": %zu, "
+        "\"rate\": %.3f, \"window\": %u, \"rounds\": %llu, \"threads\": %d, "
+        "\"ms\": %.3f, \"rounds_per_sec\": %.0f, \"packets_per_sec\": %.0f, "
+        "\"ns_per_packet_hop\": %.1f, \"deliveries\": %llu, "
+        "\"attempted_tx\": %llu, \"injected_accepted\": %llu, "
+        "\"dropped\": %llu, \"leftover\": %llu, \"peak_buffer\": %llu, "
+        "\"warm_rss_mb\": %.1f, \"peak_rss_mb\": %.1f, \"rss_flat\": %s, "
+        "\"checksum\": \"%016llx\"}%s\n",
+        route::injection_process_name(e.cfg.spec.process),
+        engine_name(e.cfg.engine), e.n, e.cfg.spec.rate, e.cfg.spec.window,
+        static_cast<unsigned long long>(r.rounds), e.cfg.threads, r.ms,
+        sec > 0 ? static_cast<double>(r.rounds) / sec : 0.0,
+        sec > 0 ? static_cast<double>(r.deliveries) / sec : 0.0,
+        r.attempted_tx > 0 ? r.ms * 1e6 / static_cast<double>(r.attempted_tx)
+                           : 0.0,
+        static_cast<unsigned long long>(r.deliveries),
+        static_cast<unsigned long long>(r.attempted_tx),
+        static_cast<unsigned long long>(r.injected_accepted),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<unsigned long long>(r.leftover),
+        static_cast<unsigned long long>(r.peak_buffer), r.warm_rss_mb,
+        r.peak_rss_mb, rss_flat(r) ? "true" : "false",
+        static_cast<unsigned long long>(r.checksum),
+        i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_router.json\n");
+  return (all_identical && reference_match) ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --single mode (in-process; ctest smoke / memory budget / telemetry dumps)
+
+int run_single(int argc, char** argv) {
+  RunConfig cfg;
+  cfg.spec.rate = 4.0;
+  cfg.spec.num_destinations = 8;
+  cfg.spec.num_sources = 64;
+  cfg.spec.window = 256;
+  cfg.spec.seed = 1;
+  cfg.rounds = 10000;
+  std::size_t n = 10000;
+  std::string telemetry_path;
+  double max_rss_mb = 0.0;
+  double rlimit_as_mb = 0.0;
+  bool check_flat = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* v = nullptr;
+    const auto val = [&](const char* flag) -> bool {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        v = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (val("--workload")) {
+      if (!route::parse_injection_process(v, &cfg.spec.process)) {
+        std::fprintf(stderr, "bench_router: unknown workload '%s'\n", v);
+        return 2;
+      }
+    } else if (val("--engine")) {
+      if (std::strcmp(v, "soa") == 0) cfg.engine = Engine::kSoa;
+      else if (std::strcmp(v, "soa_dense") == 0) cfg.engine = Engine::kSoaDense;
+      else if (std::strcmp(v, "reference") == 0) cfg.engine = Engine::kReference;
+      else {
+        std::fprintf(stderr, "bench_router: unknown engine '%s'\n", v);
+        return 2;
+      }
+    } else if (val("--n")) {
+      n = std::strtoull(v, nullptr, 10);
+    } else if (val("--rate")) {
+      cfg.spec.rate = std::strtod(v, nullptr);
+    } else if (val("--rounds")) {
+      cfg.rounds = std::strtoull(v, nullptr, 10);
+    } else if (val("--window")) {
+      cfg.spec.window = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (val("--sources")) {
+      cfg.spec.num_sources =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (val("--dests")) {
+      cfg.spec.num_destinations =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (val("--threshold")) {
+      cfg.threshold = std::strtod(v, nullptr);
+    } else if (val("--gamma")) {
+      cfg.gamma = std::strtod(v, nullptr);
+    } else if (val("--max-height")) {
+      cfg.max_height = std::strtoull(v, nullptr, 10);
+    } else if (val("--seed")) {
+      cfg.spec.seed = std::strtoull(v, nullptr, 10);
+    } else if (val("--telemetry")) {
+      telemetry_path = v;
+    } else if (val("--max-rss-mb")) {
+      max_rss_mb = std::strtod(v, nullptr);
+    } else if (val("--rlimit-as-mb")) {
+      rlimit_as_mb = std::strtod(v, nullptr);
+    } else if (std::strcmp(argv[i], "--check-flat-rss") == 0) {
+      check_flat = true;
+    } else {
+      std::fprintf(stderr, "bench_router: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+#if defined(__linux__)
+  if (rlimit_as_mb > 0.0) {
+    const auto cap = static_cast<rlim_t>(rlimit_as_mb * 1024.0 * 1024.0);
+    rlimit rl{cap, cap};
+    setrlimit(RLIMIT_AS, &rl);
+  }
+#endif
+
+  obs::set_recording(true);
+  obs::MetricsRegistry::global().reset();
+  obs::SeriesRegistry::global().reset();
+  obs::reset_spans();
+
+  const topo::Deployment d = deployment(n);
+  const core::ThetaTopology tt(d, kTheta);
+  const SimOut r = run_sim(tt.graph(), cfg);
+
+  const double sec = r.ms / 1000.0;
+  std::printf(
+      "bench_router --single: %s/%s n=%zu rounds=%llu  %.2f ms  "
+      "%.0f rounds/s  %.0f packets/s  deliveries=%llu leftover=%llu  "
+      "rss %.1f MB (warm %.1f)  checksum %016llx\n",
+      route::injection_process_name(cfg.spec.process),
+      engine_name(cfg.engine), n, static_cast<unsigned long long>(r.rounds),
+      r.ms, sec > 0 ? static_cast<double>(r.rounds) / sec : 0.0,
+      sec > 0 ? static_cast<double>(r.deliveries) / sec : 0.0,
+      static_cast<unsigned long long>(r.deliveries),
+      static_cast<unsigned long long>(r.leftover), r.peak_rss_mb,
+      r.warm_rss_mb, static_cast<unsigned long long>(r.checksum));
+
+  if (!telemetry_path.empty() &&
+      !obs::write_telemetry_json(telemetry_path, /*include_timing=*/false)) {
+    std::fprintf(stderr, "bench_router: cannot write %s\n",
+                 telemetry_path.c_str());
+    return 1;
+  }
+  if (max_rss_mb > 0.0 && r.peak_rss_mb > max_rss_mb) {
+    std::fprintf(stderr,
+                 "bench_router: peak RSS %.1f MB exceeds the %.1f MB budget\n",
+                 r.peak_rss_mb, max_rss_mb);
+    return 1;
+  }
+  if (check_flat && !rss_flat(r)) {
+    std::fprintf(stderr,
+                 "bench_router: RSS kept growing after warm-up "
+                 "(%.1f MB -> %.1f MB)\n",
+                 r.warm_rss_mb, r.peak_rss_mb);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--single") == 0)
+    return run_single(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "--max-rss-mb") == 0 && argc >= 3) {
+    g_max_rss_mb = std::strtod(argv[2], nullptr);
+  } else if (const char* env = std::getenv("TN_BENCH_MAX_RSS_MB")) {
+    g_max_rss_mb = std::strtod(env, nullptr);
+  }
+  return run_matrix();
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 
@@ -11,6 +12,14 @@ namespace thetanet::core {
 using route::DestId;
 using route::Packet;
 using route::RunMetrics;
+
+namespace {
+
+// Parallelize the plan edge scan only when the work amortizes the pool
+// handoff; below this the serial path is faster and equally deterministic.
+constexpr std::size_t kParallelPlanEdges = 4096;
+
+}  // namespace
 
 BalancingParams theorem31_params(const route::OptStats& opt, double eps,
                                  double delta) {
@@ -44,17 +53,93 @@ std::optional<PlannedTx> BalancingRouter::best_for_pair(graph::NodeId from,
                                                         graph::EdgeId edge,
                                                         double cost) const {
   std::optional<PlannedTx> best;
-  buffers_.for_each_destination(from, [&](DestId d, std::size_t h_from) {
-    const double benefit = static_cast<double>(h_from) -
-                           static_cast<double>(buffers_.height(to, d)) -
-                           params_.gamma * cost;
-    if (benefit <= params_.threshold) return;
-    // Deterministic argmax: strictly larger benefit wins; ties keep the
-    // first (smallest) destination from the sorted scan.
-    if (!best || benefit > best->benefit)
-      best = PlannedTx{edge, from, to, d, benefit};
-  });
+  buffers_.for_each_pair(
+      from, to, [&](DestId d, std::uint32_t h_from, std::uint32_t h_to) {
+        if (h_from == 0) return;  // nothing to send toward d
+        const double benefit = static_cast<double>(h_from) -
+                               static_cast<double>(h_to) -
+                               params_.gamma * cost;
+        if (benefit <= params_.threshold) return;
+        // Deterministic argmax: strictly larger benefit wins; ties keep the
+        // first (smallest) destination from the sorted scan.
+        if (!best || benefit > best->benefit)
+          best = PlannedTx{edge, from, to, d, benefit};
+      });
   return best;
+}
+
+void BalancingRouter::eval_edge(const graph::Graph& topo, graph::EdgeId e,
+                                double cost, PlannedTx* slot) const {
+  const graph::NodeId u = topo.edge_u(e);
+  const graph::NodeId v = topo.edge_v(e);
+  // One merged scan covers both orientations: h_u > 0 feeds the forward
+  // candidate, h_v > 0 the backward one. Benefit expression and tie rules
+  // are exactly best_for_pair's, so the winner per direction matches the
+  // directed evaluation destination-for-destination.
+  bool have_f = false;
+  bool have_b = false;
+  double best_f = 0.0;
+  double best_b = 0.0;
+  DestId dest_f = graph::kInvalidNode;
+  DestId dest_b = graph::kInvalidNode;
+  buffers_.for_each_pair(
+      u, v, [&](DestId d, std::uint32_t h_u, std::uint32_t h_v) {
+        if (h_u != 0) {
+          const double benefit = static_cast<double>(h_u) -
+                                 static_cast<double>(h_v) -
+                                 params_.gamma * cost;
+          if (benefit > params_.threshold && (!have_f || benefit > best_f)) {
+            have_f = true;
+            best_f = benefit;
+            dest_f = d;
+          }
+        }
+        if (h_v != 0) {
+          const double benefit = static_cast<double>(h_v) -
+                                 static_cast<double>(h_u) -
+                                 params_.gamma * cost;
+          if (benefit > params_.threshold && (!have_b || benefit > best_b)) {
+            have_b = true;
+            best_b = benefit;
+            dest_b = d;
+          }
+        }
+      });
+  // One packet per edge per step, in the better direction (forward wins
+  // ties, matching the historical fwd/bwd evaluation order).
+  if (have_f && (!have_b || best_f >= best_b)) {
+    *slot = PlannedTx{e, u, v, dest_f, best_f};
+  } else if (have_b) {
+    *slot = PlannedTx{e, v, u, dest_b, best_b};
+  } else {
+    slot->edge = graph::kInvalidEdge;
+  }
+}
+
+void BalancingRouter::plan_into(const graph::Graph& topo,
+                                std::span<const graph::EdgeId> active,
+                                std::span<const double> costs,
+                                std::vector<PlannedTx>& out) const {
+  out.clear();
+  if (slots_.size() < active.size()) slots_.resize(active.size());
+  const auto eval_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const graph::EdgeId e = active[i];
+      eval_edge(topo, e, costs[e], &slots_[i]);
+    }
+  };
+  // Per-index slots make the parallel scan write-disjoint; the serial
+  // compaction below reads them in ascending edge order, so the resulting
+  // plan is bit-identical for every TN_NUM_THREADS (PR 1 contract).
+  if (active.size() >= kParallelPlanEdges && tn::num_threads() > 1) {
+    tn::parallel_for(active.size(), /*grain=*/0, eval_range);
+  } else {
+    eval_range(0, active.size());
+  }
+  for (std::size_t i = 0; i < active.size(); ++i)
+    if (slots_[i].edge != graph::kInvalidEdge) out.push_back(slots_[i]);
+  TN_OBS_COUNT("router.planned_tx", out.size());
+  TN_OBS_SERIES_ADD("router.active_edges", round_, active.size());
 }
 
 std::vector<PlannedTx> BalancingRouter::plan(
@@ -62,21 +147,45 @@ std::vector<PlannedTx> BalancingRouter::plan(
     std::span<const double> costs) const {
   std::vector<PlannedTx> txs;
   txs.reserve(active.size());
-  for (const graph::EdgeId e : active) {
-    const graph::Edge& edge = topo.edge(e);
-    const double c = costs[e];
-    const std::optional<PlannedTx> fwd = best_for_pair(edge.u, edge.v, e, c);
-    const std::optional<PlannedTx> bwd = best_for_pair(edge.v, edge.u, e, c);
-    // One packet per edge per step, in the better direction.
-    if (fwd && (!bwd || fwd->benefit >= bwd->benefit)) {
-      txs.push_back(*fwd);
-    } else if (bwd) {
-      txs.push_back(*bwd);
-    }
-  }
-  TN_OBS_COUNT("router.planned_tx", txs.size());
-  TN_OBS_SERIES_ADD("router.active_edges", round_, active.size());
+  plan_into(topo, active, costs, txs);
   return txs;
+}
+
+std::span<const graph::EdgeId> BalancingRouter::candidate_edges(
+    const graph::Graph& topo) const {
+  if (edge_mark_.size() < topo.num_edges()) {
+    edge_mark_.assign(topo.num_edges(), 0);
+    mark_epoch_ = 0;
+  }
+  if (mark_epoch_ == 0xffffffffu) {  // epoch wrap: reset the stamps
+    std::fill(edge_mark_.begin(), edge_mark_.end(), 0);
+    mark_epoch_ = 0;
+  }
+  const std::uint32_t epoch = ++mark_epoch_;
+  candidates_.clear();
+  // Serial walk (neighbors() may lazily rebuild adjacency): collect every
+  // edge with at least one buffering endpoint, each exactly once.
+  buffers_.for_each_active_node([&](graph::NodeId v) {
+    for (const graph::Half& h : topo.neighbors(v)) {
+      if (edge_mark_[h.edge] != epoch) {
+        edge_mark_[h.edge] = epoch;
+        candidates_.push_back(h.edge);
+      }
+    }
+  });
+  // Active-node order is arbitrary; sorting restores the canonical
+  // ascending-edge-id plan order (and with it cross-thread bit-identity).
+  std::sort(candidates_.begin(), candidates_.end());
+  return candidates_;
+}
+
+void BalancingRouter::plan_all_edges_into(const graph::Graph& topo,
+                                          std::span<const double> costs,
+                                          std::vector<PlannedTx>& out) const {
+  // An edge whose endpoints both buffer nothing has h = 0 on every
+  // destination, so no benefit can exceed T (plan() would emit nothing for
+  // it); restricting to buffer-incident edges is therefore exact.
+  plan_into(topo, candidate_edges(topo), costs, out);
 }
 
 void BalancingRouter::execute(std::span<const PlannedTx> txs,
@@ -85,66 +194,84 @@ void BalancingRouter::execute(std::span<const PlannedTx> txs,
                               RunMetrics& m) {
   TN_ASSERT(failed.empty() || failed.size() == txs.size());
   // Registry tallies mirror the RunMetrics deltas of this call and flush
-  // once at the end — one registry touch per step, not per packet.
-  const RunMetrics before = m;
+  // once at the end — one registry touch per step, not per packet. Deltas
+  // are accumulated locally (no RunMetrics snapshot copy per step).
+  std::uint64_t attempted = 0;
+  std::uint64_t failed_cnt = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
   // Phase 1 — departures. Planned txs operate on the step-start snapshot; a
   // buffer can be drained by an earlier tx of the same step, in which case
   // the later tx is skipped (a real node would simply not transmit).
-  std::vector<std::pair<const PlannedTx*, Packet>> in_air;
-  in_air.reserve(txs.size());
+  in_air_.clear();
   for (std::size_t i = 0; i < txs.size(); ++i) {
     const PlannedTx& tx = txs[i];
     const double cost = costs[tx.edge];
     if (!failed.empty() && failed[i]) {
       // Collision: the sender transmitted (energy burnt) but the receiver
       // got nothing; the packet never left the buffer.
-      ++m.attempted_tx;
-      ++m.failed_tx;
+      ++attempted;
+      ++failed_cnt;
       m.wasted_energy += cost;
       continue;
     }
     std::optional<Packet> p = buffers_.pop(tx.from, tx.dest);
     if (!p) {
-      ++m.skipped_tx;
+      ++skipped;
       continue;
     }
-    ++m.attempted_tx;
+    ++attempted;
     m.total_energy += cost;
     p->cost_spent += cost;
     ++p->hops;
-    in_air.emplace_back(&tx, *p);
+    in_air_.push_back(InAir{*p, tx.to});
   }
 
   // Phase 2 — arrivals: absorb at destinations, store elsewhere, delete on
   // overflow (cannot happen for in-transit packets once T is set per
-  // Theorem 3.1; the metric keeps us honest).
-  for (auto& [tx, p] : in_air) {
-    if (is_destination(tx->to, p.dst)) {
-      ++m.deliveries;
-      m.delivered_cost += p.cost_spent;
-      m.total_hops_delivered += p.hops;
-      m.sum_latency += now >= p.injected_at ? now - p.injected_at : 0;
-      continue;
+  // Theorem 3.1; the metric keeps us honest). The unicast fast path skips
+  // the std::function indirection entirely.
+  if (!is_dest_) {
+    for (const InAir& a : in_air_) {
+      if (a.to == a.p.dst) {
+        ++delivered;
+        m.delivered_cost += a.p.cost_spent;
+        m.total_hops_delivered += a.p.hops;
+        m.sum_latency += now >= a.p.injected_at ? now - a.p.injected_at : 0;
+        continue;
+      }
+      if (!buffers_.push(a.to, a.p)) ++dropped;
     }
-    if (!buffers_.push(tx->to, p)) ++m.dropped_in_transit;
+  } else {
+    for (const InAir& a : in_air_) {
+      if (is_dest_(a.to, a.p.dst)) {
+        ++delivered;
+        m.delivered_cost += a.p.cost_spent;
+        m.total_hops_delivered += a.p.hops;
+        m.sum_latency += now >= a.p.injected_at ? now - a.p.injected_at : 0;
+        continue;
+      }
+      if (!buffers_.push(a.to, a.p)) ++dropped;
+    }
   }
 
-  TN_OBS_COUNT("router.attempted_tx", m.attempted_tx - before.attempted_tx);
-  TN_OBS_COUNT("router.failed_tx", m.failed_tx - before.failed_tx);
-  TN_OBS_COUNT("router.skipped_tx", m.skipped_tx - before.skipped_tx);
-  TN_OBS_COUNT("router.delivered", m.deliveries - before.deliveries);
-  TN_OBS_COUNT("router.dropped_in_transit",
-               m.dropped_in_transit - before.dropped_in_transit);
-  TN_OBS_SERIES_ADD("router.tx_attempted", round_,
-                    m.attempted_tx - before.attempted_tx);
-  TN_OBS_SERIES_ADD("router.tx_failed", round_,
-                    m.failed_tx - before.failed_tx);
-  TN_OBS_SERIES_ADD("router.tx_skipped", round_,
-                    m.skipped_tx - before.skipped_tx);
-  TN_OBS_SERIES_ADD("router.deliveries", round_,
-                    m.deliveries - before.deliveries);
-  TN_OBS_SERIES_ADD("router.dropped_in_transit", round_,
-                    m.dropped_in_transit - before.dropped_in_transit);
+  m.attempted_tx += attempted;
+  m.failed_tx += failed_cnt;
+  m.skipped_tx += skipped;
+  m.deliveries += delivered;
+  m.dropped_in_transit += dropped;
+
+  TN_OBS_COUNT("router.attempted_tx", attempted);
+  TN_OBS_COUNT("router.failed_tx", failed_cnt);
+  TN_OBS_COUNT("router.skipped_tx", skipped);
+  TN_OBS_COUNT("router.delivered", delivered);
+  TN_OBS_COUNT("router.dropped_in_transit", dropped);
+  TN_OBS_SERIES_ADD("router.tx_attempted", round_, attempted);
+  TN_OBS_SERIES_ADD("router.tx_failed", round_, failed_cnt);
+  TN_OBS_SERIES_ADD("router.tx_skipped", round_, skipped);
+  TN_OBS_SERIES_ADD("router.deliveries", round_, delivered);
+  TN_OBS_SERIES_ADD("router.dropped_in_transit", round_, dropped);
 }
 
 void BalancingRouter::inject(const Packet& p, RunMetrics& m) {
@@ -168,7 +295,8 @@ void BalancingRouter::end_step(RunMetrics& m) {
   // peak_buffer series, AND RunMetrics::peak_buffer (which
   // check_router_bounds consumes). By construction m.peak_buffer equals
   // the max of the recorded series at any downsampling level (max-of-window
-  // folds are lossless for the overall max).
+  // folds are lossless for the overall max). peak_height / total_packets
+  // are O(1) in the SoA bank, so end_step no longer scans the bank.
   const std::size_t h = buffers_.peak_height();
   TN_OBS_RECORD("router.round_peak_buffer", h);
   TN_OBS_COUNT("router.rounds", 1);

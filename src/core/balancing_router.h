@@ -15,6 +15,14 @@
 // (adversarial sets for Section 3.2, randomized interference-aware
 // activation for Section 3.3, honeycomb contestants for Section 3.4) and
 // report back which planned transmissions the medium actually carried.
+//
+// The step loop is allocation-free at steady state: `plan_into` evaluates
+// edges into caller-owned / reusable scratch (parallelized over edges with
+// per-index slots compacted in edge order, so the plan is bit-identical for
+// any TN_NUM_THREADS — the PR 1 contract), `execute` stages in-air packets
+// in a member scratch vector, and the sparse entry point
+// `plan_all_edges_into` derives the candidate edge set from the buffer
+// bank's active nodes instead of scanning every edge of a large graph.
 
 #include <cstdint>
 #include <functional>
@@ -81,10 +89,37 @@ class BalancingRouter {
 
   /// The (T, gamma) rule over `active` edges with per-edge costs `costs`
   /// (indexed by edge id of `topo`). Returns at most one transmission per
-  /// edge, deterministically.
+  /// edge, deterministically. Allocating convenience wrapper of plan_into.
   std::vector<PlannedTx> plan(const graph::Graph& topo,
                               std::span<const graph::EdgeId> active,
                               std::span<const double> costs) const;
+
+  /// Allocation-free plan: evaluates `active` edges into `out` (cleared,
+  /// then filled in ascending `active` order — reuse `out` across rounds to
+  /// amortize its capacity away). The edge scan runs under tn::parallel_for
+  /// when large enough; per-edge results land in index-addressed slots and
+  /// are compacted serially in edge order, so the planned transmissions are
+  /// bit-identical for every TN_NUM_THREADS value.
+  void plan_into(const graph::Graph& topo,
+                 std::span<const graph::EdgeId> active,
+                 std::span<const double> costs,
+                 std::vector<PlannedTx>& out) const;
+
+  /// Sustained-load fast path: plan over every edge of `topo` without
+  /// touching the empty part of the graph. The candidate set — all edges
+  /// incident to a node that currently buffers packets, ascending by edge
+  /// id — provably plans the same transmissions as passing all edges, since
+  /// an edge with both endpoint banks empty never clears benefit > T >= 0.
+  /// The router.active_edges telemetry series records the candidate count.
+  void plan_all_edges_into(const graph::Graph& topo,
+                           std::span<const double> costs,
+                           std::vector<PlannedTx>& out) const;
+
+  /// The candidate edge set used by plan_all_edges_into (exposed for the
+  /// quantized router and tests): edges incident to buffer-active nodes,
+  /// deduplicated, sorted ascending. Valid until the next call.
+  std::span<const graph::EdgeId> candidate_edges(
+      const graph::Graph& topo) const;
 
   /// Benefit evaluation for one directed pair (used by the honeycomb MAC of
   /// Section 3.4, where contestants are sender-receiver pairs rather than
@@ -115,6 +150,11 @@ class BalancingRouter {
   std::size_t packets_in_flight() const { return buffers_.total_packets(); }
 
  private:
+  // Both orientations of one edge in a single merged buffer scan; the
+  // winning direction (or a kInvalidEdge sentinel) lands in *slot.
+  void eval_edge(const graph::Graph& topo, graph::EdgeId e, double cost,
+                 PlannedTx* slot) const;
+
   bool is_destination(graph::NodeId v, route::DestId d) const {
     return is_dest_ ? is_dest_(v, d) : v == d;
   }
@@ -123,6 +163,20 @@ class BalancingRouter {
   route::BufferBank buffers_;
   DestinationPredicate is_dest_;
   std::uint64_t round_ = 0;
+  // Reusable scratch (plan slots, candidate edges + epoch-stamped dedup
+  // marks, in-air staging). Mutable: plan is logically const; scratch reuse
+  // is what makes the steady-state loop allocation-free. Not thread-safe
+  // across router instances sharing nothing — each slot_ index is written
+  // by exactly one parallel chunk.
+  struct InAir {
+    route::Packet p;
+    graph::NodeId to;
+  };
+  mutable std::vector<PlannedTx> slots_;
+  mutable std::vector<graph::EdgeId> candidates_;
+  mutable std::vector<std::uint32_t> edge_mark_;
+  mutable std::uint32_t mark_epoch_ = 0;
+  std::vector<InAir> in_air_;
 };
 
 }  // namespace thetanet::core

@@ -7,41 +7,71 @@
 
 namespace thetanet::core {
 
+std::size_t QuantizedHeightRouter::advertised_height(graph::NodeId v,
+                                                     route::DestId d) const {
+  const AdvNode& node = advertised_[v];
+  const auto it =
+      std::lower_bound(node.dests.begin(), node.dests.end(), d);
+  return (it != node.dests.end() && *it == d)
+             ? node.heights[static_cast<std::size_t>(it - node.dests.begin())]
+             : 0;
+}
+
+void QuantizedHeightRouter::plan_into(const graph::Graph& topo,
+                                      std::span<const graph::EdgeId> active,
+                                      std::span<const double> costs,
+                                      std::vector<PlannedTx>& out) const {
+  out.clear();
+  const auto& bufs = inner_.buffers();
+  const double gamma = inner_.params().gamma;
+  const double threshold = inner_.params().threshold;
+
+  // Local height live, remote height as last advertised: one forward pass
+  // over the sender's sorted live buffers with a riding cursor into the
+  // receiver's sorted advertised table (both ascend by destination).
+  const auto best_dir = [&](graph::NodeId from, graph::NodeId to,
+                            graph::EdgeId e,
+                            double cost) -> std::optional<PlannedTx> {
+    std::optional<PlannedTx> best;
+    const std::span<const route::DestId> fd = bufs.dests(from);
+    const std::span<const std::uint32_t> fh = bufs.heights(from);
+    const AdvNode& adv = advertised_[to];
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < fd.size(); ++i) {
+      const std::uint32_t h_from = fh[i];
+      if (h_from == 0) continue;  // tombstone
+      const route::DestId d = fd[i];
+      while (j < adv.dests.size() && adv.dests[j] < d) ++j;
+      const std::size_t h_adv =
+          (j < adv.dests.size() && adv.dests[j] == d) ? adv.heights[j] : 0;
+      const double benefit = static_cast<double>(h_from) -
+                             static_cast<double>(h_adv) - gamma * cost;
+      if (benefit <= threshold) continue;
+      if (!best || benefit > best->benefit)
+        best = PlannedTx{e, from, to, d, benefit};
+    }
+    return best;
+  };
+
+  for (const graph::EdgeId e : active) {
+    const graph::NodeId u = topo.edge_u(e);
+    const graph::NodeId v = topo.edge_v(e);
+    const auto fwd = best_dir(u, v, e, costs[e]);
+    const auto bwd = best_dir(v, u, e, costs[e]);
+    if (fwd && (!bwd || fwd->benefit >= bwd->benefit)) {
+      out.push_back(*fwd);
+    } else if (bwd) {
+      out.push_back(*bwd);
+    }
+  }
+}
+
 std::vector<PlannedTx> QuantizedHeightRouter::plan(
     const graph::Graph& topo, std::span<const graph::EdgeId> active,
     std::span<const double> costs) const {
   std::vector<PlannedTx> txs;
   txs.reserve(active.size());
-  const auto& bufs = inner_.buffers();
-  const double gamma = inner_.params().gamma;
-  const double threshold = inner_.params().threshold;
-
-  const auto best_dir = [&](graph::NodeId from, graph::NodeId to,
-                            graph::EdgeId e,
-                            double cost) -> std::optional<PlannedTx> {
-    std::optional<PlannedTx> best;
-    // Local height live, remote height as last advertised.
-    bufs.for_each_destination(from, [&](route::DestId d, std::size_t h_from) {
-      const double benefit = static_cast<double>(h_from) -
-                             static_cast<double>(advertised_height(to, d)) -
-                             gamma * cost;
-      if (benefit <= threshold) return;
-      if (!best || benefit > best->benefit)
-        best = PlannedTx{e, from, to, d, benefit};
-    });
-    return best;
-  };
-
-  for (const graph::EdgeId e : active) {
-    const graph::Edge& edge = topo.edge(e);
-    const auto fwd = best_dir(edge.u, edge.v, e, costs[e]);
-    const auto bwd = best_dir(edge.v, edge.u, e, costs[e]);
-    if (fwd && (!bwd || fwd->benefit >= bwd->benefit)) {
-      txs.push_back(*fwd);
-    } else if (bwd) {
-      txs.push_back(*bwd);
-    }
-  }
+  plan_into(topo, active, costs, txs);
   return txs;
 }
 
@@ -49,25 +79,77 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
   const std::uint64_t before = control_messages_;
   const auto& bufs = inner_.buffers();
   for (graph::NodeId v = 0; v < advertised_.size(); ++v) {
-    // Heights that rose or changed among live buffers.
-    bufs.for_each_destination(v, [&](route::DestId d, std::size_t h) {
-      const std::size_t adv = advertised_height(v, d);
-      const std::size_t drift = h > adv ? h - adv : adv - h;
-      if (drift >= quantum_) {
-        advertised_[v][d] = h;
-        ++control_messages_;
-      }
-    });
-    // Buffers that drained to zero (no longer iterated above).
-    auto& node = advertised_[v];
-    for (auto it = node.begin(); it != node.end();) {
-      const std::size_t h = bufs.height(v, it->first);
-      if (h == 0 && it->second >= quantum_) {
-        it = node.erase(it);
-        ++control_messages_;
+    AdvNode& adv = advertised_[v];
+    if (bufs.live_destinations(v) == 0 && adv.dests.empty()) continue;
+    const std::span<const route::DestId> bd = bufs.dests(v);
+    const std::span<const std::uint32_t> bh = bufs.heights(v);
+    // Reconcile the two sorted sequences in one merged pass:
+    //   * live buffer, drift >= quantum  -> advertise the new height;
+    //   * live buffer, small drift       -> keep the old advertisement
+    //     (possibly none, when the height never reached the quantum);
+    //   * drained buffer, adv >= quantum -> retire the advertisement;
+    //   * drained buffer, adv < quantum  -> the stale small value lingers
+    //     (drift below quantum), exactly as with live exchange.
+    // Each advertise/retire is one control message. The node's table is
+    // rebuilt only when a message fired; otherwise it is untouched.
+    scratch_dests_.clear();
+    scratch_heights_.clear();
+    bool changed = false;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const auto keep = [&](route::DestId d, std::uint32_t h) {
+      scratch_dests_.push_back(d);
+      scratch_heights_.push_back(h);
+    };
+    while (i < bd.size() || j < adv.dests.size()) {
+      const bool take_bank =
+          i < bd.size() && (j >= adv.dests.size() || bd[i] <= adv.dests[j]);
+      const bool take_adv =
+          j < adv.dests.size() && (i >= bd.size() || adv.dests[j] <= bd[i]);
+      if (take_bank && take_adv) {
+        const std::uint32_t h = bh[i];
+        const std::uint32_t a = adv.heights[j];
+        if (h == 0) {
+          if (a >= quantum_) {
+            ++control_messages_;
+            changed = true;
+          } else {
+            keep(bd[i], a);
+          }
+        } else {
+          const std::uint32_t drift = h > a ? h - a : a - h;
+          if (drift >= quantum_) {
+            keep(bd[i], h);
+            ++control_messages_;
+            changed = true;
+          } else {
+            keep(bd[i], a);
+          }
+        }
+        ++i;
+        ++j;
+      } else if (take_bank) {
+        const std::uint32_t h = bh[i];  // no advertisement yet (adv = 0)
+        if (h >= quantum_) {
+          keep(bd[i], h);
+          ++control_messages_;
+          changed = true;
+        }
+        ++i;
       } else {
-        ++it;
+        const std::uint32_t a = adv.heights[j];  // buffer drained (h = 0)
+        if (a >= quantum_) {
+          ++control_messages_;
+          changed = true;
+        } else {
+          keep(adv.dests[j], a);
+        }
+        ++j;
       }
+    }
+    if (changed) {
+      adv.dests.assign(scratch_dests_.begin(), scratch_dests_.end());
+      adv.heights.assign(scratch_heights_.begin(), scratch_heights_.end());
     }
   }
   TN_OBS_COUNT("router.control_messages", control_messages_ - before);

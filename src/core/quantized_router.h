@@ -15,8 +15,14 @@
 //
 // The local side of the rule (the sender's own height) is always live —
 // that knowledge is free.
-
-#include <map>
+//
+// The advertised table mirrors the buffer bank's SoA layout: per node a
+// sorted destination array with a parallel height array (advertised heights
+// are never 0 — a drained buffer's advertisement is retired — so presence
+// in the array IS the advertisement). Plans are merged scans of the live
+// bank against the advertised arrays; end_step reconciles the two sorted
+// sequences in one pass and rebuilds a node's table only when a control
+// message actually fired. No per-step allocations at steady state.
 
 #include "core/balancing_router.h"
 
@@ -42,6 +48,13 @@ class QuantizedHeightRouter {
                               std::span<const graph::EdgeId> active,
                               std::span<const double> costs) const;
 
+  /// Allocation-free variant: fills `out` (cleared first) in ascending
+  /// `active` order; reuse `out` across rounds.
+  void plan_into(const graph::Graph& topo,
+                 std::span<const graph::EdgeId> active,
+                 std::span<const double> costs,
+                 std::vector<PlannedTx>& out) const;
+
   void execute(std::span<const PlannedTx> txs, const std::vector<bool>& failed,
                std::span<const double> costs, route::Time now,
                route::RunMetrics& m) {
@@ -58,16 +71,22 @@ class QuantizedHeightRouter {
   void end_step(route::RunMetrics& m);
 
  private:
-  std::size_t advertised_height(graph::NodeId v, route::DestId d) const {
-    const auto& node = advertised_[v];
-    const auto it = node.find(d);
-    return it == node.end() ? 0 : it->second;
-  }
+  // Sorted advertised-height table for one node. Heights are always >= 1:
+  // retiring a drained buffer's advertisement removes the entry.
+  struct AdvNode {
+    std::vector<route::DestId> dests;
+    std::vector<std::uint32_t> heights;
+  };
+
+  std::size_t advertised_height(graph::NodeId v, route::DestId d) const;
 
   BalancingRouter inner_;
-  std::vector<std::map<route::DestId, std::size_t>> advertised_;
+  std::vector<AdvNode> advertised_;
   std::size_t quantum_;
   std::uint64_t control_messages_ = 0;
+  // end_step rebuild scratch, reused across rounds.
+  std::vector<route::DestId> scratch_dests_;
+  std::vector<std::uint32_t> scratch_heights_;
 };
 
 }  // namespace thetanet::core

@@ -1,0 +1,163 @@
+#include "routing/injection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace thetanet::route {
+
+namespace {
+
+/// First `k` nodes of a deterministic shuffle of [0, n) — a sample without
+/// replacement that depends only on (rng state, n, k).
+std::vector<graph::NodeId> sample_nodes(std::size_t n, std::size_t k,
+                                        geom::Rng& rng) {
+  std::vector<graph::NodeId> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<graph::NodeId>(i);
+  if (k >= n) return all;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform_index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  std::sort(all.begin(), all.end());  // canonical order for reproducibility
+  return all;
+}
+
+graph::NodeId max_degree_node(const graph::Graph& g) {
+  graph::NodeId best = 0;
+  std::size_t best_deg = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t d = g.degree(v);
+    if (d > best_deg) {  // strictly greater: smallest id wins ties
+      best_deg = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool parse_injection_process(const char* name, InjectionSpec::Process* out) {
+  using P = InjectionSpec::Process;
+  if (std::strcmp(name, "poisson") == 0) *out = P::kPoisson;
+  else if (std::strcmp(name, "bursty") == 0) *out = P::kBursty;
+  else if (std::strcmp(name, "hotspot") == 0) *out = P::kHotspot;
+  else if (std::strcmp(name, "adversarial") == 0) *out = P::kAdversarialCut;
+  else return false;
+  return true;
+}
+
+const char* injection_process_name(InjectionSpec::Process p) {
+  switch (p) {
+    case InjectionSpec::Process::kPoisson: return "poisson";
+    case InjectionSpec::Process::kBursty: return "bursty";
+    case InjectionSpec::Process::kHotspot: return "hotspot";
+    case InjectionSpec::Process::kAdversarialCut: return "adversarial";
+  }
+  return "?";
+}
+
+InjectionEngine::InjectionEngine(const graph::Graph& topo,
+                                 const InjectionSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  TN_ASSERT(topo.num_nodes() >= 2);
+  const std::size_t n = topo.num_nodes();
+  using P = InjectionSpec::Process;
+
+  // Destination pool first (so the adversarial target can be excluded from
+  // the source pool).
+  switch (spec_.process) {
+    case P::kAdversarialCut:
+      dests_ = {max_degree_node(topo)};
+      break;
+    case P::kHotspot:
+      dests_ = sample_nodes(n, std::max<std::size_t>(1, spec_.num_destinations),
+                            rng_);
+      break;
+    case P::kPoisson:
+    case P::kBursty:
+      dests_ = sample_nodes(
+          n, spec_.num_destinations == 0 ? n : spec_.num_destinations, rng_);
+      break;
+  }
+
+  sources_ =
+      sample_nodes(n, spec_.num_sources == 0 ? n : spec_.num_sources, rng_);
+  // A single-sink process must not draw the sink as a source (the router
+  // asserts against injecting at the destination).
+  if (dests_.size() == 1) {
+    const auto it = std::find(sources_.begin(), sources_.end(), dests_[0]);
+    if (it != sources_.end()) sources_.erase(it);
+    TN_ASSERT(!sources_.empty());
+  }
+
+  rate_per_round_ =
+      spec_.process == P::kAdversarialCut
+          ? spec_.rate * static_cast<double>(topo.degree(dests_[0]))
+          : spec_.rate;
+}
+
+std::uint64_t InjectionEngine::poisson(double mean) {
+  // Knuth's product method — exact and branch-cheap for the per-round means
+  // used here (mean <~ 32). Deterministic given the engine RNG stream.
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double prod = rng_.uniform();
+  while (prod > limit) {
+    ++k;
+    prod *= rng_.uniform();
+  }
+  return k;
+}
+
+void InjectionEngine::step(Time now, const RunMetrics& m,
+                           std::vector<Packet>& out) {
+  out.clear();
+  using P = InjectionSpec::Process;
+
+  double mean = rate_per_round_;
+  if (spec_.process == P::kBursty) {
+    const std::uint64_t period = spec_.burst_len + spec_.gap_len;
+    const std::uint64_t phase = period == 0 ? 0 : now % period;
+    if (phase >= spec_.burst_len) return;  // gap: silent round
+    mean *= spec_.burst_multiplier;
+  }
+
+  std::uint64_t arrivals = poisson(mean);
+  if (spec_.window > 0) {
+    // Closed loop: never exceed `window` packets outstanding. Offered-but-
+    // dropped injections are not outstanding (they never entered a buffer).
+    const std::size_t in_network =
+        m.injected_accepted - m.deliveries - m.dropped_in_transit;
+    const std::uint64_t room =
+        in_network >= spec_.window
+            ? 0
+            : static_cast<std::uint64_t>(spec_.window - in_network);
+    arrivals = std::min(arrivals, room);
+  }
+
+  for (std::uint64_t a = 0; a < arrivals; ++a) {
+    graph::NodeId src = sources_[rng_.uniform_index(sources_.size())];
+    const DestId dst = dests_[rng_.uniform_index(dests_.size())];
+    if (src == dst) {
+      if (sources_.size() == 1) continue;  // degenerate spec: skip arrival
+      // Deterministic remap instead of a rejection loop.
+      const auto it = std::lower_bound(sources_.begin(), sources_.end(), src);
+      const std::size_t idx = static_cast<std::size_t>(it - sources_.begin());
+      src = sources_[(idx + 1) % sources_.size()];
+    }
+    Packet p;
+    p.id = next_id_++;
+    p.src = src;
+    p.dst = dst;
+    p.injected_at = now;
+    out.push_back(p);
+  }
+}
+
+}  // namespace thetanet::route

@@ -1,0 +1,106 @@
+#pragma once
+// Sustained-load injection processes for the (T, gamma)-balancing driver
+// (ROADMAP item: millions of packets over 10^6+ rounds under O(capacity)
+// memory). The adversarial-trace machinery (adversary.h) certifies a
+// *finite* trace against its exact optimum; this engine instead generates
+// an endless arrival stream round by round, so a run's length is bounded
+// by the clock, not by a precomputed trace in memory.
+//
+// Four processes, all deterministic given the spec (the engine owns its
+// RNG; nothing depends on thread count):
+//
+//   * kPoisson        — open-loop Poisson(rate) arrivals per round, sources
+//                       and destinations uniform over configured subsets.
+//   * kBursty         — on/off Poisson: `burst_len` rounds at
+//                       rate * burst_multiplier, then `gap_len` silent
+//                       rounds. Stresses backlog drain.
+//   * kHotspot        — Poisson(rate) arrivals all destined to a small hot
+//                       set; the convergecast-like pattern that maximizes
+//                       buffer contention near the sinks.
+//   * kAdversarialCut — near-capacity convergecast onto the single
+//                       max-degree node d*: rate scales with deg(d*), the
+//                       capacity of the cut around d*, pushing the router
+//                       against the Theorem 3.1 envelope.
+//
+// A nonzero `window` switches any process to closed loop: arrivals beyond
+// `window` outstanding (accepted minus delivered minus lost) packets are
+// withheld, which is what keeps steady-state memory O(window) regardless
+// of run length.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rng.h"
+#include "graph/graph.h"
+#include "routing/metrics.h"
+#include "routing/packet.h"
+
+namespace thetanet::route {
+
+struct InjectionSpec {
+  enum class Process : std::uint8_t {
+    kPoisson,
+    kBursty,
+    kHotspot,
+    kAdversarialCut,
+  };
+
+  Process process = Process::kPoisson;
+  double rate = 1.0;  ///< expected arrivals per round (per-node for kAdversarialCut's cut scaling)
+
+  /// Source / destination pools, sampled without replacement from the
+  /// graph's nodes. 0 means "all nodes". kHotspot treats 0 destinations as
+  /// a single hot sink; kAdversarialCut ignores the destination pool (the
+  /// target is always the smallest-id maximum-degree node).
+  std::uint32_t num_sources = 0;
+  std::uint32_t num_destinations = 0;
+
+  // kBursty duty cycle.
+  std::uint32_t burst_len = 64;
+  std::uint32_t gap_len = 192;
+  double burst_multiplier = 4.0;
+
+  /// Closed-loop window: > 0 caps packets outstanding in the network (the
+  /// O(capacity) memory knob). 0 = open loop.
+  std::uint32_t window = 0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Parse "poisson" / "bursty" / "hotspot" / "adversarial" (CLI surface of
+/// bench_router). Returns false on an unknown name.
+bool parse_injection_process(const char* name, InjectionSpec::Process* out);
+const char* injection_process_name(InjectionSpec::Process p);
+
+class InjectionEngine {
+ public:
+  InjectionEngine(const graph::Graph& topo, const InjectionSpec& spec);
+
+  /// Generate this round's arrivals into `out` (cleared first; reuse the
+  /// vector across rounds). `m` supplies the closed-loop feedback; pass the
+  /// run's metrics struct. Packets carry injected_at = now and unique ids.
+  void step(Time now, const RunMetrics& m, std::vector<Packet>& out);
+
+  /// Packets generated so far (offered, before any router-side drop).
+  std::uint64_t emitted() const { return next_id_; }
+
+  /// The convergecast target (kAdversarialCut / single-sink kHotspot);
+  /// kInvalidNode otherwise.
+  graph::NodeId hot_target() const {
+    return dests_.size() == 1 ? dests_[0] : graph::kInvalidNode;
+  }
+
+  const InjectionSpec& spec() const { return spec_; }
+
+ private:
+  std::uint64_t poisson(double mean);
+
+  InjectionSpec spec_;
+  geom::Rng rng_;
+  std::vector<graph::NodeId> sources_;
+  std::vector<graph::NodeId> dests_;
+  double rate_per_round_ = 0.0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace thetanet::route

@@ -1,0 +1,137 @@
+#include "routing/reference_router.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace thetanet::route {
+
+std::size_t ReferenceRouter::height(graph::NodeId v, DestId d) const {
+  const auto& node = buffers_[v];
+  const auto it = node.find(d);
+  return it == node.end() ? 0 : it->second.size();
+}
+
+bool ReferenceRouter::push(graph::NodeId v, const Packet& p) {
+  auto& q = buffers_[v][p.dst];
+  if (q.size() >= max_height_) {
+    if (q.empty()) buffers_[v].erase(p.dst);
+    return false;
+  }
+  q.push_back(p);
+  return true;
+}
+
+std::optional<Packet> ReferenceRouter::pop(graph::NodeId v, DestId d) {
+  auto& node = buffers_[v];
+  const auto it = node.find(d);
+  if (it == node.end() || it->second.empty()) return std::nullopt;
+  Packet p = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) node.erase(it);
+  return p;
+}
+
+std::optional<ReferenceTx> ReferenceRouter::best_for_pair(graph::NodeId from,
+                                                          graph::NodeId to,
+                                                          graph::EdgeId e,
+                                                          double cost) const {
+  std::optional<ReferenceTx> best;
+  for (const auto& [d, q] : buffers_[from]) {
+    const double benefit = static_cast<double>(q.size()) -
+                           static_cast<double>(height(to, d)) - gamma_ * cost;
+    if (benefit <= threshold_) continue;
+    if (!best || benefit > best->benefit)
+      best = ReferenceTx{e, from, to, d, benefit};
+  }
+  return best;
+}
+
+std::vector<ReferenceTx> ReferenceRouter::plan(
+    const graph::Graph& topo, std::span<const graph::EdgeId> active,
+    std::span<const double> costs) const {
+  std::vector<ReferenceTx> txs;
+  for (const graph::EdgeId e : active) {
+    const graph::NodeId u = topo.edge_u(e);
+    const graph::NodeId v = topo.edge_v(e);
+    const std::optional<ReferenceTx> fwd = best_for_pair(u, v, e, costs[e]);
+    const std::optional<ReferenceTx> bwd = best_for_pair(v, u, e, costs[e]);
+    if (fwd && (!bwd || fwd->benefit >= bwd->benefit)) {
+      txs.push_back(*fwd);
+    } else if (bwd) {
+      txs.push_back(*bwd);
+    }
+  }
+  return txs;
+}
+
+void ReferenceRouter::execute(std::span<const ReferenceTx> txs,
+                              const std::vector<bool>& failed,
+                              std::span<const double> costs, Time now,
+                              RunMetrics& m) {
+  TN_ASSERT(failed.empty() || failed.size() == txs.size());
+  std::vector<std::pair<Packet, graph::NodeId>> in_air;
+  in_air.reserve(txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const ReferenceTx& tx = txs[i];
+    const double cost = costs[tx.edge];
+    if (!failed.empty() && failed[i]) {
+      ++m.attempted_tx;
+      ++m.failed_tx;
+      m.wasted_energy += cost;
+      continue;
+    }
+    std::optional<Packet> p = pop(tx.from, tx.dest);
+    if (!p) {
+      ++m.skipped_tx;
+      continue;
+    }
+    ++m.attempted_tx;
+    m.total_energy += cost;
+    p->cost_spent += cost;
+    ++p->hops;
+    in_air.emplace_back(*p, tx.to);
+  }
+  for (auto& [p, to] : in_air) {
+    if (to == p.dst) {
+      ++m.deliveries;
+      m.delivered_cost += p.cost_spent;
+      m.total_hops_delivered += p.hops;
+      m.sum_latency += now >= p.injected_at ? now - p.injected_at : 0;
+      continue;
+    }
+    if (!push(to, p)) ++m.dropped_in_transit;
+  }
+}
+
+void ReferenceRouter::inject(const Packet& p, RunMetrics& m) {
+  TN_ASSERT_MSG(p.src != p.dst,
+                "cannot inject a packet at its own destination");
+  ++m.injected_offered;
+  if (push(p.src, p)) {
+    ++m.injected_accepted;
+  } else {
+    ++m.dropped_at_injection;
+  }
+}
+
+void ReferenceRouter::end_step(RunMetrics& m) {
+  m.peak_buffer = std::max(m.peak_buffer, peak_height());
+  ++round_;
+}
+
+std::size_t ReferenceRouter::packets_in_flight() const {
+  std::size_t total = 0;
+  for (const auto& node : buffers_)
+    for (const auto& [d, q] : node) total += q.size();
+  return total;
+}
+
+std::size_t ReferenceRouter::peak_height() const {
+  std::size_t h = 0;
+  for (const auto& node : buffers_)
+    for (const auto& [d, q] : node) h = std::max(h, q.size());
+  return h;
+}
+
+}  // namespace thetanet::route

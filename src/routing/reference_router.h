@@ -1,0 +1,80 @@
+#pragma once
+// Brute-force oracle for the (T, gamma)-balancing rule — the pre-SoA
+// implementation kept verbatim as an executable specification:
+//
+//   * the buffer bank is the original map-of-vectors
+//     (std::map<DestId, std::vector<Packet>> per node), every height lookup
+//     a tree probe;
+//   * plan() is the naive O(E * D) double loop: for each active edge and
+//     each direction, scan every destination buffered at the sender and
+//     probe the receiver's height.
+//
+// Tests compare the SoA fast path against this oracle transmission-for-
+// transmission (same plans, same metrics); bench_router runs it at matched
+// workload to measure the speedup the SoA rework buys. It records no
+// telemetry — goldens only watch the production path.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/metrics.h"
+#include "routing/packet.h"
+
+namespace thetanet::route {
+
+/// Mirror of core::PlannedTx (routing cannot depend on core; tests convert
+/// field-for-field).
+struct ReferenceTx {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  DestId dest = graph::kInvalidNode;
+  double benefit = 0.0;
+};
+
+class ReferenceRouter {
+ public:
+  ReferenceRouter(std::size_t num_nodes, double threshold, double gamma,
+                  std::size_t max_height)
+      : buffers_(num_nodes),
+        threshold_(threshold),
+        gamma_(gamma),
+        max_height_(max_height) {}
+
+  std::vector<ReferenceTx> plan(const graph::Graph& topo,
+                                std::span<const graph::EdgeId> active,
+                                std::span<const double> costs) const;
+
+  /// Unicast-only execute (delivery test is to == dst), with the exact
+  /// two-phase departure/arrival semantics of the production router.
+  void execute(std::span<const ReferenceTx> txs,
+               const std::vector<bool>& failed, std::span<const double> costs,
+               Time now, RunMetrics& m);
+
+  void inject(const Packet& p, RunMetrics& m);
+  void end_step(RunMetrics& m);
+
+  std::size_t height(graph::NodeId v, DestId d) const;
+  std::size_t packets_in_flight() const;
+  std::size_t peak_height() const;
+  std::uint64_t round() const { return round_; }
+
+ private:
+  std::optional<ReferenceTx> best_for_pair(graph::NodeId from,
+                                           graph::NodeId to, graph::EdgeId e,
+                                           double cost) const;
+  bool push(graph::NodeId v, const Packet& p);
+  std::optional<Packet> pop(graph::NodeId v, DestId d);
+
+  std::vector<std::map<DestId, std::vector<Packet>>> buffers_;
+  double threshold_;
+  double gamma_;
+  std::size_t max_height_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace thetanet::route

@@ -44,6 +44,7 @@ ScenarioResult run_mac_given(const AdversaryTrace& trace,
   std::vector<double> costs = base_costs(topo);
   const Time total = trace.horizon() + extra_drain;
   const std::vector<bool> no_failures;
+  std::vector<PlannedTx> txs;  // reused across rounds (allocation-free loop)
 
   TN_OBS_SPAN("router.run");
   for (Time t = 0; t < total; ++t) {
@@ -59,7 +60,7 @@ ScenarioResult run_mac_given(const AdversaryTrace& trace,
     // Apply this step's adversarial cost overrides (and undo afterwards).
     for (const auto& [e, c] : step.cost_overrides) costs[e] = c;
 
-    const std::vector<PlannedTx> txs = router.plan(topo, step.active, costs);
+    router.plan_into(topo, step.active, costs, txs);
     router.execute(txs, no_failures, costs, t, m);
     inject_step(trace, t, router, m);
     router.end_step(m);
@@ -79,11 +80,12 @@ ScenarioResult run_custom_mac(const AdversaryTrace& trace,
   RunMetrics m;
   const std::vector<double> costs = base_costs(run_topo);
   const Time total = trace.horizon() + extra_drain;
+  std::vector<PlannedTx> txs;  // reused across rounds (allocation-free loop)
 
   TN_OBS_SPAN("router.run");
   for (Time t = 0; t < total; ++t) {
     const std::vector<graph::EdgeId> active = mac.activate(rng);
-    const std::vector<PlannedTx> txs = router.plan(run_topo, active, costs);
+    router.plan_into(run_topo, active, costs, txs);
     const std::vector<bool> failed = mac.resolve(txs);
     router.execute(txs, failed, costs, t, m);
     inject_step(trace, t, router, m);

@@ -24,8 +24,12 @@ graph::Graph build_transmission_graph(const Deployment& d) {
   // ordering produces.
   const geom::SpatialOrder ord(d.positions);
   const geom::SpatialGrid grid(ord.points(), d.max_range);
+  // Grain 0 (auto, ~8 chunks per thread): a fixed fine grain paid one
+  // partial-vector allocation + merge per 256 nodes, which at mid n ate the
+  // parallel win. The pair set is dedup'd and radix-sorted below, so the
+  // output is independent of the chunking (and thus of the thread count).
   std::vector<std::uint64_t> packed = tn::parallel_reduce(
-      n, 256, std::vector<std::uint64_t>{},
+      n, 0, std::vector<std::uint64_t>{},
       [&](std::size_t begin, std::size_t end) {
         std::vector<std::uint64_t> out;
         for (std::size_t si = begin; si < end; ++si) {

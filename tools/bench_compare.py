@@ -1,21 +1,36 @@
 #!/usr/bin/env python3
-"""Diff a fresh BENCH_kernels.json against a committed baseline.
+"""Diff a fresh benchmark JSON against a committed baseline.
 
 Usage:
     bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
                      [--min-ms 1.0] [--min-rss-mb 50.0]
 
-Entries are matched on (kernel, n, threads). A kernel REGRESSES when its
-fresh time exceeds the baseline by more than --threshold (default 25%);
-entries faster than --min-ms in both files are skipped as noise. Peak RSS
-is held to the same gate: growth beyond --threshold at a matched entry
-fails, with --min-rss-mb (default 50) as the noise floor — footprints
-below it are dominated by runtime/allocator baseline, not the kernel.
-Entries without a peak_rss_mb field (pre-RSS baselines) skip the memory
-check silently. The script also fails when the fresh run reports a
-cross-thread determinism violation. Exit status: 0 = no regression,
-1 = regression or determinism failure, 2 = usage/parse error,
-3 = malformed results (a record is missing one of kernel/n/threads/ms).
+Two schemas are understood, detected from the document's "schema" field:
+
+  * BENCH_kernels.json (no schema field, or anything that is not the router
+    schema): entries are matched on (kernel, n, threads).
+  * BENCH_router.json ("schema": "thetanet-bench-router/..."): entries are
+    matched on (workload, engine, n, rate, rounds, threads), and two extra
+    gates apply — a fresh entry whose packets_per_sec drops by more than
+    --threshold below the baseline FAILS (throughput is the router
+    benchmark's headline number, so it is gated directly, not only via ms),
+    and any fresh entry reporting "rss_flat": false with a peak RSS above
+    the noise floor FAILS (the sustained loop must hold a flat footprint
+    after warm-up). A fresh "reference_plans_match": false (the SoA engines
+    diverged from the brute-force oracle) also fails.
+
+Both files must use the same schema; mixing them exits 2.
+
+A benchmark REGRESSES when its fresh time exceeds the baseline by more than
+--threshold (default 25%); entries faster than --min-ms in both files are
+skipped as noise. Peak RSS is held to the same gate: growth beyond
+--threshold at a matched entry fails, with --min-rss-mb (default 50) as the
+noise floor — footprints below it are dominated by runtime/allocator
+baseline, not the kernel. Entries without a peak_rss_mb field (pre-RSS
+baselines) skip the memory check silently. The script also fails when the
+fresh run reports a cross-thread determinism violation. Exit status:
+0 = no regression, 1 = regression or determinism failure, 2 = usage/parse
+error, 3 = malformed results (a record is missing a key field or ms).
 Improvements are reported informationally.
 """
 
@@ -23,7 +38,9 @@ import argparse
 import json
 import sys
 
-REQUIRED_FIELDS = ("kernel", "n", "threads", "ms")
+ROUTER_SCHEMA_PREFIX = "thetanet-bench-router"
+KERNEL_KEY = ("kernel", "n", "threads")
+ROUTER_KEY = ("workload", "engine", "n", "rate", "rounds", "threads")
 
 
 def load(path):
@@ -35,21 +52,37 @@ def load(path):
         sys.exit(2)
 
 
-def entries(doc, path):
-    """Index records by (kernel, n, threads), validating fields up front.
+def schema_of(doc):
+    schema = str(doc.get("schema", ""))
+    return "router" if schema.startswith(ROUTER_SCHEMA_PREFIX) else "kernels"
+
+
+def entries(doc, path, key_fields):
+    """Index records by the schema's key tuple, validating fields up front.
 
     A malformed record used to surface as a bare KeyError traceback, which
     masked the actual diff; exit 3 with the file and record index instead.
     """
+    required = key_fields + ("ms",)
     out = {}
     for i, r in enumerate(doc.get("results", [])):
-        missing = [k for k in REQUIRED_FIELDS if k not in r]
+        missing = [k for k in required if k not in r]
         if missing:
             print(f"bench_compare: {path}: results[{i}] is missing "
                   f"{', '.join(missing)} (has: {sorted(r)})", file=sys.stderr)
             sys.exit(3)
-        out[(r["kernel"], r["n"], r["threads"])] = r
+        out[tuple(r[k] for k in key_fields)] = r
     return out
+
+
+def label(key_fields, key):
+    head = str(key[0])
+    if key_fields[1] == "engine":  # router schema: workload/engine lead
+        head = f"{key[0]}/{key[1]}"
+        pairs = zip(key_fields[2:], key[2:])
+    else:
+        pairs = zip(key_fields[1:], key[1:])
+    return head + "".join(f" {k}={v}" for k, v in pairs)
 
 
 def main():
@@ -62,24 +95,48 @@ def main():
                     help="ignore entries below this many ms in both files")
     ap.add_argument("--min-rss-mb", type=float, default=50.0,
                     help="ignore peak-RSS below this many MB in both files")
+    ap.add_argument("--min-pps", type=float, default=1000.0,
+                    help="router schema: ignore packets_per_sec below this "
+                         "in both files (delivery trickles are noise)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
     fresh_doc = load(args.fresh)
-    base = entries(base_doc, args.baseline)
-    fresh = entries(fresh_doc, args.fresh)
+    mode = schema_of(fresh_doc)
+    if schema_of(base_doc) != mode:
+        print(f"bench_compare: schema mismatch: {args.baseline} is "
+              f"{schema_of(base_doc)}, {args.fresh} is {mode}",
+              file=sys.stderr)
+        sys.exit(2)
+    key_fields = ROUTER_KEY if mode == "router" else KERNEL_KEY
+    base = entries(base_doc, args.baseline, key_fields)
+    fresh = entries(fresh_doc, args.fresh, key_fields)
 
     failed = False
     if fresh_doc.get("outputs_bit_identical_across_threads") is False:
         print("FAIL: fresh run reports a cross-thread determinism violation")
         failed = True
+    if mode == "router":
+        if fresh_doc.get("reference_plans_match") is False:
+            print("FAIL: fresh run reports SoA plans diverging from the "
+                  "reference oracle")
+            failed = True
+        for key, r in sorted(fresh.items()):
+            if (r.get("rss_flat") is False
+                    and r.get("peak_rss_mb", 0.0) >= args.min_rss_mb):
+                print(f"FAIL: {label(key_fields, key)}: RSS kept growing "
+                      f"after warm-up (warm {r.get('warm_rss_mb', 0.0):.1f} "
+                      f"MB -> peak {r.get('peak_rss_mb', 0.0):.1f} MB)")
+                failed = True
 
     common = sorted(set(base) & set(fresh))
     regressions, improvements, skipped = [], [], 0
     rss_regressions, rss_improvements = [], []
+    pps_regressions, pps_improvements = [], []
     for key in common:
         b, f = base[key]["ms"], fresh[key]["ms"]
-        if b < args.min_ms and f < args.min_ms:
+        below_floor = b < args.min_ms and f < args.min_ms
+        if below_floor:
             skipped += 1
         else:
             ratio = f / b if b > 0 else float("inf")
@@ -87,6 +144,20 @@ def main():
                 regressions.append((key, b, f, ratio))
             elif ratio < 1.0 / (1.0 + args.threshold):
                 improvements.append((key, b, f, ratio))
+
+        # Router throughput gate: packets/sec is the headline number, so a
+        # drop is gated directly (a run can keep its ms while delivering
+        # less if the workload drifts).
+        if mode == "router" and not below_floor:
+            bpps = base[key].get("packets_per_sec")
+            fpps = fresh[key].get("packets_per_sec")
+            if (bpps and fpps and bpps > 0
+                    and not (bpps < args.min_pps and fpps < args.min_pps)):
+                pps_ratio = fpps / bpps
+                if pps_ratio < 1.0 / (1.0 + args.threshold):
+                    pps_regressions.append((key, bpps, fpps, pps_ratio))
+                elif pps_ratio > 1.0 + args.threshold:
+                    pps_improvements.append((key, bpps, fpps, pps_ratio))
 
         # Memory gate, same threshold as time. Old baselines predate the
         # peak_rss_mb field; skip the check rather than punishing the first
@@ -103,27 +174,37 @@ def main():
         elif rss_ratio < 1.0 / (1.0 + args.threshold):
             rss_improvements.append((key, brss, frss, rss_ratio))
 
-    for (kernel, n, threads), b, f, ratio in regressions:
-        print(f"FAIL: {kernel} n={n} threads={threads}: "
+    for key, b, f, ratio in regressions:
+        print(f"FAIL: {label(key_fields, key)}: "
               f"{b:.2f} ms -> {f:.2f} ms ({ratio:.2f}x)")
-    for (kernel, n, threads), b, f, ratio in rss_regressions:
-        print(f"FAIL: {kernel} n={n} threads={threads}: peak RSS "
+    for key, b, f, ratio in pps_regressions:
+        print(f"FAIL: {label(key_fields, key)}: "
+              f"{b:.0f} packets/s -> {f:.0f} packets/s ({ratio:.2f}x)")
+    for key, b, f, ratio in rss_regressions:
+        print(f"FAIL: {label(key_fields, key)}: peak RSS "
               f"{b:.1f} MB -> {f:.1f} MB ({ratio:.2f}x)")
-    for (kernel, n, threads), b, f, ratio in improvements:
-        print(f"improved: {kernel} n={n} threads={threads}: "
+    for key, b, f, ratio in improvements:
+        print(f"improved: {label(key_fields, key)}: "
               f"{b:.2f} ms -> {f:.2f} ms ({1.0 / ratio:.2f}x faster)")
-    for (kernel, n, threads), b, f, ratio in rss_improvements:
-        print(f"improved: {kernel} n={n} threads={threads}: peak RSS "
+    for key, b, f, ratio in pps_improvements:
+        print(f"improved: {label(key_fields, key)}: "
+              f"{b:.0f} packets/s -> {f:.0f} packets/s ({ratio:.2f}x)")
+    for key, b, f, ratio in rss_improvements:
+        print(f"improved: {label(key_fields, key)}: peak RSS "
               f"{b:.1f} MB -> {f:.1f} MB ({1.0 / ratio:.2f}x smaller)")
 
+    n_regressions = (len(regressions) + len(rss_regressions)
+                     + len(pps_regressions))
+    n_improvements = (len(improvements) + len(rss_improvements)
+                      + len(pps_improvements))
     print(f"bench_compare: {len(common)} comparable entries "
           f"({skipped} below noise floor), "
-          f"{len(regressions) + len(rss_regressions)} regressions, "
-          f"{len(improvements) + len(rss_improvements)} improvements")
+          f"{n_regressions} regressions, "
+          f"{n_improvements} improvements")
     if not common:
-        print("bench_compare: warning: no overlapping (kernel, n, threads) "
-              "entries between the two files")
-    sys.exit(1 if (regressions or rss_regressions or failed) else 0)
+        print("bench_compare: warning: no overlapping "
+              f"({', '.join(key_fields)}) entries between the two files")
+    sys.exit(1 if (n_regressions or failed) else 0)
 
 
 if __name__ == "__main__":

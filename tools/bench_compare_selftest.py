@@ -143,6 +143,98 @@ def test_rss_missing_field_tolerated(tmp):
     assert "FAIL" not in p.stdout
 
 
+def router_record(workload="poisson", engine="soa", n=1000, rate=4.0,
+                  rounds=20000, threads=1, ms=100.0, **kw):
+    r = {"workload": workload, "engine": engine, "n": n, "rate": rate,
+         "rounds": rounds, "threads": threads, "ms": ms}
+    r.update(kw)
+    return r
+
+
+def router_doc(*records, **top):
+    doc = {"schema": "thetanet-bench-router/1", "results": list(records)}
+    doc.update(top)
+    return doc
+
+
+def test_router_identical_files_pass(tmp):
+    doc = router_doc(router_record(packets_per_sec=1e6, rss_flat=True),
+                     router_record(engine="reference", ms=400.0))
+    p = run_compare(tmp, doc, doc)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "0 regressions" in p.stdout
+
+
+def test_router_throughput_drop_fails(tmp):
+    # Same wall time, fewer packets delivered: the ms gate is blind to this,
+    # the packets_per_sec gate is not.
+    base = router_doc(router_record(packets_per_sec=1_000_000.0))
+    fresh = router_doc(router_record(packets_per_sec=500_000.0))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "packets/s" in p.stdout and "FAIL" in p.stdout
+
+
+def test_router_throughput_gain_is_not_failure(tmp):
+    base = router_doc(router_record(packets_per_sec=500_000.0))
+    fresh = router_doc(router_record(packets_per_sec=1_000_000.0))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "improved" in p.stdout
+
+
+def test_router_trickle_throughput_is_noise(tmp):
+    # A 3x drop between two delivery trickles (both under --min-pps) is
+    # diffusion noise at large n, not a hot-path regression.
+    base = router_doc(router_record(packets_per_sec=9.0))
+    fresh = router_doc(router_record(packets_per_sec=3.0))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "FAIL" not in p.stdout
+
+
+def test_router_reference_mismatch_fails(tmp):
+    doc = router_doc(router_record())
+    fresh = router_doc(router_record(), reference_plans_match=False)
+    p = run_compare(tmp, doc, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "oracle" in p.stdout
+
+
+def test_router_growing_rss_fails(tmp):
+    doc = router_doc(router_record(rss_flat=True, peak_rss_mb=100.0,
+                                   warm_rss_mb=90.0))
+    fresh = router_doc(router_record(rss_flat=False, peak_rss_mb=100.0,
+                                     warm_rss_mb=40.0))
+    p = run_compare(tmp, doc, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "warm-up" in p.stdout
+
+
+def test_router_growing_rss_below_floor_is_noise(tmp):
+    # rss_flat=false on a tiny smoke footprint is allocator jitter.
+    doc = router_doc(router_record())
+    fresh = router_doc(router_record(rss_flat=False, peak_rss_mb=20.0))
+    p = run_compare(tmp, doc, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_router_missing_key_field_exit_3(tmp):
+    doc = router_doc(router_record())
+    bad = router_doc({"workload": "poisson", "engine": "soa", "n": 1000})
+    p = run_compare(tmp, doc, bad)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "results[0] is missing" in p.stderr
+
+
+def test_schema_mismatch_exit_2(tmp):
+    kernels = {"results": [record()]}
+    router = router_doc(router_record())
+    p = run_compare(tmp, kernels, router)
+    assert p.returncode == 2, p.stdout + p.stderr
+    assert "schema mismatch" in p.stderr
+
+
 def test_disjoint_entries_warn_but_pass(tmp):
     base = {"results": [record(kernel="a")]}
     fresh = {"results": [record(kernel="b")]}
