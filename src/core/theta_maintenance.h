@@ -1,17 +1,32 @@
 #pragma once
-// Incremental maintenance of ThetaALG's topology under node motion — the
-// "maintain" half of the paper's abstract ("a simple local algorithm allows
-// to establish AND MAINTAIN a connected constant degree overlay network").
+// Incremental maintenance of ThetaALG's topology under node motion AND
+// membership change — the "maintain" half of the paper's abstract ("a simple
+// local algorithm allows to establish AND MAINTAIN a connected constant
+// degree overlay network"). Section 2.4 argues the maintenance cost of any
+// single change is local; Lemma 2.9's replacement machinery presupposes the
+// overlay tracks the *current* node set, so joins, departures, crashes, and
+// duty-cycle sleep/wake are first-class operations here, not rebuilds.
 //
-// When a node moves, only nodes within transmission range of its old or new
-// position can change their phase-1 sector tables (nearest-per-sector is a
-// function of the in-range neighbourhood only). The maintainer recomputes
-// exactly those tables and re-derives phase 2 — the admission pass is O(n·k)
-// table scanning, negligible next to the neighbourhood scans. The
-// `tables_recomputed` return value is the locality witness: for local moves
-// it is ~ the neighbourhood size, not n (bench E18 measures the ratio).
+// When a node moves, joins, or changes liveness, only nodes within
+// transmission range of its old or new position can change their phase-1
+// sector tables (nearest-per-sector is a function of the in-range *active*
+// neighbourhood only). The maintainer recomputes exactly those tables and
+// re-derives phase 2 — the admission pass is O(n·k) table scanning,
+// negligible next to the neighbourhood scans. The `tables_recomputed`
+// return value is the locality witness: for local changes it is ~ the
+// neighbourhood size, not n (bench E18 measures the ratio).
+//
+// Liveness model: every node is active or inactive. Inactive nodes keep a
+// slot (ids are stable — the dynamics layer and its event schedules address
+// nodes by id) but are invisible to the overlay: their table rows are empty,
+// no active row references them, and the maintained graph never carries an
+// edge into one. Leave, crash, and sleep all map to deactivate_node();
+// wake maps to activate_node(); join appends via add_node(). The semantic
+// difference (permanent vs temporary) is the caller's bookkeeping
+// (sim::DynamicsEngine tracks it).
 
 #include <cstdint>
+#include <vector>
 
 #include "core/theta_topology.h"
 #include "geom/spatial_grid.h"
@@ -21,37 +36,76 @@ namespace thetanet::core {
 class ThetaMaintainer {
  public:
   /// Takes ownership of a copy of the deployment (positions evolve inside).
+  /// Every node starts active.
   ThetaMaintainer(topo::Deployment d, double theta);
 
   const topo::Deployment& deployment() const { return d_; }
   double theta() const { return theta_; }
 
-  /// The current topology N (rebuilt from the tables after each move).
+  /// The current topology N over the active nodes (rebuilt from the tables
+  /// after each operation). Node ids span the whole deployment; inactive
+  /// nodes are isolated.
   const graph::Graph& graph() const { return n_; }
+
+  bool active(graph::NodeId v) const { return active_[v] != 0; }
+  std::size_t num_active() const { return num_active_; }
 
   /// Move node v to `p`, updating only the affected sector tables.
   /// Returns the number of per-node table recomputations performed (the
-  /// full rebuild would always perform n).
+  /// full rebuild would always perform num_active). Moving an inactive node
+  /// just updates its stored position (0 recomputations, no overlay change).
   std::size_t move_node(graph::NodeId v, geom::Vec2 p);
 
-  /// Moves applied so far. Each move is one round of the
-  /// `maintenance.edge_churn` telemetry series (edges added + removed by
-  /// that move — the overlay's rewiring rate under mobility).
-  std::uint64_t moves() const { return moves_; }
+  /// Append a new active node at `p` (a join). Returns its id.
+  graph::NodeId add_node(geom::Vec2 p);
+
+  /// Remove node v from the overlay (leave / crash / sleep). Its slot and
+  /// position survive so it can be re-activated. No-op if already inactive.
+  /// Returns table recomputations performed.
+  std::size_t deactivate_node(graph::NodeId v);
+
+  /// Re-insert node v at its current position (wake / rejoin). No-op if
+  /// already active. `recompute_neighbors = false` is a TEST-ONLY hook that
+  /// deliberately skips the neighbourhood-row updates — the planted
+  /// maintenance bug the conformance-under-churn mutation tests must catch;
+  /// production callers always use the default.
+  std::size_t activate_node(graph::NodeId v, bool recompute_neighbors = true);
+
+  /// Compact copy of the active nodes (ascending id order). When `ids` is
+  /// non-null it receives, per compact index, the original node id.
+  topo::Deployment active_deployment(
+      std::vector<graph::NodeId>* ids = nullptr) const;
+
+  /// Topology operations applied so far (moves + joins + liveness flips).
+  /// Each is one round of the `maintenance.edge_churn` telemetry series
+  /// (edges added + removed by that operation — the overlay's rewiring rate
+  /// under dynamics).
+  std::uint64_t ops() const { return ops_; }
 
   /// Audit: does the incrementally maintained topology equal a from-scratch
-  /// ThetaTopology of the current deployment?
+  /// ThetaTopology of the *active* sub-deployment? (Edge-identical under
+  /// the compact-id mapping; the temporal conformance checkers re-run this
+  /// after every event batch.)
   bool matches_full_rebuild() const;
 
  private:
   void recompute_table_row(graph::NodeId u, const geom::SpatialGrid& grid);
   void rebuild_graph_from_table();
+  std::size_t apply_liveness_change(graph::NodeId v, bool make_active,
+                                    bool recompute_neighbors);
+  std::vector<graph::NodeId> affected_near(const geom::SpatialGrid& grid,
+                                           geom::Vec2 center) const;
+  void finish_op(const std::vector<std::pair<graph::NodeId, graph::NodeId>>&
+                     edges_before,
+                 std::size_t tables_recomputed);
 
   topo::Deployment d_;
   double theta_;
   topo::SectorTable table_;
   graph::Graph n_;
-  std::uint64_t moves_ = 0;
+  std::vector<std::uint8_t> active_;
+  std::size_t num_active_ = 0;
+  std::uint64_t ops_ = 0;
 };
 
 }  // namespace thetanet::core

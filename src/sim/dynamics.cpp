@@ -1,0 +1,256 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/assert.h"
+#include "graph/union_find.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace thetanet::sim {
+
+using graph::NodeId;
+
+const char* dyn_event_kind_name(DynEventKind k) {
+  switch (k) {
+    case DynEventKind::kJoin:
+      return "join";
+    case DynEventKind::kLeave:
+      return "leave";
+    case DynEventKind::kCrash:
+      return "crash";
+    case DynEventKind::kSleep:
+      return "sleep";
+    case DynEventKind::kWake:
+      return "wake";
+    case DynEventKind::kRegional:
+      return "regional";
+  }
+  return "unknown";
+}
+
+std::optional<DynEventKind> parse_dyn_event_kind(std::string_view token) {
+  for (const DynEventKind k :
+       {DynEventKind::kJoin, DynEventKind::kLeave, DynEventKind::kCrash,
+        DynEventKind::kSleep, DynEventKind::kWake, DynEventKind::kRegional})
+    if (token == dyn_event_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+DynamicsEngine::DynamicsEngine(core::ThetaMaintainer& m,
+                               const DynamicsConfig& cfg, std::uint64_t seed)
+    : m_(m), cfg_(cfg), rng_(seed * 0x9e3779b97f4a7c15ULL + 0x1d8e4e27c47d124fULL) {
+  TN_ASSERT(cfg_.range_factor_min > 0.0 &&
+            cfg_.range_factor_max >= cfg_.range_factor_min);
+  const std::size_t n = m_.deployment().size();
+  state_.reserve(n);
+  factor_.reserve(n);
+  battery_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    TN_ASSERT(m_.active(static_cast<NodeId>(v)));
+    state_.push_back(NodeState::kAwake);
+    admit_node(static_cast<NodeId>(v));
+  }
+}
+
+void DynamicsEngine::admit_node([[maybe_unused]] NodeId v) {
+  TN_DCHECK(factor_.size() == static_cast<std::size_t>(v));
+  factor_.push_back(cfg_.range_factor_min == cfg_.range_factor_max
+                        ? cfg_.range_factor_min
+                        : rng_.uniform(cfg_.range_factor_min,
+                                       cfg_.range_factor_max));
+  battery_.push_back(cfg_.duty.initial_battery);
+  granted_ += cfg_.duty.initial_battery;
+}
+
+std::uint64_t DynamicsEngine::drain_for(NodeId v) const {
+  // Long-reach nodes pay factor^kappa per round (the §2.2 energy model);
+  // floor keeps the arithmetic integral, min 1 so every awake round costs.
+  const double scaled = static_cast<double>(cfg_.duty.awake_drain) *
+                        std::pow(factor_[v], m_.deployment().kappa);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(scaled));
+}
+
+void DynamicsEngine::kill_node(NodeId v) {
+  if (state_[v] == NodeState::kAwake) m_.deactivate_node(v);
+  state_[v] = NodeState::kDead;
+  // A dead node's residual charge is lost hardware, not spendable energy:
+  // drain it into the ledger so conservation stays exact.
+  drained_ += battery_[v];
+  battery_[v] = 0;
+}
+
+void DynamicsEngine::apply_event(const DynEvent& e, RoundStats& s) {
+  switch (e.kind) {
+    case DynEventKind::kJoin: {
+      const NodeId v = m_.add_node(e.pos);
+      state_.push_back(NodeState::kAwake);
+      admit_node(v);
+      ++s.applied, ++s.joins;
+      return;
+    }
+    case DynEventKind::kLeave:
+    case DynEventKind::kCrash: {
+      if (e.node >= state_.size() || state_[e.node] == NodeState::kDead) {
+        ++s.skipped;
+        return;
+      }
+      kill_node(e.node);
+      ++s.applied;
+      if (e.kind == DynEventKind::kLeave)
+        ++s.leaves;
+      else
+        ++s.crashes;
+      return;
+    }
+    case DynEventKind::kSleep: {
+      if (e.node >= state_.size() || state_[e.node] != NodeState::kAwake) {
+        ++s.skipped;
+        return;
+      }
+      m_.deactivate_node(e.node);
+      state_[e.node] = NodeState::kAsleep;
+      ++s.applied, ++s.sleeps;
+      return;
+    }
+    case DynEventKind::kWake: {
+      if (e.node >= state_.size() || state_[e.node] != NodeState::kAsleep) {
+        ++s.skipped;
+        return;
+      }
+      m_.activate_node(e.node, !cfg_.test_skip_wake_neighbor_recompute);
+      state_[e.node] = NodeState::kAwake;
+      ++s.applied, ++s.wakes;
+      return;
+    }
+    case DynEventKind::kRegional: {
+      // Correlated failure: everything alive inside the disk dies at once.
+      std::uint32_t killed = 0;
+      const auto& pos = m_.deployment().positions;
+      for (NodeId v = 0; v < state_.size(); ++v) {
+        if (state_[v] == NodeState::kDead) continue;
+        if (geom::dist(pos[v], e.pos) <= e.radius) {
+          kill_node(v);
+          ++killed;
+        }
+      }
+      ++s.applied;
+      s.crashes += killed;
+      return;
+    }
+  }
+  ++s.skipped;  // unknown kind (corrupt corpus input): counted no-op
+}
+
+void DynamicsEngine::duty_cycle_pass(RoundStats& s) {
+  if (cfg_.duty.initial_battery == 0) return;
+  for (NodeId v = 0; v < state_.size(); ++v) {
+    if (state_[v] == NodeState::kAwake) {
+      const std::uint64_t cost = drain_for(v);
+      if (battery_[v] <= cost) {
+        // Battery exhausted: the node dies where it stands (a crash from
+        // the overlay's point of view — no goodbye message).
+        drained_ += battery_[v];
+        battery_[v] = 0;
+        m_.deactivate_node(v);
+        state_[v] = NodeState::kDead;
+        ++s.crashes;
+        continue;
+      }
+      battery_[v] -= cost;
+      drained_ += cost;
+      if (battery_[v] <= cfg_.duty.sleep_below) {
+        m_.deactivate_node(v);
+        state_[v] = NodeState::kAsleep;
+        ++s.sleeps;
+      }
+    } else if (state_[v] == NodeState::kAsleep) {
+      const std::uint64_t room = cfg_.duty.initial_battery - battery_[v];
+      const std::uint64_t gain = std::min(cfg_.duty.harvest, room);
+      battery_[v] += gain;
+      harvested_ += gain;
+      if (battery_[v] >= cfg_.duty.wake_above) {
+        m_.activate_node(v, !cfg_.test_skip_wake_neighbor_recompute);
+        state_[v] = NodeState::kAwake;
+        ++s.wakes;
+      }
+    }
+  }
+}
+
+DynamicsEngine::RoundStats DynamicsEngine::step(
+    std::span<const DynEvent> events) {
+  RoundStats s;
+  s.round = round_;
+  for (const DynEvent& e : events) {
+    TN_ASSERT(e.round == round_);
+    apply_event(e, s);
+  }
+  duty_cycle_pass(s);
+  s.awake = m_.num_active();
+
+  // Telemetry: one recording site per round, single-threaded, so every
+  // series below is byte-identical across TN_NUM_THREADS.
+  TN_OBS_SERIES_MAX("dynamics.nodes_awake", round_, s.awake);
+  if (s.joins) TN_OBS_SERIES_ADD("dynamics.joins", round_, s.joins);
+  if (s.leaves) TN_OBS_SERIES_ADD("dynamics.leaves", round_, s.leaves);
+  if (s.crashes) TN_OBS_SERIES_ADD("dynamics.crashes", round_, s.crashes);
+  if (s.sleeps) TN_OBS_SERIES_ADD("dynamics.sleeps", round_, s.sleeps);
+  if (s.wakes) TN_OBS_SERIES_ADD("dynamics.wakes", round_, s.wakes);
+  TN_OBS_COUNT("dynamics.events_applied", s.applied);
+  if (s.skipped) TN_OBS_COUNT("dynamics.events_skipped", s.skipped);
+
+  if (!first_partition_ && !awake_overlay_connected()) {
+    first_partition_ = round_ + 1;  // 1-based: "survived round_ full rounds"
+    TN_OBS_COUNT("dynamics.lifetime_to_first_partition", *first_partition_);
+  }
+  ++round_;
+  return s;
+}
+
+std::vector<DynamicsEngine::RoundStats> DynamicsEngine::run(
+    std::span<const DynEvent> schedule, std::uint64_t rounds) {
+  std::uint64_t total = rounds;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) TN_ASSERT(schedule[i - 1].round <= schedule[i].round);
+    total = std::max<std::uint64_t>(total, schedule[i].round + 1);
+  }
+  std::vector<RoundStats> out;
+  out.reserve(total);
+  std::size_t next = 0;
+  for (std::uint64_t r = 0; r < total; ++r) {
+    std::size_t end = next;
+    while (end < schedule.size() && schedule[end].round == r) ++end;
+    out.push_back(step(schedule.subspan(next, end - next)));
+    next = end;
+  }
+  return out;
+}
+
+bool DynamicsEngine::awake_overlay_connected() const {
+  const graph::Graph& g = m_.graph();
+  if (m_.num_active() < 2) return true;
+  graph::UnionFind uf(g.num_nodes());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    uf.unite(g.edge(e).u, g.edge(e).v);
+  NodeId root = graph::kInvalidNode;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!m_.active(v)) continue;
+    const NodeId r = uf.find(v);
+    if (root == graph::kInvalidNode)
+      root = r;
+    else if (r != root)
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t DynamicsEngine::energy_remaining() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t b : battery_) sum += b;
+  return sum;
+}
+
+}  // namespace thetanet::sim

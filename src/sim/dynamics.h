@@ -1,0 +1,163 @@
+#pragma once
+// Topology dynamics: per-round membership and energy events driven through
+// the incremental ThetaMaintainer. The paper's premise is local
+// self-maintenance of N under change (§2.4); every scenario elsewhere in the
+// repo realizes "change" as smooth mobility only. This layer adds the
+// production-flavoured rest: node churn (join / leave / crash), correlated
+// regional failures, and battery-driven sleep/wake duty cycles with exact
+// integer energy accounting, all applied to the overlay as incremental
+// maintainer operations — never rebuilds.
+//
+// Determinism contract: the engine draws only from its own seeded Rng
+// (per-node heterogeneous range factors at admission time), so attaching a
+// DynamicsEngine to a run cannot perturb any other generator's draw
+// sequence — mobility positions are bit-identical with and without dynamics
+// (tests/sim/dynamics_test pins this). All event application and energy
+// bookkeeping is single-threaded integer arithmetic; every telemetry series
+// it emits is byte-identical across TN_NUM_THREADS.
+//
+// Event application is *total*: an event whose target id is out of range or
+// whose precondition fails (waking an awake node, crashing a dead one) is a
+// counted no-op, never an error. That resilience is what lets the
+// conformance shrinker ddmin event lists and node sets independently — any
+// subsequence of any schedule stays well-formed.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/theta_maintenance.h"
+#include "geom/rng.h"
+#include "geom/vec2.h"
+
+namespace thetanet::sim {
+
+enum class DynEventKind : std::uint8_t {
+  kJoin = 0,   ///< a new node appears at `pos`
+  kLeave,      ///< node departs gracefully (permanent)
+  kCrash,      ///< node fails abruptly (permanent)
+  kSleep,      ///< node powers its radio down (re-wakeable)
+  kWake,       ///< node powers back up at its stored position
+  kRegional,   ///< correlated failure: every node within `radius` of `pos` dies
+};
+
+/// Stable lower-case token, used in corpus files and reports.
+const char* dyn_event_kind_name(DynEventKind k);
+
+/// Parse the token back; nullopt on unknown input.
+std::optional<DynEventKind> parse_dyn_event_kind(std::string_view token);
+
+struct DynEvent {
+  std::uint32_t round = 0;  ///< schedule round this event fires in
+  DynEventKind kind = DynEventKind::kJoin;
+  graph::NodeId node = graph::kInvalidNode;  ///< target (leave/crash/sleep/wake)
+  geom::Vec2 pos{0.0, 0.0};  ///< join position / regional-failure centre
+  double radius = 0.0;       ///< regional-failure radius
+};
+
+/// Battery model, in abstract integer energy units so conservation is exact
+/// (drained + remaining == granted + harvested, as u64 arithmetic, no
+/// epsilon). initial_battery == 0 disables duty cycling entirely.
+struct DutyCycleConfig {
+  std::uint64_t initial_battery = 0;  ///< granted to every node (0 = off)
+  std::uint64_t awake_drain = 4;      ///< per-round base drain while awake
+  std::uint64_t harvest = 3;          ///< per-round recharge while asleep
+  std::uint64_t sleep_below = 24;     ///< doze off at or below this level
+  std::uint64_t wake_above = 48;      ///< wake again at or above this level
+};
+
+struct DynamicsConfig {
+  DutyCycleConfig duty;
+  /// Heterogeneous transmission-power model: each node draws a range factor
+  /// in [min, max] at admission; its awake drain scales with factor^kappa
+  /// (the energy model of §2.2), so long-reach nodes exhaust first.
+  double range_factor_min = 1.0;
+  double range_factor_max = 1.0;
+  /// TEST-ONLY planted maintenance bug: wakes skip the neighbour-row
+  /// recomputation (ThetaMaintainer::activate_node's hook). The
+  /// conformance-under-churn mutation tests flip this to prove the temporal
+  /// checkers catch a broken maintainer; production never sets it.
+  bool test_skip_wake_neighbor_recompute = false;
+};
+
+/// Liveness from the engine's point of view (the maintainer only knows
+/// active/inactive; asleep vs dead is duty-cycle state).
+enum class NodeState : std::uint8_t { kAwake, kAsleep, kDead };
+
+class DynamicsEngine {
+ public:
+  /// Wraps a maintainer whose nodes all start awake. The engine owns its
+  /// own Rng(seed); it never draws from anyone else's stream.
+  DynamicsEngine(core::ThetaMaintainer& m, const DynamicsConfig& cfg,
+                 std::uint64_t seed);
+
+  struct RoundStats {
+    std::uint64_t round = 0;
+    std::uint32_t applied = 0;  ///< events that changed state
+    std::uint32_t skipped = 0;  ///< no-op events (stale target / precondition)
+    std::uint32_t joins = 0;
+    std::uint32_t leaves = 0;
+    std::uint32_t crashes = 0;  ///< explicit + regional + battery deaths
+    std::uint32_t sleeps = 0;   ///< scheduled + duty-cycle dozes
+    std::uint32_t wakes = 0;    ///< scheduled + duty-cycle wakes
+    std::size_t awake = 0;      ///< awake population after the round
+  };
+
+  /// Apply this round's scheduled events (all must carry .round == round()),
+  /// then the duty-cycle battery pass, then record telemetry and the
+  /// partition watermark. Advances the round counter.
+  RoundStats step(std::span<const DynEvent> events);
+
+  /// Drive a whole schedule: rounds 0 .. max(rounds, last event round + 1).
+  /// The schedule must be sorted by round (asserted). Returns per-round
+  /// stats.
+  std::vector<RoundStats> run(std::span<const DynEvent> schedule,
+                              std::uint64_t rounds = 0);
+
+  std::uint64_t round() const { return round_; }
+  const core::ThetaMaintainer& maintainer() const { return m_; }
+
+  NodeState state(graph::NodeId v) const { return state_[v]; }
+  std::size_t awake_count() const { return m_.num_active(); }
+  double range_factor(graph::NodeId v) const { return factor_[v]; }
+
+  /// Is the overlay restricted to awake nodes connected? (Vacuously true
+  /// below 2 awake nodes.) The maintained graph never carries an edge into
+  /// an inactive node, so this is component counting over awake ids.
+  bool awake_overlay_connected() const;
+
+  /// 1-based round after which the awake overlay was first observed
+  /// disconnected; nullopt while it has never partitioned. Also emitted
+  /// once as the `dynamics.lifetime_to_first_partition` counter.
+  std::optional<std::uint64_t> first_partition_round() const {
+    return first_partition_;
+  }
+
+  // Exact energy ledger (u64 units). Invariant, checked by the conformance
+  // layer and tests/sim/dynamics_test:
+  //   energy_granted + energy_harvested == energy_drained + energy_remaining
+  std::uint64_t energy_granted() const { return granted_; }
+  std::uint64_t energy_drained() const { return drained_; }
+  std::uint64_t energy_harvested() const { return harvested_; }
+  std::uint64_t energy_remaining() const;
+
+ private:
+  void admit_node(graph::NodeId v);
+  void kill_node(graph::NodeId v);  ///< to kDead, deactivating if needed
+  std::uint64_t drain_for(graph::NodeId v) const;
+  void apply_event(const DynEvent& e, RoundStats& s);
+  void duty_cycle_pass(RoundStats& s);
+
+  core::ThetaMaintainer& m_;
+  DynamicsConfig cfg_;
+  geom::Rng rng_;
+  std::vector<NodeState> state_;
+  std::vector<double> factor_;    ///< per-node heterogeneous range factor
+  std::vector<std::uint64_t> battery_;
+  std::uint64_t round_ = 0;
+  std::optional<std::uint64_t> first_partition_;
+  std::uint64_t granted_ = 0, drained_ = 0, harvested_ = 0;
+};
+
+}  // namespace thetanet::sim

@@ -43,6 +43,13 @@ class SectorTable {
     nearest_[index(u, s)] = v;
   }
 
+  /// Grow (or shrink) to n nodes; new rows start empty. Used by the
+  /// incremental maintainer when nodes join a live deployment.
+  void resize(std::size_t n) {
+    nearest_.resize(n * static_cast<std::size_t>(sectors_),
+                    graph::kInvalidNode);
+  }
+
   /// True iff v = nearest(u, S(u,v)), i.e. v is in N(u).
   bool selects(graph::NodeId u, graph::NodeId v, const Deployment& d,
                double theta) const;

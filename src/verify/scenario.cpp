@@ -106,4 +106,74 @@ topo::Deployment build_scenario_deployment(const ScenarioSpec& spec) {
   return d;
 }
 
+std::string churn_scenario_name(const ChurnSpec& spec) {
+  return "churn-" + scenario_name(spec.base) + "-r" +
+         std::to_string(spec.rounds) + (spec.duty_cycle ? "-duty" : "") +
+         (spec.regional_weight > 0.0 ? "-reg" : "");
+}
+
+std::vector<sim::DynEvent> build_churn_schedule(const ChurnSpec& spec,
+                                                std::size_t base_n) {
+  // A distinct stream from the placement rng: the schedule must not change
+  // when the placement generator's draw count does.
+  geom::Rng rng(spec.base.seed * 0x9e3779b97f4a7c15ULL + 0x6a09e667f3bcc909ULL);
+  const double weights[] = {spec.join_weight,  spec.leave_weight,
+                            spec.crash_weight, spec.sleep_weight,
+                            spec.wake_weight,  spec.regional_weight};
+  constexpr sim::DynEventKind kinds[] = {
+      sim::DynEventKind::kJoin,  sim::DynEventKind::kLeave,
+      sim::DynEventKind::kCrash, sim::DynEventKind::kSleep,
+      sim::DynEventKind::kWake,  sim::DynEventKind::kRegional};
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+
+  std::vector<sim::DynEvent> out;
+  if (total_weight <= 0.0) return out;
+  std::size_t ids = base_n;  // evolving id space: base nodes + joins so far
+  const auto whole = static_cast<std::uint32_t>(spec.events_per_round);
+  const double frac = spec.events_per_round - whole;
+  for (std::uint32_t r = 0; r < spec.rounds; ++r) {
+    const std::uint32_t count = whole + (rng.bernoulli(frac) ? 1 : 0);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      double pick = rng.uniform(0.0, total_weight);
+      std::size_t k = 0;
+      while (k + 1 < std::size(weights) && pick >= weights[k]) {
+        pick -= weights[k];
+        ++k;
+      }
+      sim::DynEvent e;
+      e.round = r;
+      e.kind = kinds[k];
+      switch (e.kind) {
+        case sim::DynEventKind::kJoin:
+          e.pos = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+          ++ids;
+          break;
+        case sim::DynEventKind::kRegional:
+          e.pos = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+          e.radius = spec.regional_radius * rng.uniform(0.5, 1.0);
+          break;
+        default:
+          // Target over the whole evolving id space; ids that are dead or
+          // in the wrong state by this round are counted no-ops.
+          if (ids == 0) continue;
+          e.node = static_cast<graph::NodeId>(rng.uniform_index(ids));
+          break;
+      }
+      out.push_back(e);
+    }
+  }
+  return out;  // rounds ascending by construction
+}
+
+sim::DutyCycleConfig churn_duty_config() {
+  sim::DutyCycleConfig duty;
+  duty.initial_battery = 64;
+  duty.awake_drain = 9;
+  duty.harvest = 16;
+  duty.sleep_below = 28;
+  duty.wake_above = 56;
+  return duty;
+}
+
 }  // namespace thetanet::verify

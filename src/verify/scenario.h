@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/dynamics.h"
 #include "topology/deployment.h"
 
 namespace thetanet::verify {
@@ -53,5 +55,41 @@ std::string scenario_name(const ScenarioSpec& spec);
 /// handles n in {0, 1, 2} (the generators' small-n edge cases are part of
 /// the conformance surface).
 topo::Deployment build_scenario_deployment(const ScenarioSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Churn scenarios: a placement family plus a seeded per-round event schedule
+// (join / leave / crash / sleep / wake / correlated regional failure).
+// Like ScenarioSpec, a ChurnSpec is a pure function of its fields, so a
+// failing temporal case reproduces from the one line the driver prints.
+
+struct ChurnSpec {
+  ScenarioSpec base;            ///< placement family for round 0
+  std::uint32_t rounds = 10;    ///< schedule length in rounds
+  double events_per_round = 1.5;
+  // Relative weights of the event kinds drawn each round (0 disables).
+  double join_weight = 1.0;
+  double leave_weight = 0.7;
+  double crash_weight = 0.4;
+  double sleep_weight = 1.0;
+  double wake_weight = 1.2;
+  double regional_weight = 0.0;
+  double regional_radius = 0.25;  ///< failure-disk radius (arena units)
+  bool duty_cycle = false;        ///< battery-driven sleep/wake on top
+};
+
+/// Stable label, e.g. "churn-uniform-n12-seed7-k2-m0-r10"; no spaces.
+std::string churn_scenario_name(const ChurnSpec& spec);
+
+/// Generate the event schedule for a spec (sorted by round). Targets are
+/// drawn over the evolving id space (base nodes + joins so far), so a
+/// schedule may legitimately address nodes that died earlier — the engine
+/// treats those as counted no-ops (the shrinkability contract).
+std::vector<sim::DynEvent> build_churn_schedule(const ChurnSpec& spec,
+                                                std::size_t base_n);
+
+/// Duty-cycle parameters used by churn scenarios when spec.duty_cycle is
+/// set: sized so a ~10-round smoke schedule sees real sleep/wake/death
+/// transitions, not just monotone drain.
+sim::DutyCycleConfig churn_duty_config();
 
 }  // namespace thetanet::verify

@@ -2,12 +2,20 @@
 // checker (src/verify) per instance, with greedy shrinking of failures to
 // minimal reproducers. Exits 0 iff every scenario conforms.
 //
-//   fuzz_driver [--scenarios N] [--seed S] [--long]
-//               [--report-out FILE] [--corpus-out DIR] [--replay DIR]
-//               [--telemetry FILE]
+//   fuzz_driver [--scenarios N] [--seed S] [--long] [--churn]
+//               [--plant-churn-bug] [--report-out FILE] [--corpus-out DIR]
+//               [--replay DIR] [--telemetry FILE]
 //
+// --churn switches to temporal conformance: each scenario drives a seeded
+// event schedule (join/leave/crash/sleep/wake/regional failure, plus
+// duty-cycled variants) through the incremental ThetaMaintainer and re-runs
+// the checkers after every round. Failures ddmin-shrink over both the node
+// set and the event list. --plant-churn-bug injects the stale-wake
+// maintainer bug (skipped neighbor recomputes on wake) — the mutation test
+// proving the temporal harness catches real maintenance rot.
 // --replay DIR re-runs every committed corpus case instead of fuzzing
-// (regression mode: shrunk reproducers of fixed bugs must stay green).
+// (regression mode: shrunk reproducers of fixed bugs must stay green);
+// v2 (temporal) cases replay through run_churn_conformance.
 // The report written by --report-out is bit-deterministic: for a fixed
 // command line it is byte-identical for any TN_NUM_THREADS, which the ctest
 // determinism job diffs directly. --telemetry FILE writes the deterministic
@@ -50,6 +58,8 @@ struct Options {
   std::size_t scenarios = 200;
   std::uint64_t seed = 1;
   bool long_mode = false;
+  bool churn = false;
+  bool plant_churn_bug = false;
   std::string report_out;
   std::string corpus_out;
   std::string replay_dir;
@@ -59,7 +69,8 @@ struct Options {
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--scenarios N] [--seed S] [--long] [--report-out FILE]"
+            << " [--scenarios N] [--seed S] [--long] [--churn]"
+               " [--plant-churn-bug] [--report-out FILE]"
                " [--corpus-out DIR] [--replay DIR] [--emit-corpus DIR]"
                " [--telemetry FILE]\n";
   std::exit(2);
@@ -79,6 +90,10 @@ Options parse_args(int argc, char** argv) {
       o.seed = static_cast<std::uint64_t>(std::stoull(value()));
     else if (a == "--long")
       o.long_mode = true;
+    else if (a == "--churn")
+      o.churn = true;
+    else if (a == "--plant-churn-bug")
+      o.plant_churn_bug = true;
     else if (a == "--report-out")
       o.report_out = value();
     else if (a == "--corpus-out")
@@ -110,6 +125,39 @@ verify::ScenarioSpec spec_for(std::size_t i, const Options& o) {
   spec.kappa = static_cast<double>(2 + (i / 3) % 3);
   spec.mobility_steps = (i % 7 == 6) ? 3 : 0;
   return spec;
+}
+
+/// The i-th churn scenario: cycles the same distribution families over a
+/// smaller size ladder (temporal runs re-audit every round, so per-scenario
+/// cost is rounds x the static cost), alternating duty-cycled and regional-
+/// failure variants so every event kind gets continuous coverage.
+verify::ChurnSpec churn_spec_for(std::size_t i, const Options& o) {
+  static constexpr std::size_t kSmokeSizes[] = {2, 4, 6, 9, 12, 16, 20, 24};
+  static constexpr std::size_t kLongSizes[] = {4, 8, 16, 24, 40, 64, 96, 128};
+  verify::ChurnSpec spec;
+  const std::size_t ndists = std::size(verify::kAllDistributions);
+  spec.base.dist = verify::kAllDistributions[i % ndists];
+  spec.base.n = o.long_mode
+                    ? kLongSizes[(i / ndists) % std::size(kLongSizes)]
+                    : kSmokeSizes[(i / ndists) % std::size(kSmokeSizes)];
+  spec.base.seed = o.seed + i;
+  spec.base.kappa = static_cast<double>(2 + (i / 3) % 3);
+  spec.rounds = o.long_mode ? 24 : 10;
+  spec.events_per_round = o.long_mode ? 2.5 : 1.5;
+  spec.duty_cycle = i % 3 == 1;
+  spec.regional_weight = (i % 5 == 4) ? 0.3 : 0.0;
+  return spec;
+}
+
+verify::ChurnOptions churn_options_for(const verify::ChurnSpec& spec,
+                                       const Options& o) {
+  verify::ChurnOptions copt;
+  copt.checks.trace_seed = spec.base.seed;
+  copt.dynamics_seed = spec.base.seed;
+  copt.rounds = spec.rounds;
+  if (spec.duty_cycle) copt.dynamics.duty = verify::churn_duty_config();
+  copt.dynamics.test_skip_wake_neighbor_recompute = o.plant_churn_bug;
+  return copt;
 }
 
 /// Lemma 2.10 n-sweep: interference number of ThetaALG topologies on uniform
@@ -173,6 +221,36 @@ int run_emit(const Options& o, std::ostream& report) {
     }
     report << "emit: " << path << "\n";
   }
+
+  // The temporal regression case: the minimal stale-wake reproducer the
+  // churn mutation test shrinks to. v and w share u's theta-sector with v
+  // nearer, while u and v land in different sectors seen from w — so a wake
+  // of v that skips neighbour-row recomputes (the planted maintainer bug)
+  // leaves u's stale selection of w alive through phase-2 admission. With a
+  // healthy maintainer the sleep/wake pair must stay a no-op forever.
+  verify::CorpusCase churn;
+  churn.name = "churn-stale-wake-trio";
+  churn.seed = 37;
+  churn.deployment.positions = {
+      {0.1, 0.1}, {0.29924, 0.11743}, {0.58296, 0.22941}};
+  churn.deployment.max_range = 0.7;
+  churn.deployment.kappa = 2.0;
+  sim::DynEvent sleep_mid;
+  sleep_mid.round = 0;
+  sleep_mid.kind = sim::DynEventKind::kSleep;
+  sleep_mid.node = 1;
+  sim::DynEvent wake_mid = sleep_mid;
+  wake_mid.round = 1;
+  wake_mid.kind = sim::DynEventKind::kWake;
+  churn.events = {sleep_mid, wake_mid};
+  churn.dynamics_seed = 37;
+  churn.rounds = 2;
+  const std::string churn_path = o.emit_dir + "/" + churn.name + ".case";
+  if (!verify::save_corpus_case(churn_path, churn)) {
+    report << "emit: failed to write " << churn_path << "\n";
+    return 1;
+  }
+  report << "emit: " << churn_path << "\n";
   return 0;
 }
 
@@ -194,14 +272,67 @@ int run_replay(const Options& o, std::ostream& report) {
       ++failures;
       continue;
     }
-    verify::ConformanceOptions copt;
-    copt.theta = c->theta;
-    copt.delta = c->delta;
-    verify::ConformanceReport r = verify::run_conformance(c->deployment, copt);
+    verify::ConformanceReport r;
+    if (c->events.empty()) {
+      verify::ConformanceOptions copt;
+      copt.theta = c->theta;
+      copt.delta = c->delta;
+      r = verify::run_conformance(c->deployment, copt);
+    } else {
+      // Temporal case: replay the recorded schedule with duty cycling off
+      // (the schedule already encodes every sleep/wake that mattered).
+      verify::ChurnOptions copt;
+      copt.checks.theta = c->theta;
+      copt.checks.delta = c->delta;
+      copt.dynamics_seed = c->dynamics_seed;
+      copt.rounds = c->rounds;
+      r = verify::run_churn_conformance(c->deployment, c->events, copt);
+    }
     r.scenario = c->name;
     report << r.to_string();
     if (!r.pass()) ++failures;
   }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_churn_fuzz(const Options& o, std::ostream& report) {
+  int failures = 0;
+  for (std::size_t i = 0; i < o.scenarios; ++i) {
+    const verify::ChurnSpec spec = churn_spec_for(i, o);
+    const topo::Deployment d = verify::build_scenario_deployment(spec.base);
+    const std::vector<sim::DynEvent> schedule =
+        verify::build_churn_schedule(spec, d.size());
+    const verify::ChurnOptions copt = churn_options_for(spec, o);
+    verify::ConformanceReport r =
+        verify::run_churn_conformance(d, schedule, copt);
+    r.scenario = verify::churn_scenario_name(spec);
+    report << r.to_string();
+    if (r.pass()) continue;
+    ++failures;
+    verify::ChurnShrinkResult shrunk =
+        verify::shrink_churn(d, schedule, copt);
+    report << "shrunk " << r.scenario << ": " << d.size() << " -> "
+           << shrunk.reproducer.size() << " nodes, " << schedule.size()
+           << " -> " << shrunk.events.size() << " events ("
+           << shrunk.evaluations << " evaluations)\n";
+    if (!o.corpus_out.empty()) {
+      std::filesystem::create_directories(o.corpus_out);
+      verify::CorpusCase c;
+      c.name = r.scenario;
+      c.seed = spec.base.seed;
+      c.theta = copt.checks.theta;
+      c.delta = copt.checks.delta;
+      c.deployment = shrunk.reproducer;
+      c.events = shrunk.events;
+      c.dynamics_seed = copt.dynamics_seed;
+      c.rounds = spec.rounds;
+      const std::string path = o.corpus_out + "/" + r.scenario + ".case";
+      if (verify::save_corpus_case(path, c))
+        report << "reproducer written to " << path << "\n";
+    }
+  }
+  report << "churn-fuzz: " << o.scenarios << " scenarios, " << failures
+         << " failing\n";
   return failures == 0 ? 0 : 1;
 }
 
@@ -257,6 +388,8 @@ int main(int argc, char** argv) {
     rc = run_emit(o, report);
   else if (!o.replay_dir.empty())
     rc = run_replay(o, report);
+  else if (o.churn)
+    rc = run_churn_fuzz(o, report);
   else
     rc = run_fuzz(o, report);
   std::cout << report.str();

@@ -19,6 +19,18 @@ points; a series whose agg or kind changed between dumps is a regression
 excluded from deterministic dumps by design); span structure differences
 are informational.
 
+Two dynamics metrics invert the rules because bigger is healthier there:
+
+* `dynamics.lifetime_to_first_partition` counts the rounds a deployment
+  survived before first disconnecting, so it REGRESSES when the fresh
+  value is *smaller* (the network died earlier) or when the counter
+  newly *appears* (the baseline run never partitioned at all, the fresh
+  one did). Growth and disappearance are improvements.
+* `dynamics.nodes_awake` is compared on its FLOOR (the minimum point):
+  a shrinking floor means duty-cycling or churn now drives the network
+  deeper into sleep, and that is the regression; its peak is exempt
+  from the growth rule (more awake nodes is never a problem).
+
 Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error,
 3 = malformed dump (wrong schema, non-integer values, missing sections).
 """
@@ -28,6 +40,18 @@ import json
 import sys
 
 SCHEMAS = ("thetanet-telemetry/1", "thetanet-telemetry/2")
+
+# Counters where the value measures survival, not work: shrinking (or newly
+# appearing, when the baseline never emitted it) is the regression.
+HIGHER_IS_BETTER_COUNTERS = frozenset({
+    "dynamics.lifetime_to_first_partition",
+})
+
+# Series compared on their floor (minimum point) instead of their peak:
+# dipping lower is the regression, growth is always fine.
+FLOOR_SERIES = frozenset({
+    "dynamics.nodes_awake",
+})
 
 
 def load(path):
@@ -119,10 +143,22 @@ def main():
     for name in sorted(base_counters):
         base = base_counters[name]
         if name not in fresh_counters:
-            print(f"info: counter {name} gone (was {base})")
+            if name in HIGHER_IS_BETTER_COUNTERS:
+                print(f"info: counter {name} gone (was {base}) — "
+                      f"fresh run never hit the event")
+            else:
+                print(f"info: counter {name} gone (was {base})")
             continue
         fresh = fresh_counters[name]
-        if grew(base, fresh, args.allow_growth):
+        if name in HIGHER_IS_BETTER_COUNTERS:
+            # Survival counter: the network dying earlier is the regression.
+            if grew(fresh, base, args.allow_growth):
+                print(f"REGRESSION: counter {name} shrank: {base} -> {fresh} "
+                      f"(survival metric, lower is worse)")
+                regressions += 1
+            elif fresh > base:
+                print(f"info: counter {name} improved: {base} -> {fresh}")
+        elif grew(base, fresh, args.allow_growth):
             pct = 0.0 if base == 0 else 100.0 * (fresh - base) / base
             print(f"REGRESSION: counter {name}: {base} -> {fresh} "
                   f"(+{pct:.1f}%)")
@@ -130,7 +166,14 @@ def main():
         elif fresh < base:
             print(f"info: counter {name} improved: {base} -> {fresh}")
     for name in sorted(set(fresh_counters) - set(base_counters)):
-        print(f"info: new counter {name} = {fresh_counters[name]}")
+        if name in HIGHER_IS_BETTER_COUNTERS:
+            # The baseline run never emitted this survival counter (it never
+            # partitioned); the fresh run did — that event is new, and bad.
+            print(f"REGRESSION: counter {name} appeared = "
+                  f"{fresh_counters[name]} (baseline never hit the event)")
+            regressions += 1
+        else:
+            print(f"info: new counter {name} = {fresh_counters[name]}")
 
     for name in sorted(base_dists):
         if name not in fresh_dists:
@@ -155,6 +198,18 @@ def main():
             print(f"REGRESSION: series {name} changed meaning: "
                   f"{b['agg']}/{b['kind']} -> {f['agg']}/{f['kind']}")
             regressions += 1
+            continue
+        if name in FLOOR_SERIES:
+            # Floor series: the minimum point is the health signal, and a
+            # deeper dip is the regression; peak growth is always fine.
+            base = min(b["points"], default=0)
+            fresh = min(f["points"], default=0)
+            if grew(fresh, base, args.allow_growth):
+                print(f"REGRESSION: series {name} floor: {base} -> {fresh}")
+                regressions += 1
+            elif fresh > base:
+                print(f"info: series {name} floor improved: "
+                      f"{base} -> {fresh}")
             continue
         comparisons = [("peak", max(b["points"], default=0),
                         max(f["points"], default=0))]

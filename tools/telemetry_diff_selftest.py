@@ -150,6 +150,65 @@ def test_new_series_is_informational(tmp):
     assert "new series mobility.displacement" in p.stdout
 
 
+def test_lifetime_counter_shrink_fails(tmp):
+    base = doc2({"dynamics.lifetime_to_first_partition": 40})
+    fresh = doc2({"dynamics.lifetime_to_first_partition": 25})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "dynamics.lifetime_to_first_partition shrank" in p.stdout
+
+
+def test_lifetime_counter_growth_passes(tmp):
+    base = doc2({"dynamics.lifetime_to_first_partition": 25})
+    fresh = doc2({"dynamics.lifetime_to_first_partition": 40})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "improved" in p.stdout
+
+
+def test_lifetime_counter_new_appearance_fails(tmp):
+    # The baseline run never partitioned; the fresh run did.
+    base = doc2({"router.rounds": 64})
+    fresh = doc2({"router.rounds": 64,
+                  "dynamics.lifetime_to_first_partition": 12})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "appeared" in p.stdout
+
+
+def test_lifetime_counter_disappearance_is_informational(tmp):
+    # The fresh run never partitioned where the baseline did: improvement.
+    base = doc2({"dynamics.lifetime_to_first_partition": 12})
+    fresh = doc2()
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "never hit the event" in p.stdout
+
+
+def test_nodes_awake_floor_shrink_fails(tmp):
+    base = doc2(series={"dynamics.nodes_awake": series([16, 12, 14, 16])})
+    fresh = doc2(series={"dynamics.nodes_awake": series([16, 7, 14, 16])})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "series dynamics.nodes_awake floor" in p.stdout
+
+
+def test_nodes_awake_peak_growth_with_stable_floor_passes(tmp):
+    # Peak growth would fail an ordinary series; the floor class exempts it.
+    base = doc2(series={"dynamics.nodes_awake": series([16, 12, 14, 16])})
+    fresh = doc2(series={"dynamics.nodes_awake": series([24, 12, 20, 24])})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_nodes_awake_floor_rise_is_informational(tmp):
+    base = doc2(series={"dynamics.nodes_awake": series([16, 8, 16])})
+    fresh = doc2(series={"dynamics.nodes_awake": series([16, 12, 16])})
+    p = run_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "floor improved" in p.stdout
+
+
 def test_f64_points_in_u64_series_exit_3(tmp):
     bad = doc2(series={"s": series([1, 2.5])})
     p = run_diff(tmp, bad, doc2())
