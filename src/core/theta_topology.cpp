@@ -1,13 +1,9 @@
 #include "core/theta_topology.h"
 
 #include <algorithm>
-#include <limits>
+#include <utility>
 
-#include "common/arena.h"
-#include "common/parallel.h"
 #include "geom/angles.h"
-#include "geom/spatial_grid.h"
-#include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace thetanet::core {
@@ -30,93 +26,12 @@ ThetaTopology::ThetaTopology(const topo::Deployment& d, double theta)
 }
 
 void ThetaTopology::build() {
-  const topo::Deployment& d = *deployment_;
-  const std::size_t n = d.size();
-  const int k = table_.sectors();
-  admitted_.assign(n * static_cast<std::size_t>(k), kInvalidNode);
-
-  // Phase 2: every phase-1 selection u -> v (v = nearest to u in some sector
-  // of u) is an *incoming candidate* at v, filed under v's sector containing
-  // u; v admits only the nearest candidate per sector.
-  const auto slot = [&](NodeId v, int s) {
-    return static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
-           static_cast<std::size_t>(s);
-  };
-  // Candidate discovery (the sector_index trigonometry) runs in parallel
-  // over selectors u; the admission min-merge is a serial fold. The fold is
-  // order-insensitive anyway — topo::nearer is a strict total order, so the
-  // admitted candidate per slot is the unique minimum — but chunk-ordered
-  // concatenation makes the merge sequence itself deterministic too. Each
-  // candidate carries its squared distance (the discovery loop has both
-  // endpoints in hand anyway), so the fold is a pure compare against the
-  // per-slot running minimum instead of two position gathers per candidate.
-  struct Candidate {
-    std::uint32_t slot;
-    NodeId u;
-    double d2;  // dist_sq(positions[v], positions[u]), as topo::nearer uses
-  };
-  TN_DCHECK(n * static_cast<std::size_t>(k) <= 0xffffffffu);
-  const std::vector<Candidate> candidates = tn::parallel_reduce(
-      n, 256, std::vector<Candidate>{},
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<Candidate> out;
-        for (std::size_t ui = begin; ui < end; ++ui) {
-          const auto u = static_cast<NodeId>(ui);
-          for (int s = 0; s < k; ++s) {
-            const NodeId v = table_.nearest(u, s);
-            if (v == kInvalidNode) continue;
-            const int sv =
-                geom::sector_index(d.positions[v], d.positions[u], theta_);
-            out.push_back({static_cast<std::uint32_t>(slot(v, sv)), u,
-                           geom::dist_sq(d.positions[v], d.positions[u])});
-          }
-        }
-        return out;
-      },
-      [](std::vector<Candidate> acc, std::vector<Candidate> part) {
-        acc.insert(acc.end(), part.begin(), part.end());
-        return acc;
-      });
-  TN_OBS_COUNT("theta.candidates", candidates.size());
-  {
-    // Arena-backed per-slot minimum distance, recycled across builds.
-    tn::ScratchScope scope;
-    std::span<double> best_d2 =
-        scope.arena().alloc_span<double>(n * static_cast<std::size_t>(k));
-    std::fill(best_d2.begin(), best_d2.end(),
-              std::numeric_limits<double>::infinity());
-    for (const Candidate& c : candidates) {
-      NodeId& cur = admitted_[c.slot];
-      double& bd = best_d2[c.slot];
-      // Same (dist_sq, id) strict order as topo::nearer; an empty slot has
-      // bd == inf, which any finite candidate beats.
-      if (c.d2 < bd || (c.d2 == bd && c.u < cur)) {
-        bd = c.d2;
-        cur = c.u;
-      }
-    }
-  }
-
-  // Materialize N: one edge per admission, deduplicated (an edge can be
-  // admitted from both sides).
-  n_ = graph::Graph(n);
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  for (NodeId v = 0; v < n; ++v) {
-    for (int s = 0; s < k; ++s) {
-      const NodeId w = admitted_[slot(v, s)];
-      if (w == kInvalidNode) continue;
-      pairs.push_back(std::minmax(v, w));
-    }
-  }
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-  TN_OBS_COUNT("theta.edges", pairs.size());
-  n_.reserve_edges(pairs.size());
-  for (const auto& [a, b] : pairs) {
-    const double len = d.distance(a, b);
-    n_.add_edge(a, b, len, d.cost_of_length(len));
-  }
-  n_.finalize();
+  // Phase 2 lives in the topology layer (topo::theta_phase2) so the builder
+  // registry can construct N without a core dependency; this class keeps the
+  // admission table for the replacement-path machinery.
+  topo::ThetaAdmission adm = topo::theta_phase2(*deployment_, theta_, table_);
+  admitted_ = std::move(adm.admitted);
+  n_ = std::move(adm.n);
 }
 
 graph::Graph ThetaTopology::yao_graph() const {

@@ -1,0 +1,95 @@
+#pragma once
+// O(1)-memory online geometric routing. A packet at node `cur` bound for
+// `target` sees only cur's position, target's position, and cur's neighbor
+// list in the routed topology — no routing tables, no visited sets, no
+// per-packet state beyond the target. This is the locality regime of the
+// source paper's Section 1 (nodes know only their neighbourhood) and the
+// model in which Bose et al. prove the Θ₄ routing ratio of 17: the zoo
+// scoreboard measures each structure's empirical ratio under exactly this
+// constraint, and the routing_ratio_bound ctest pins Θ₄ under 17x.
+//
+// Two forwarding policies:
+//
+//   compass — forward to the neighbor minimizing the angle to the target
+//     (ties: nearer, then smaller id). On the transmission graph G* this
+//     delivers every adjacent pair with length-ratio exactly 1: the target
+//     itself is an angle-0 candidate, so the winner lies on the segment
+//     toward the target and keeps the target in range. That exactness is
+//     the oracle the --plant-routing-bug mutation (prefer the *farther*
+//     neighbor on an exact angle tie — overshoots collinear chains and
+//     ping-pongs forever) is caught against.
+//
+//   theta — forward to the neighbor inside the current node's cone
+//     containing the target that minimizes the projection onto the cone
+//     bisector (the Θ-routing step), falling back to a compass step when
+//     the cone holds no neighbor.
+//
+// Determinism: every step minimizes a strict (metric, distance, id) key, so
+// routes — and hence measured ratios — are bit-identical across thread
+// counts and Morton on/off (measurement loops are embarrassingly parallel
+// over pairs with a chunk-ordered reduce).
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "topology/cones.h"
+#include "topology/deployment.h"
+
+namespace thetanet::route {
+
+enum class LocalPolicy : std::uint8_t {
+  kCompass,
+  kTheta,
+};
+
+struct LocalRouteOptions {
+  LocalPolicy policy = LocalPolicy::kCompass;
+  /// Cone scheme for the theta policy (ignored by compass).
+  topo::ConeScheme scheme = topo::theta4_scheme();
+  /// Hop budget; 0 derives 4*n + 16 (a correct policy never cycles, so the
+  /// budget only exists to terminate broken ones).
+  std::size_t max_hops = 0;
+  /// Planted mutation for the routing-ratio checker's self-test: on an
+  /// exact angle tie, compass prefers the farther neighbor. Never set
+  /// outside --plant-routing-bug runs.
+  bool plant_wrong_tie_break = false;
+};
+
+/// One forwarding decision from `cur` toward `target` (cur != target):
+/// the chosen next hop, or graph::kInvalidNode when cur has no usable
+/// neighbor. Coincident neighbors (zero distance) are never chosen unless
+/// they are the target itself.
+graph::NodeId local_route_step(const graph::Graph& g,
+                               const topo::Deployment& d, graph::NodeId cur,
+                               graph::NodeId target,
+                               const LocalRouteOptions& opt = {});
+
+struct LocalRouteResult {
+  bool delivered = false;
+  std::size_t hops = 0;
+  double length = 0.0;  ///< Euclidean length actually walked
+};
+
+/// Walk local_route_step from s until t, a dead end, or the hop budget.
+LocalRouteResult local_route(const graph::Graph& g, const topo::Deployment& d,
+                             graph::NodeId s, graph::NodeId t,
+                             const LocalRouteOptions& opt = {});
+
+/// Empirical routing ratio of a topology under a policy: route a
+/// deterministic sample of ordered pairs (seeded; all pairs when the count
+/// allows) and aggregate walked-length / Euclidean-distance over delivered
+/// pairs. Pairs at zero distance are skipped.
+struct RoutingRatioStats {
+  std::size_t pairs = 0;      ///< routed pairs (after skips)
+  std::size_t delivered = 0;  ///< pairs that reached the target
+  double max_ratio = 0.0;     ///< worst delivered ratio
+  double mean_ratio = 0.0;    ///< mean delivered ratio
+};
+
+RoutingRatioStats measure_routing_ratio(const graph::Graph& g,
+                                        const topo::Deployment& d,
+                                        const LocalRouteOptions& opt,
+                                        std::size_t max_pairs,
+                                        std::uint64_t seed);
+
+}  // namespace thetanet::route

@@ -1,0 +1,167 @@
+#include "sim/scoreboard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "core/balancing_router.h"
+#include "graph/connectivity.h"
+#include "graph/stretch.h"
+#include "interference/model.h"
+#include "routing/adversary.h"
+#include "sim/scenarios.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet::sim {
+namespace {
+
+/// %.17g, locale-free — the same convention as verify::format_double (which
+/// sim cannot link; verify sits above sim).
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+double ratio_pct(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : 100.0 * static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+Scoreboard run_scoreboard(const topo::Deployment& d,
+                          const ScoreboardOptions& opt) {
+  Scoreboard sb;
+  sb.n = d.size();
+  sb.max_range = d.max_range;
+  sb.kappa = d.kappa;
+
+  const graph::Graph gstar = topo::build_transmission_graph(d);
+  const interf::InterferenceModel model{opt.delta};
+
+  for (const topo::TopologyBuilder& b : topo::builder_registry()) {
+    if (!opt.only.empty() &&
+        std::find(opt.only.begin(), opt.only.end(), b.name) ==
+            opt.only.end())
+      continue;
+    ScoreboardRow row;
+    row.builder = b.name;
+    row.params = b.params;
+    const graph::Graph g = b.build(d);
+    row.edges = g.num_edges();
+    row.max_degree = g.max_degree();
+    row.components = graph::num_components(g);
+
+    const graph::StretchStats ds =
+        graph::edge_stretch(g, gstar, graph::Weight::kLength);
+    const graph::StretchStats es =
+        graph::edge_stretch(g, gstar, graph::Weight::kCost);
+    row.stretch_disconnected = ds.disconnected || es.disconnected;
+    row.distance_stretch = ds.max;
+    row.energy_stretch = es.max;
+
+    row.interference = interf::interference_number(g, d, model);
+
+    route::LocalRouteOptions lr;
+    lr.policy = route::LocalPolicy::kCompass;
+    row.compass = route::measure_routing_ratio(g, d, lr, opt.routing_pairs,
+                                               opt.routing_seed);
+    lr.policy = route::LocalPolicy::kTheta;
+    row.theta = route::measure_routing_ratio(g, d, lr, opt.routing_pairs,
+                                             opt.routing_seed);
+
+    if (opt.run_router && g.num_edges() > 0) {
+      // The same certified (T, gamma)-balancing sub-run the conformance
+      // harness drives: OPT is certified on the builder's own topology, so
+      // throughput compares like-for-like across structures.
+      route::TraceParams tp;
+      tp.horizon = opt.trace_horizon;
+      tp.drain = opt.trace_drain;
+      // One destination at one injection per step: concentrating all
+      // traffic is what reaches the asymptotic regime (see scoreboard.h)
+      // within a laptop-scale horizon.
+      tp.injections_per_step = 1.0;
+      tp.num_destinations = 1;
+      geom::Rng rng(opt.trace_seed * 0x9e3779b97f4a7c15ULL +
+                    0x2545f4914f6cdd1dULL);
+      const route::AdversaryTrace trace = route::make_certified_trace(g, tp, rng);
+      const core::BalancingParams params =
+          core::theorem31_params(trace.opt, opt.router_eps, opt.delta);
+      const ScenarioResult result =
+          run_mac_given(trace, params, /*extra_drain=*/opt.trace_drain);
+      row.throughput = result.throughput_ratio();
+      row.peak_buffer = result.metrics.peak_buffer;
+    }
+    sb.rows.push_back(std::move(row));
+  }
+  return sb;
+}
+
+Table scoreboard_table(const Scoreboard& sb) {
+  Table t("Topology zoo scoreboard (n=" + std::to_string(sb.n) +
+              ", D=" + fmt(sb.max_range) + ", kappa=" + fmt(sb.kappa) + ")",
+          {"builder", "edges", "maxdeg", "comps", "stretch_d", "stretch_e",
+           "I", "compass_r", "compass_dlv%", "theta_r", "theta_dlv%",
+           "thrpt", "peakbuf"});
+  for (const ScoreboardRow& r : sb.rows) {
+    const std::string inf = "inf";
+    t.row({r.builder, fmt(r.edges), fmt(r.max_degree), fmt(r.components),
+           r.stretch_disconnected ? inf : fmt(r.distance_stretch),
+           r.stretch_disconnected ? inf : fmt(r.energy_stretch),
+           fmt(r.interference), fmt(r.compass.max_ratio),
+           fmt(ratio_pct(r.compass.delivered, r.compass.pairs), 1),
+           fmt(r.theta.max_ratio),
+           fmt(ratio_pct(r.theta.delivered, r.theta.pairs), 1),
+           fmt(r.throughput), fmt(r.peak_buffer)});
+  }
+  return t;
+}
+
+void write_scoreboard_json(std::ostream& os, const ScoreboardMeta& meta,
+                           const Scoreboard& sb) {
+  // Keys sorted at every level; one record per builder row, keyed for
+  // bench_compare on (builder, n, seed, dist).
+  os << "{\n  \"results\": [";
+  bool first = true;
+  for (const ScoreboardRow& r : sb.rows) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"builder\": \"" << json_escape(r.builder) << "\", "
+       << "\"compass_delivered\": " << r.compass.delivered << ", "
+       << "\"compass_pairs\": " << r.compass.pairs << ", "
+       << "\"compass_ratio\": " << json_double(r.compass.max_ratio) << ", "
+       << "\"components\": " << r.components << ", "
+       << "\"dist\": \"" << json_escape(meta.dist) << "\", "
+       << "\"distance_stretch\": "
+       << (r.stretch_disconnected ? std::string("null")
+                                  : json_double(r.distance_stretch))
+       << ", "
+       << "\"edges\": " << r.edges << ", "
+       << "\"energy_stretch\": "
+       << (r.stretch_disconnected ? std::string("null")
+                                  : json_double(r.energy_stretch))
+       << ", "
+       << "\"interference\": " << r.interference << ", "
+       << "\"max_degree\": " << r.max_degree << ", "
+       << "\"n\": " << sb.n << ", "
+       << "\"peak_buffer\": " << r.peak_buffer << ", "
+       << "\"seed\": " << meta.seed << ", "
+       << "\"theta_delivered\": " << r.theta.delivered << ", "
+       << "\"theta_pairs\": " << r.theta.pairs << ", "
+       << "\"theta_ratio\": " << json_double(r.theta.max_ratio) << ", "
+       << "\"throughput\": " << json_double(r.throughput) << "}";
+  }
+  os << "\n  ],\n  \"schema\": \"thetanet-scoreboard/1\"\n}\n";
+}
+
+}  // namespace thetanet::sim

@@ -1,0 +1,91 @@
+#pragma once
+// Cross-structure scoreboard: every registered TopologyBuilder built over
+// one deployment and measured on the axes the paper argues about —
+// sparsity, max degree, distance/energy stretch vs G*, interference number
+// I, O(1)-memory routing ratio (compass and theta), and the (T, gamma)-
+// balancing router's throughput on a certified trace. The same rows feed
+// three consumers: the `thetanet_cli scoreboard` ASCII table, the
+// EXPERIMENTS.md section, and the "thetanet-scoreboard/1" JSON that
+// tools/bench_compare.py gates regressions on.
+//
+// Every metric here is deterministic (no wall-clock anywhere), so the
+// rendered table and JSON are byte-identical across TN_NUM_THREADS and
+// Morton on/off — which is exactly what the scoreboard determinism ctest
+// pins.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "routing/local_route.h"
+#include "sim/table.h"
+#include "topology/builder.h"
+#include "topology/deployment.h"
+
+namespace thetanet::sim {
+
+struct ScoreboardOptions {
+  double delta = 1.0;  ///< interference guard zone
+
+  /// Routing-ratio sampling (ordered pairs; exhaustive when small enough).
+  std::size_t routing_pairs = 512;
+  std::uint64_t routing_seed = 1;
+
+  /// Router sub-run. Unlike the conformance harness (which audits bounds
+  /// on a short trace), the scoreboard reports the throughput *ratio*, and
+  /// Theorem 3.1's competitiveness is asymptotic: the additive warm-up of
+  /// height ~T+gamma per (node, destination) buffer swallows short traces
+  /// entirely (0 deliveries). The horizon must put total injections well
+  /// past gamma — 32768 steps at one injection/step toward one destination
+  /// reaches ~77% of OPT on the 80-node reference scenario.
+  bool run_router = true;
+  std::uint64_t trace_seed = 1;
+  std::uint32_t trace_horizon = 32768;
+  std::uint32_t trace_drain = 8192;
+  double router_eps = 0.25;
+
+  /// Restrict to these builder names (empty: whole registry).
+  std::vector<std::string> only;
+};
+
+struct ScoreboardRow {
+  std::string builder;
+  std::string params;
+  std::size_t edges = 0;
+  std::size_t max_degree = 0;
+  std::size_t components = 0;
+  bool stretch_disconnected = false;  ///< some G* edge pair unreachable
+  double distance_stretch = 0.0;      ///< edge-stretch bound, length weight
+  double energy_stretch = 0.0;        ///< edge-stretch bound, cost weight
+  std::uint32_t interference = 0;     ///< I under the delta guard model
+  route::RoutingRatioStats compass;
+  route::RoutingRatioStats theta;     ///< theta4_scheme() theta-routing
+  double throughput = 0.0;            ///< deliveries / certified OPT
+  std::size_t peak_buffer = 0;
+};
+
+struct Scoreboard {
+  std::size_t n = 0;
+  double max_range = 0.0;
+  double kappa = 0.0;
+  std::vector<ScoreboardRow> rows;  ///< registry order
+};
+
+Scoreboard run_scoreboard(const topo::Deployment& d,
+                          const ScoreboardOptions& opt = {});
+
+/// ASCII rendering via sim::Table.
+Table scoreboard_table(const Scoreboard& sb);
+
+/// Scenario identity carried into every JSON record so bench_compare can
+/// key rows on (builder, n, seed, dist).
+struct ScoreboardMeta {
+  std::uint64_t seed = 0;    ///< deployment seed
+  std::string dist = "uniform";
+};
+
+/// Deterministic "thetanet-scoreboard/1" JSON (sorted keys, %.17g doubles).
+void write_scoreboard_json(std::ostream& os, const ScoreboardMeta& meta,
+                           const Scoreboard& sb);
+
+}  // namespace thetanet::sim

@@ -1,0 +1,133 @@
+#include "topology/builder.h"
+
+#include <numbers>
+
+#include "topology/cbtc.h"
+#include "topology/cones.h"
+#include "topology/hng.h"
+#include "topology/proximity.h"
+#include "topology/theta_graphs.h"
+#include "topology/transmission_graph.h"
+#include "topology/yao.h"
+
+namespace thetanet::topo {
+namespace {
+
+constexpr double kTheta = std::numbers::pi / 9.0;   // ConformanceOptions default
+constexpr double kCbtcAlpha = 2.0 * std::numbers::pi / 3.0;  // connectivity threshold
+constexpr std::size_t kKnnK = 6;
+constexpr int kThetaThetaCones = 12;  // Damian–Voicu study ΘΘ at k >= 12
+
+std::vector<TopologyBuilder> make_registry() {
+  std::vector<TopologyBuilder> r;
+  // The paper's algorithm and its phase 1 first.
+  r.push_back({"theta",
+               "ThetaALG N, theta=pi/9",
+               {.connected = true,
+                .degree_bound = 4.0 * std::numbers::pi / kTheta,  // Lemma 2.1
+                .constant_energy_stretch = true,
+                .theta_alg = true},
+               [](const Deployment& d) {
+                 return theta_phase2(d, kTheta,
+                                     compute_sector_table(d, kTheta)).n;
+               }});
+  r.push_back({"yao",
+               "Yao graph N_1, theta=pi/9",
+               {.connected = true, .constant_energy_stretch = true},
+               [](const Deployment& d) { return yao_graph(d, kTheta); }});
+  // Related-work baselines (Section 1.2).
+  r.push_back({"gabriel",
+               "Gabriel graph",
+               // Contains every minimum-energy path of G* (kappa >= 2):
+               // connected, energy-stretch exactly 1, Omega(n) degree.
+               {.connected = true, .constant_energy_stretch = true},
+               [](const Deployment& d) { return gabriel_graph(d); }});
+  r.push_back({"rng",
+               "relative neighbourhood graph",
+               // Contains the EMST (connected) but only polynomial stretch.
+               {.connected = true},
+               [](const Deployment& d) {
+                 return relative_neighborhood_graph(d);
+               }});
+  r.push_back({"rdelaunay",
+               "restricted Delaunay graph",
+               // Superset of the Gabriel graph, so it inherits connectivity
+               // and unit energy-stretch; Omega(n) degree remains possible.
+               {.connected = true, .constant_energy_stretch = true},
+               [](const Deployment& d) {
+                 return restricted_delaunay_graph(d);
+               }});
+  r.push_back({"knn",
+               "symmetric k-nearest-neighbour, k=6",
+               // Neither connected nor bounded-degree in general — it runs
+               // through the zoo with no asserted guarantees, only metrics.
+               {},
+               [](const Deployment& d) { return knn_graph(d, kKnnK); }});
+  r.push_back({"mst",
+               "Euclidean minimum spanning forest",
+               // Max degree 6 in the plane; spanning, but unbounded stretch.
+               {.connected = true, .degree_bound = 6.0},
+               [](const Deployment& d) { return euclidean_mst(d); }});
+  r.push_back({"cbtc",
+               "CBTC, alpha=2*pi/3",
+               {.connected = true},
+               [](const Deployment& d) { return cbtc_graph(d, kCbtcAlpha); }});
+  // Literature competitors.
+  r.push_back({"theta-theta",
+               "Theta-Theta graph, k=12",
+               // Out- and in-degree <= k by the two-phase pruning. Spanning
+               // results (Damian–Voicu) assume the full point set, so
+               // connectivity is only claimed on complete instances.
+               {.connected_complete = true,
+                .degree_bound = 2.0 * kThetaThetaCones},
+               [](const Deployment& d) {
+                 return theta_theta_graph(d, {kThetaThetaCones, 0.0});
+               }});
+  r.push_back({"theta4",
+               "Theta-4 graph (cones centred on axes)",
+               // Bose et al. prove Θ₄ is a spanner with routing ratio <= 17;
+               // both claims are for the full point set.
+               {.connected_complete = true},
+               [](const Deployment& d) { return theta4_graph(d); }});
+  r.push_back({"hng",
+               "hierarchical neighbor graph, p=1/2",
+               // Constant *expected* degree only; connectivity claimed when
+               // every upward link is realizable (complete G*).
+               {.connected_complete = true},
+               [](const Deployment& d) { return hng_graph(d); }});
+  // The reference graph itself, last: every checker's baseline, and the
+  // structure the compass unit-ratio oracle is exact on.
+  r.push_back({"gstar",
+               "transmission graph G*",
+               {.connected = true,
+                .constant_energy_stretch = true,
+                .compass_adjacent_unit = true},
+               [](const Deployment& d) {
+                 return build_transmission_graph(d);
+               }});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<TopologyBuilder>& builder_registry() {
+  static const std::vector<TopologyBuilder> registry = make_registry();
+  return registry;
+}
+
+const TopologyBuilder* find_builder(std::string_view name) {
+  for (const TopologyBuilder& b : builder_registry())
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+std::string builder_names() {
+  std::string out;
+  for (const TopologyBuilder& b : builder_registry()) {
+    if (!out.empty()) out += ", ";
+    out += b.name;
+  }
+  return out;
+}
+
+}  // namespace thetanet::topo

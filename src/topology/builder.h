@@ -1,0 +1,68 @@
+#pragma once
+// The pluggable TopologyBuilder interface and the topology zoo built on it.
+//
+// Every topology-control structure the repo knows — the paper's ΘALG, its
+// phase-1 Yao graph, the related-work baselines (Section 1.2), and the
+// literature competitors (Theta-Theta, Θ₄, hierarchical neighbor graphs) —
+// registers here as a named builder: a parameter summary plus a
+// build(deployment) -> Graph function honouring the shared edge-list
+// contract (normalize.h). The registry is what makes the conformance
+// harness zoo-wide: the fuzzer, the scoreboard, and the CLI all iterate
+// builder_registry() instead of hard-coding ΘALG, and each entry carries a
+// guarantee mask saying which paper-style checkers *must* hold for it —
+// so a competitor is checked against exactly its own claims, and the
+// harness can fail loudly if a registered builder is ever silently skipped.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+/// Which structural guarantees a builder claims — i.e. which zoo checkers
+/// must PASS for it (everything else is measured and reported, not
+/// asserted). The flags map 1:1 onto checks in verify/zoo.h.
+struct BuilderGuarantees {
+  /// Connected whenever the transmission graph G* is connected.
+  bool connected = false;
+  /// Connected whenever G* is *complete* (every pair in range). Weaker
+  /// claim for structures whose connectivity proof ignores the range
+  /// restriction (Θ₄, Theta-Theta, HNG).
+  bool connected_complete = false;
+  /// Max degree <= degree_bound (0 = no bound claimed).
+  double degree_bound = 0.0;
+  /// Theorem 2.2-style O(1) energy stretch, audited against
+  /// verify::kDefaultEnergyStretchBound.
+  bool constant_energy_stretch = false;
+  /// The full ΘALG lemma battery (Lemma 2.1 admission structure, Lemma 2.9
+  /// replacement reuse) applies — true only for the paper's N.
+  bool theta_alg = false;
+  /// Compass routing over this structure delivers G*-adjacent pairs with
+  /// length-ratio exactly 1 (holds for G* itself: every angle-0 hop lands
+  /// on the segment and stays in range). This is the oracle the
+  /// --plant-routing-bug mutation is caught against.
+  bool compass_adjacent_unit = false;
+};
+
+struct TopologyBuilder {
+  std::string name;    ///< registry key, e.g. "theta", "theta4", "hng"
+  std::string params;  ///< human-readable parameter summary
+  BuilderGuarantees guarantees;
+  std::function<graph::Graph(const Deployment&)> build;
+};
+
+/// The zoo: every registered builder, in a fixed deterministic order
+/// (ΘALG and its phase 1 first, then baselines, then competitors, then G*).
+const std::vector<TopologyBuilder>& builder_registry();
+
+/// Look up a builder by name; nullptr if unknown.
+const TopologyBuilder* find_builder(std::string_view name);
+
+/// Comma-separated registry names, for CLI help and error messages.
+std::string builder_names();
+
+}  // namespace thetanet::topo

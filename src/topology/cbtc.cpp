@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
+#include "topology/normalize.h"
 
 namespace thetanet::topo {
 namespace {
@@ -67,28 +68,23 @@ std::vector<double> cbtc_radii(const Deployment& d, double alpha) {
 
 graph::Graph cbtc_graph(const Deployment& d, double alpha) {
   const std::size_t n = d.size();
-  graph::Graph g(n);
-  if (n < 2) return g;
+  if (n < 2) {
+    graph::Graph g(n);
+    return g;
+  }
   const std::vector<double> radii = cbtc_radii(d, alpha);
   const geom::SpatialGrid grid(d.positions, d.max_range);
-  // Collect-then-sort+unique instead of a node-per-node std::set: same
-  // (u, v) lexicographic edge order, no per-insert allocation.
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  // Collect-then-normalize instead of a node-per-node std::set: same (u, v)
+  // lexicographic edge order, no per-insert allocation.
+  std::vector<EdgePair> edges;
   for (graph::NodeId u = 0; u < n; ++u) {
     grid.for_each_within(d.positions[u], radii[u], [&](std::uint32_t v) {
       if (v == u) return;
-      edges.push_back(std::minmax<graph::NodeId>(u, v));
+      edges.emplace_back(u, v);
     });
   }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  g.reserve_edges(edges.size());
-  for (const auto& [u, v] : edges) {
-    const double len = d.distance(u, v);
-    g.add_edge(u, v, len, d.cost_of_length(len));
-  }
-  g.finalize();
-  return g;
+  normalize_edges(edges);
+  return graph_from_pairs(d, edges);
 }
 
 }  // namespace thetanet::topo

@@ -1,0 +1,62 @@
+#pragma once
+// Cone (theta-sector) arithmetic shared by the classical Θ-graph family
+// (theta_graphs.h) and the theta local router (routing/local_route.h).
+//
+// A ConeScheme partitions the plane around every node into k equal cones of
+// angle 2*pi/k, rotated so cone i covers bearings
+//   [rotation + i*w, rotation + (i+1)*w),  w = 2*pi/k.
+// ThetaALG's sectors are the rotation = 0 case; Θ₄ (Bose et al., "On the
+// Spanning and Routing Ratio of Theta-Four") uses k = 4 with rotation
+// -pi/4, i.e. cones centred on the +x / +y / -x / -y axes with boundaries
+// along the diagonals y = ±x.
+//
+// Unlike the Yao construction (nearest by Euclidean distance), the classical
+// Θ-graph picks, per cone, the neighbour whose *projection onto the cone
+// bisector* is shortest. Both metrics are exposed here so Theta-Theta graphs
+// can prune by projection exactly as their definition requires.
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "geom/angles.h"
+#include "geom/vec2.h"
+
+namespace thetanet::topo {
+
+struct ConeScheme {
+  int k = 6;               ///< number of cones (>= 2)
+  double rotation = 0.0;   ///< CCW offset of cone 0's lower boundary
+
+  double width() const { return geom::kTwoPi / k; }
+
+  /// Index of the cone at `u` containing `v` (v != u; the zero vector maps
+  /// to cone 0 like geom::angle_of).
+  int cone_of(geom::Vec2 u, geom::Vec2 v) const {
+    const double b = geom::normalize_angle(geom::bearing(u, v) - rotation);
+    int i = static_cast<int>(b / width());
+    if (i >= k) i = k - 1;  // guard against rounding at 2*pi
+    return i;
+  }
+
+  /// Bearing of cone i's bisector, in [0, 2*pi).
+  double bisector(int i) const {
+    TN_ASSERT(i >= 0 && i < k);
+    return geom::normalize_angle(rotation + (i + 0.5) * width());
+  }
+
+  /// Length of v - u projected onto cone i's bisector direction. This is
+  /// the Θ-graph's per-cone selection metric; for points inside cone i it is
+  /// positive and within a factor cos(w/2) of the Euclidean distance.
+  double projection(int i, geom::Vec2 u, geom::Vec2 v) const {
+    const double b = bisector(i);
+    return geom::dot(v - u, {std::cos(b), std::sin(b)});
+  }
+};
+
+/// The scheme of the Θ₄ graph: four quadrant cones centred on the axes.
+inline ConeScheme theta4_scheme() {
+  return {4, -std::numbers::pi / 4.0};
+}
+
+}  // namespace thetanet::topo

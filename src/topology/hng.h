@@ -1,0 +1,42 @@
+#pragma once
+// Hierarchical neighbor graphs (Bagchi, Buchsbaum, Goodrich, "Fast and
+// compact oracles for approximate distances in planar graphs" lineage; the
+// ad-hoc-network formulation follows Bagchi et al., "Hierarchical neighbor
+// graphs: An energy-efficient bounded-degree connected structure for
+// wireless networks"). Each node u independently draws a level
+//
+//   level(u) = 1 + Geometric(p)   (p = promote probability, default 1/2)
+//
+// from a hash of (seed, u) — no coordination, so the structure is buildable
+// by a strictly local algorithm, which is what makes it a fair competitor
+// to ΘALG in the zoo. Node u then connects, for every j in [1, level(u)],
+// to the nearest in-range node of level >= j + 1, and the nodes of the
+// globally maximum level are chained in (x, y, id) order (consecutive
+// in-range pairs) so the structure is connected whenever the transmission
+// graph is complete. In expectation degrees stay constant and the level
+// hierarchy gives O(log n) hops to a hub, but unlike ΘALG there is no
+// worst-case degree or stretch guarantee — exactly the gap the scoreboard
+// makes visible.
+//
+// Determinism: levels are pure functions of (seed, id); per-(node, level)
+// winners minimize the strict key (dist_sq, id); the top chain is a sorted
+// scan. Bit-identical for any thread count and Morton ordering ON or OFF.
+
+#include "graph/graph.h"
+#include "topology/deployment.h"
+
+namespace thetanet::topo {
+
+struct HngParams {
+  double promote_p = 0.5;      ///< level-promotion probability in (0, 1)
+  std::uint64_t seed = 0x48ce; ///< hash seed for the level draws
+  int max_level = 32;          ///< hard cap on drawn levels
+};
+
+/// The deterministic level of node `u` under `params` (>= 1).
+int hng_level(graph::NodeId u, const HngParams& params);
+
+/// Build the hierarchical neighbor graph over the deployment.
+graph::Graph hng_graph(const Deployment& d, const HngParams& params = {});
+
+}  // namespace thetanet::topo

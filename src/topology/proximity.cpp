@@ -10,14 +10,13 @@
 #include "geom/predicates.h"
 #include "geom/spatial_grid.h"
 #include "graph/mst.h"
+#include "topology/normalize.h"
 #include "topology/transmission_graph.h"
 
 namespace thetanet::topo {
 namespace {
 
 using graph::NodeId;
-
-using EdgePair = std::pair<NodeId, NodeId>;
 
 std::vector<EdgePair> concat(std::vector<EdgePair> acc,
                              std::vector<EdgePair> part) {
@@ -104,24 +103,31 @@ graph::Graph relative_neighborhood_graph(const Deployment& d) {
 
 graph::Graph restricted_delaunay_graph(const Deployment& d) {
   const std::size_t n = d.size();
-  graph::Graph g(n);
-  if (n < 2) return g;
-  for (const auto& [u, v] : geom::delaunay_edges(d.positions)) {
-    const double len = d.distance(u, v);
-    if (len > d.max_range) continue;
-    g.add_edge(u, v, len, d.cost_of_length(len));
-  }
-  g.finalize();
-  return g;
+  if (n < 2) return graph::Graph(n);
+  std::vector<EdgePair> pairs;
+  for (const auto& [u, v] : geom::delaunay_edges(d.positions))
+    if (d.distance(u, v) <= d.max_range) pairs.emplace_back(u, v);
+  // Gabriel ⊆ Delaunay under exact predicates, and that subset property is
+  // what carries the RDG's connectivity and unit energy-stretch. The fp
+  // Bowyer-Watson kernel can drop edges on near-degenerate inputs (the
+  // zoo fuzzer's exponential chains disconnect it), so union the Gabriel
+  // edges back in — a no-op on well-separated instances.
+  const graph::Graph gg = gabriel_graph(d);
+  for (graph::EdgeId e = 0; e < gg.num_edges(); ++e)
+    pairs.emplace_back(gg.edge(e).u, gg.edge(e).v);
+  normalize_edges(pairs);
+  return graph_from_pairs(d, pairs);
 }
 
 graph::Graph knn_graph(const Deployment& d, std::size_t k) {
   const std::size_t n = d.size();
-  graph::Graph g(n);
-  if (n < 2) return g;
+  if (n < 2) {
+    graph::Graph g(n);
+    return g;
+  }
   const geom::KdTree tree(d.positions);
-  // Per-chunk candidate lists from read-only k-NN queries, then one
-  // sort+unique dedup (u and v can each pick the other).
+  // Per-chunk candidate lists from read-only k-NN queries; normalize_edges
+  // owns the dedup (u and v can each pick the other).
   std::vector<EdgePair> chosen = tn::parallel_reduce(
       n, 32, std::vector<EdgePair>{},
       [&](std::size_t begin, std::size_t end) {
@@ -130,25 +136,28 @@ graph::Graph knn_graph(const Deployment& d, std::size_t k) {
           const auto u = static_cast<NodeId>(ui);
           for (const std::uint32_t v : tree.k_nearest(d.positions[u], k, u)) {
             if (d.distance(u, v) > d.max_range) break;  // ordered by distance
-            out.push_back(std::minmax<NodeId>(u, v));
+            out.emplace_back(u, v);
           }
         }
         return out;
       },
       concat);
-  std::sort(chosen.begin(), chosen.end());
-  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
-  g.reserve_edges(chosen.size());
-  for (const auto& [u, v] : chosen) {
-    const double len = d.distance(u, v);
-    g.add_edge(u, v, len, d.cost_of_length(len));
-  }
-  g.finalize();
-  return g;
+  normalize_edges(chosen);
+  return graph_from_pairs(d, chosen);
 }
 
 graph::Graph euclidean_mst(const Deployment& d) {
-  return graph::mst_subgraph(build_transmission_graph(d), graph::Weight::kLength);
+  // mst_subgraph emits edges in Kruskal acceptance order (by weight);
+  // renormalize so the MST honours the shared lexicographic edge-id
+  // contract like every other builder.
+  const graph::Graph t =
+      graph::mst_subgraph(build_transmission_graph(d), graph::Weight::kLength);
+  std::vector<EdgePair> pairs;
+  pairs.reserve(t.num_edges());
+  for (graph::EdgeId e = 0; e < t.num_edges(); ++e)
+    pairs.push_back({t.edge(e).u, t.edge(e).v});
+  normalize_edges(pairs);
+  return graph_from_pairs(d, pairs);
 }
 
 graph::Graph beta_skeleton(const Deployment& d, double beta) {

@@ -8,6 +8,8 @@
 #include "geom/angles.h"
 #include "geom/spatial_grid.h"
 #include "geom/spatial_order.h"
+#include "obs/metrics.h"
+#include "topology/normalize.h"
 
 namespace thetanet::topo {
 
@@ -89,27 +91,105 @@ graph::Graph yao_graph(const Deployment& d, double theta,
                        const SectorTable& table) {
   (void)theta;
   const std::size_t n = d.size();
-  graph::Graph g(n);
-  // Sort+unique dedup (an edge can be selected from both endpoints); edge
-  // ids come out in (u, v) lexicographic order, same as ThetaTopology.
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  // An edge can be selected from both endpoints; normalize_edges owns the
+  // dedup contract, and edge ids come out in (u, v) lexicographic order,
+  // same as ThetaTopology.
+  std::vector<EdgePair> pairs;
   pairs.reserve(n * static_cast<std::size_t>(table.sectors()));
   for (graph::NodeId u = 0; u < n; ++u) {
     for (int s = 0; s < table.sectors(); ++s) {
       const graph::NodeId v = table.nearest(u, s);
       if (v == graph::kInvalidNode) continue;
-      pairs.push_back(std::minmax(u, v));
+      pairs.emplace_back(u, v);
     }
   }
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-  g.reserve_edges(pairs.size());
-  for (const auto& [a, b] : pairs) {
-    const double len = d.distance(a, b);
-    g.add_edge(a, b, len, d.cost_of_length(len));
+  normalize_edges(pairs);
+  return graph_from_pairs(d, pairs);
+}
+
+ThetaAdmission theta_phase2(const Deployment& d, double theta,
+                            const SectorTable& table) {
+  const std::size_t n = d.size();
+  const int k = table.sectors();
+  ThetaAdmission out;
+  out.admitted.assign(n * static_cast<std::size_t>(k), graph::kInvalidNode);
+
+  // Phase 2: every phase-1 selection u -> v (v = nearest to u in some sector
+  // of u) is an *incoming candidate* at v, filed under v's sector containing
+  // u; v admits only the nearest candidate per sector.
+  const auto slot = [&](graph::NodeId v, int s) {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+           static_cast<std::size_t>(s);
+  };
+  // Candidate discovery (the sector_index trigonometry) runs in parallel
+  // over selectors u; the admission min-merge is a serial fold. The fold is
+  // order-insensitive anyway — topo::nearer is a strict total order, so the
+  // admitted candidate per slot is the unique minimum — but chunk-ordered
+  // concatenation makes the merge sequence itself deterministic too. Each
+  // candidate carries its squared distance (the discovery loop has both
+  // endpoints in hand anyway), so the fold is a pure compare against the
+  // per-slot running minimum instead of two position gathers per candidate.
+  struct Candidate {
+    std::uint32_t slot;
+    graph::NodeId u;
+    double d2;  // dist_sq(positions[v], positions[u]), as topo::nearer uses
+  };
+  TN_DCHECK(n * static_cast<std::size_t>(k) <= 0xffffffffu);
+  const std::vector<Candidate> candidates = tn::parallel_reduce(
+      n, 256, std::vector<Candidate>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<Candidate> part;
+        for (std::size_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<graph::NodeId>(ui);
+          for (int s = 0; s < k; ++s) {
+            const graph::NodeId v = table.nearest(u, s);
+            if (v == graph::kInvalidNode) continue;
+            const int sv =
+                geom::sector_index(d.positions[v], d.positions[u], theta);
+            part.push_back({static_cast<std::uint32_t>(slot(v, sv)), u,
+                            geom::dist_sq(d.positions[v], d.positions[u])});
+          }
+        }
+        return part;
+      },
+      [](std::vector<Candidate> acc, std::vector<Candidate> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  TN_OBS_COUNT("theta.candidates", candidates.size());
+  {
+    // Arena-backed per-slot minimum distance, recycled across builds.
+    tn::ScratchScope scope;
+    std::span<double> best_d2 =
+        scope.arena().alloc_span<double>(n * static_cast<std::size_t>(k));
+    std::fill(best_d2.begin(), best_d2.end(),
+              std::numeric_limits<double>::infinity());
+    for (const Candidate& c : candidates) {
+      graph::NodeId& cur = out.admitted[c.slot];
+      double& bd = best_d2[c.slot];
+      // Same (dist_sq, id) strict order as topo::nearer; an empty slot has
+      // bd == inf, which any finite candidate beats.
+      if (c.d2 < bd || (c.d2 == bd && c.u < cur)) {
+        bd = c.d2;
+        cur = c.u;
+      }
+    }
   }
-  g.finalize();
-  return g;
+
+  // Materialize N: one edge per admission; normalize_edges owns the dedup
+  // (an edge can be admitted from both sides).
+  std::vector<EdgePair> pairs;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (int s = 0; s < k; ++s) {
+      const graph::NodeId w = out.admitted[slot(v, s)];
+      if (w == graph::kInvalidNode) continue;
+      pairs.emplace_back(v, w);
+    }
+  }
+  normalize_edges(pairs);
+  TN_OBS_COUNT("theta.edges", pairs.size());
+  out.n = graph_from_pairs(d, pairs);
+  return out;
 }
 
 }  // namespace thetanet::topo

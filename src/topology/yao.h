@@ -81,4 +81,19 @@ graph::Graph yao_graph(const Deployment& d, double theta);
 graph::Graph yao_graph(const Deployment& d, double theta,
                        const SectorTable& table);
 
+/// Phase 2 of ThetaALG: per-sector admission of the shortest incoming
+/// phase-1 edge, plus the resulting topology N. `admitted` is node x sector
+/// row-major: admitted[v*k + s] is the selector whose edge v admitted in
+/// its sector s (kInvalidNode if none); every admitted edge appears in `n`.
+struct ThetaAdmission {
+  std::vector<graph::NodeId> admitted;
+  graph::Graph n;
+};
+
+/// Run phase 2 over a phase-1 sector table. This is the construction
+/// core::ThetaTopology delegates to; it lives in the topology layer so the
+/// builder registry can expose ThetaALG without depending on core.
+ThetaAdmission theta_phase2(const Deployment& d, double theta,
+                            const SectorTable& table);
+
 }  // namespace thetanet::topo

@@ -28,6 +28,8 @@ const char* distribution_name(Distribution d) {
       return "nested_clusters";
     case Distribution::kCoincident:
       return "coincident";
+    case Distribution::kCollinearChain:
+      return "collinear";
   }
   return "unknown";
 }
@@ -95,6 +97,21 @@ topo::Deployment build_scenario_deployment(const ScenarioSpec& spec) {
       d.positions.assign(spec.n, {0.5, 0.5});
       range = 1.0;
       break;
+    case Distribution::kCollinearChain: {
+      // Seeded gaps, identical y: bearings between chain nodes are
+      // bit-identical, so compass routing sees *exact* angle ties (the
+      // --plant-routing-bug regime). Gap spread keeps pairwise distances
+      // unique; range covers a handful of hops in either direction so the
+      // buggy farthest-first tie-break has overshoot candidates.
+      d.positions.reserve(spec.n);
+      double x = 0.0;
+      for (std::size_t i = 0; i < spec.n; ++i) {
+        d.positions.push_back({x, 0.35});
+        x += 0.05 + 0.05 * rng.uniform();
+      }
+      range = 0.3;
+      break;
+    }
   }
   d.max_range = range * spec.range_scale;
 

@@ -27,6 +27,12 @@ enum class Distribution : int {
   kExponentialChain,
   kNestedClusters,
   kCoincident,
+  /// Exactly collinear chain: seeded gaps, identical y. Unlike exp_chain
+  /// (which jitters y), bearings between chain nodes are bit-identical, so
+  /// compass routing faces *exact* angle ties — the regime where the
+  /// tie-break rule (nearest-first) carries the delivery proof, and the
+  /// family the --plant-routing-bug mutation is caught on.
+  kCollinearChain,
 };
 
 inline constexpr Distribution kAllDistributions[] = {
@@ -34,6 +40,7 @@ inline constexpr Distribution kAllDistributions[] = {
     Distribution::kGridJitter,       Distribution::kCivilized,
     Distribution::kHubRing,          Distribution::kExponentialChain,
     Distribution::kNestedClusters,   Distribution::kCoincident,
+    Distribution::kCollinearChain,
 };
 
 const char* distribution_name(Distribution d);

@@ -1,0 +1,56 @@
+#pragma once
+// Zoo-wide conformance: run every registered TopologyBuilder over one
+// deployment and audit each against exactly the guarantees it claims
+// (topo::BuilderGuarantees), plus the shared structural contract every
+// builder owes (normalized edge list, subgraph of G*, consistent weights).
+// A final coverage check fails loudly if any registered builder was not
+// audited — the harness can never silently skip a competitor.
+//
+// The routing dimension rides along: compass routing over G* must deliver
+// adjacent pairs at length-ratio 1 (the oracle that catches the
+// --plant-routing-bug tie-break mutation), and Θ₄ must stay under the 17x
+// routing-ratio bound of Bose et al. on complete instances.
+
+#include <string>
+#include <vector>
+
+#include "topology/builder.h"
+#include "verify/conformance.h"
+#include "verify/report.h"
+
+namespace thetanet::verify {
+
+struct ZooOptions {
+  ConformanceOptions checks;  ///< thresholds shared with run_conformance
+
+  /// Routing-ratio sampling per structure (ordered pairs; exhaustive when
+  /// the instance is small enough).
+  std::size_t routing_pairs = 512;
+  std::uint64_t routing_seed = 1;
+  /// Adjacent-pair compass audits per structure (edge budget).
+  std::size_t compass_edges = 256;
+  /// Theorem bound asserted for Θ₄ theta-routing on complete instances.
+  double theta4_routing_ratio_bound = 17.0;
+
+  /// Plant the wrong compass tie-break (test-only; see local_route.h). The
+  /// gstar compass oracle must catch it on any instance with an exact
+  /// angle tie (collinear triples).
+  bool plant_routing_bug = false;
+
+  /// Restrict the run to these builder names (empty: whole registry). An
+  /// unknown name is a coverage violation, not a silent skip.
+  std::vector<std::string> only;
+};
+
+/// Audit the whole zoo over one deployment. Check names are prefixed
+/// "<builder>/", plus a trailing "zoo/coverage" check.
+ConformanceReport run_zoo_conformance(const topo::Deployment& d,
+                                      const ZooOptions& opt);
+
+/// ddmin over the node set for a failing zoo run (same greedy chunked
+/// removal as shrink_deployment, evaluating run_zoo_conformance).
+ShrinkResult shrink_zoo_deployment(const topo::Deployment& failing,
+                                   const ZooOptions& opt,
+                                   std::size_t max_evaluations = 2000);
+
+}  // namespace thetanet::verify

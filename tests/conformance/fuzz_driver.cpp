@@ -2,9 +2,21 @@
 // checker (src/verify) per instance, with greedy shrinking of failures to
 // minimal reproducers. Exits 0 iff every scenario conforms.
 //
-//   fuzz_driver [--scenarios N] [--seed S] [--long] [--churn]
-//               [--plant-churn-bug] [--report-out FILE] [--corpus-out DIR]
+//   fuzz_driver [--scenarios N] [--seed S] [--long] [--churn] [--zoo]
+//               [--plant-churn-bug] [--plant-routing-bug]
+//               [--report-out FILE] [--corpus-out DIR]
 //               [--replay DIR] [--telemetry FILE]
+//
+// --zoo switches to zoo-wide conformance: each scenario audits *every*
+// registered TopologyBuilder (verify/zoo.h) against exactly the guarantees
+// it claims, plus the O(1)-memory routing checks (compass ratio-1 on
+// G*-adjacent pairs; the Bose et al. 17x routing-ratio bound for Θ₄ on
+// complete instances). A coverage check fails loudly if any registered
+// builder was silently skipped. Failures ddmin-shrink over the node set.
+// --plant-routing-bug flips the compass tie-break to prefer the *farther*
+// neighbor on exact angle ties (collinear chains) — the mutation test
+// proving the compass ratio-1 oracle catches real routing rot; the sweep
+// is restricted to the G* oracle rows so every failure is attributable.
 //
 // --churn switches to temporal conformance: each scenario drives a seeded
 // event schedule (join/leave/crash/sleep/wake/regional failure, plus
@@ -42,6 +54,7 @@
 #include "verify/conformance.h"
 #include "verify/invariants.h"
 #include "verify/scenario.h"
+#include "verify/zoo.h"
 
 namespace {
 
@@ -59,7 +72,9 @@ struct Options {
   std::uint64_t seed = 1;
   bool long_mode = false;
   bool churn = false;
+  bool zoo = false;
   bool plant_churn_bug = false;
+  bool plant_routing_bug = false;
   std::string report_out;
   std::string corpus_out;
   std::string replay_dir;
@@ -69,8 +84,9 @@ struct Options {
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--scenarios N] [--seed S] [--long] [--churn]"
-               " [--plant-churn-bug] [--report-out FILE]"
+            << " [--scenarios N] [--seed S] [--long] [--churn] [--zoo]"
+               " [--plant-churn-bug] [--plant-routing-bug]"
+               " [--report-out FILE]"
                " [--corpus-out DIR] [--replay DIR] [--emit-corpus DIR]"
                " [--telemetry FILE]\n";
   std::exit(2);
@@ -92,8 +108,12 @@ Options parse_args(int argc, char** argv) {
       o.long_mode = true;
     else if (a == "--churn")
       o.churn = true;
+    else if (a == "--zoo")
+      o.zoo = true;
     else if (a == "--plant-churn-bug")
       o.plant_churn_bug = true;
+    else if (a == "--plant-routing-bug")
+      o.plant_routing_bug = true;
     else if (a == "--report-out")
       o.report_out = value();
     else if (a == "--corpus-out")
@@ -147,6 +167,25 @@ verify::ChurnSpec churn_spec_for(std::size_t i, const Options& o) {
   spec.duty_cycle = i % 3 == 1;
   spec.regional_weight = (i % 5 == 4) ? 0.3 : 0.0;
   return spec;
+}
+
+verify::ZooOptions zoo_options_for(std::uint64_t trace_seed,
+                                   const Options& o) {
+  verify::ZooOptions zopt;
+  zopt.checks.trace_seed = trace_seed;
+  zopt.plant_routing_bug = o.plant_routing_bug;
+  // The planted tie-break only manifests through the compass ratio-1
+  // oracle, which runs on the G* row; restricting the sweep keeps every
+  // failure attributable to the mutation (and the mutation run fast).
+  if (o.plant_routing_bug) zopt.only = {"gstar"};
+  // Bose et al.'s 17x is a theorem for their Θ₄-specific routing
+  // algorithm; this harness drives plain theta-routing, for which 17x is
+  // an empirical ceiling that holds through the smoke ladder (n <= 40,
+  // observed max 2.9 at seed 1) but not at long-mode sizes (hub rings at
+  // n=160 reach 30.1). Calibrated like kGrowthBoundPerLog2N: 48 leaves
+  // seed-variance slack while still catching an unbounded-spiral regime.
+  if (o.long_mode) zopt.theta4_routing_ratio_bound = 48.0;
+  return zopt;
 }
 
 verify::ChurnOptions churn_options_for(const verify::ChurnSpec& spec,
@@ -251,6 +290,28 @@ int run_emit(const Options& o, std::ostream& report) {
     return 1;
   }
   report << "emit: " << churn_path << "\n";
+
+  // The routing regression case: the minimal reproducer the
+  // --plant-routing-bug mutation shrinks to. s, t, w sit on one horizontal
+  // line with w beyond t, all mutually in range, so from s both t and w
+  // are *exact* angle-0 compass candidates (identical atan2 bearings). The
+  // correct nearest-first tie-break delivers s -> t in one hop at ratio
+  // exactly 1; the planted farthest-first tie-break overshoots to w, and
+  // from w both s and t tie at angle 0 again, so it bounces w -> s -> w
+  // forever and never delivers. Replayed (bug off, --zoo) it must stay
+  // green forever.
+  verify::CorpusCase trio;
+  trio.name = "routing-compass-collinear-trio";
+  trio.seed = 1;
+  trio.deployment.positions = {{0.1, 0.5}, {0.6, 0.5}, {0.85, 0.5}};
+  trio.deployment.max_range = 0.8;
+  trio.deployment.kappa = 2.0;
+  const std::string trio_path = o.emit_dir + "/" + trio.name + ".case";
+  if (!verify::save_corpus_case(trio_path, trio)) {
+    report << "emit: failed to write " << trio_path << "\n";
+    return 1;
+  }
+  report << "emit: " << trio_path << "\n";
   return 0;
 }
 
@@ -273,7 +334,15 @@ int run_replay(const Options& o, std::ostream& report) {
       continue;
     }
     verify::ConformanceReport r;
-    if (c->events.empty()) {
+    if (c->events.empty() && o.zoo) {
+      // Zoo replay: static reproducers (including the shrunk compass
+      // tie-break case) re-audit the whole builder registry plus the
+      // routing oracles, with no bug planted — they must stay green.
+      verify::ZooOptions zopt = zoo_options_for(c->seed, o);
+      zopt.checks.theta = c->theta;
+      zopt.checks.delta = c->delta;
+      r = verify::run_zoo_conformance(c->deployment, zopt);
+    } else if (c->events.empty()) {
       verify::ConformanceOptions copt;
       copt.theta = c->theta;
       copt.delta = c->delta;
@@ -336,6 +405,37 @@ int run_churn_fuzz(const Options& o, std::ostream& report) {
   return failures == 0 ? 0 : 1;
 }
 
+int run_zoo_fuzz(const Options& o, std::ostream& report) {
+  int failures = 0;
+  for (std::size_t i = 0; i < o.scenarios; ++i) {
+    const verify::ScenarioSpec spec = spec_for(i, o);
+    const topo::Deployment d = verify::build_scenario_deployment(spec);
+    const verify::ZooOptions zopt = zoo_options_for(spec.seed, o);
+    verify::ConformanceReport r = verify::run_zoo_conformance(d, zopt);
+    r.scenario = "zoo-" + verify::scenario_name(spec);
+    report << r.to_string();
+    if (r.pass()) continue;
+    ++failures;
+    verify::ShrinkResult shrunk = verify::shrink_zoo_deployment(d, zopt);
+    report << "shrunk " << r.scenario << ": " << d.size() << " -> "
+           << shrunk.reproducer.size() << " nodes (" << shrunk.evaluations
+           << " evaluations)\n";
+    if (!o.corpus_out.empty()) {
+      std::filesystem::create_directories(o.corpus_out);
+      verify::CorpusCase c;
+      c.name = r.scenario;
+      c.seed = spec.seed;
+      c.deployment = shrunk.reproducer;
+      const std::string path = o.corpus_out + "/" + r.scenario + ".case";
+      if (verify::save_corpus_case(path, c))
+        report << "reproducer written to " << path << "\n";
+    }
+  }
+  report << "zoo-fuzz: " << o.scenarios << " scenarios, " << failures
+         << " failing\n";
+  return failures == 0 ? 0 : 1;
+}
+
 int run_fuzz(const Options& o, std::ostream& report) {
   int failures = 0;
   for (std::size_t i = 0; i < o.scenarios; ++i) {
@@ -390,6 +490,8 @@ int main(int argc, char** argv) {
     rc = run_replay(o, report);
   else if (o.churn)
     rc = run_churn_fuzz(o, report);
+  else if (o.zoo)
+    rc = run_zoo_fuzz(o, report);
   else
     rc = run_fuzz(o, report);
   std::cout << report.str();

@@ -1,0 +1,123 @@
+// Cross-structure scoreboard (sim/scoreboard.h): one row per registered
+// builder, deterministic rows across thread counts, the `only` filter, and
+// the thetanet-scoreboard/1 JSON schema consumed by tools/bench_compare.py.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "common/parallel.h"
+#include "geom/rng.h"
+#include "sim/scoreboard.h"
+#include "topology/builder.h"
+#include "topology/distributions.h"
+
+namespace thetanet {
+namespace {
+
+topo::Deployment uniform_deployment(std::size_t n, std::uint64_t seed,
+                                    double range) {
+  geom::Rng rng(seed);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = range;
+  d.kappa = 2.0;
+  return d;
+}
+
+std::string table_string(const sim::Scoreboard& sb) {
+  std::ostringstream os;
+  sim::scoreboard_table(sb).print(os);
+  return os.str();
+}
+
+std::string json_string(const sim::Scoreboard& sb,
+                        const sim::ScoreboardMeta& meta) {
+  std::ostringstream os;
+  sim::write_scoreboard_json(os, meta, sb);
+  return os.str();
+}
+
+sim::ScoreboardOptions fast_options() {
+  sim::ScoreboardOptions opt;
+  opt.run_router = false;  // the router leg is the CLI ctest's business
+  opt.routing_pairs = 64;
+  return opt;
+}
+
+TEST(Scoreboard, OneRowPerRegisteredBuilder) {
+  const topo::Deployment d = uniform_deployment(40, 9, 0.4);
+  const sim::Scoreboard sb = sim::run_scoreboard(d, fast_options());
+  const auto& reg = topo::builder_registry();
+  ASSERT_EQ(sb.rows.size(), reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i)
+    EXPECT_EQ(sb.rows[i].builder, reg[i].name);
+  // The reference structure G* dominates edge count; ALG bounds degree.
+  const auto gstar = std::find_if(sb.rows.begin(), sb.rows.end(),
+                                  [](const auto& r) {
+                                    return r.builder == "gstar";
+                                  });
+  ASSERT_NE(gstar, sb.rows.end());
+  for (const sim::ScoreboardRow& r : sb.rows)
+    EXPECT_LE(r.edges, gstar->edges) << r.builder;
+}
+
+TEST(Scoreboard, OnlyFilterSelectsAndOrdersByRegistry) {
+  const topo::Deployment d = uniform_deployment(30, 9, 0.4);
+  sim::ScoreboardOptions opt = fast_options();
+  opt.only = {"gstar", "theta4"};  // registry order wins, not request order
+  const sim::Scoreboard sb = sim::run_scoreboard(d, opt);
+  ASSERT_EQ(sb.rows.size(), 2u);
+  EXPECT_EQ(sb.rows[0].builder, "theta4");
+  EXPECT_EQ(sb.rows[1].builder, "gstar");
+}
+
+TEST(Scoreboard, TableAndJsonAreDeterministicAcrossThreads) {
+  const topo::Deployment d = uniform_deployment(64, 11, 0.35);
+  const sim::ScoreboardMeta meta{42, "uniform"};
+  tn::set_num_threads(1);
+  const sim::Scoreboard base = sim::run_scoreboard(d, fast_options());
+  const std::string base_table = table_string(base);
+  const std::string base_json = json_string(base, meta);
+  EXPECT_NE(base_json.find("\"schema\": \"thetanet-scoreboard/1\""),
+            std::string::npos);
+  EXPECT_NE(base_table.find("theta"), std::string::npos);
+  for (const int threads : {2, 4}) {
+    tn::set_num_threads(threads);
+    const sim::Scoreboard got = sim::run_scoreboard(d, fast_options());
+    EXPECT_EQ(table_string(got), base_table) << "tn=" << threads;
+    EXPECT_EQ(json_string(got, meta), base_json) << "tn=" << threads;
+  }
+  tn::set_num_threads(1);
+}
+
+TEST(Scoreboard, DisconnectedStructuresReportInfiniteStretch) {
+  // A tight chain whose range only reaches adjacent nodes: hng isolates any
+  // level-1 node with no higher-level node in range (no worst-case
+  // connectivity guarantee on sparse G* — the gap the scoreboard makes
+  // visible), and its stretch columns must render "inf", not junk. G*
+  // itself stays connected, so the reference row keeps finite stretch.
+  topo::Deployment d;
+  for (int i = 0; i < 32; ++i) d.positions.push_back({0.1 * i, 0.2});
+  d.max_range = 0.15;
+  d.kappa = 2.0;
+  const sim::Scoreboard sb = sim::run_scoreboard(d, fast_options());
+  const auto row = [&](const std::string& name) {
+    return std::find_if(sb.rows.begin(), sb.rows.end(),
+                        [&](const auto& r) { return r.builder == name; });
+  };
+  const auto gstar = row("gstar");
+  ASSERT_NE(gstar, sb.rows.end());
+  EXPECT_EQ(gstar->components, 1u);
+  EXPECT_FALSE(gstar->stretch_disconnected);
+  const auto hng = row("hng");
+  ASSERT_NE(hng, sb.rows.end());
+  EXPECT_GE(hng->components, 2u);
+  EXPECT_TRUE(hng->stretch_disconnected);
+  EXPECT_NE(table_string(sb).find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thetanet

@@ -1,0 +1,277 @@
+// The topology zoo (topology/builder.h): registry integrity, the shared
+// normalize_edges() edge-list contract across every builder and input
+// family, byte-identical builds across Morton on/off and thread counts
+// (the spatial_order_test pattern applied to the whole registry), and the
+// structural expectations of the three literature competitors (Theta-Theta,
+// Θ₄, hierarchical neighbor graphs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/theta_topology.h"
+#include "geom/rng.h"
+#include "geom/spatial_order.h"
+#include "topology/builder.h"
+#include "topology/cones.h"
+#include "topology/distributions.h"
+#include "topology/hng.h"
+#include "topology/normalize.h"
+#include "topology/proximity.h"
+#include "topology/theta_graphs.h"
+#include "topology/transmission_graph.h"
+
+namespace thetanet {
+namespace {
+
+using topo::EdgePair;
+
+topo::Deployment uniform_deployment(std::size_t n, std::uint64_t seed,
+                                    double range) {
+  geom::Rng rng(seed);
+  topo::Deployment d;
+  d.positions = topo::uniform_square(n, 1.0, rng);
+  d.max_range = range;
+  d.kappa = 2.0;
+  return d;
+}
+
+/// Input families the edge-list contract must survive: generic, coincident
+/// points, exact collinearity, tiny n.
+std::vector<topo::Deployment> contract_families() {
+  std::vector<topo::Deployment> out;
+  out.push_back(uniform_deployment(48, 0xbade, 0.35));
+  topo::Deployment coincident;
+  coincident.positions.assign(7, {0.5, 0.5});
+  coincident.positions.push_back({0.6, 0.5});
+  coincident.max_range = 1.0;
+  coincident.kappa = 2.0;
+  out.push_back(coincident);
+  topo::Deployment collinear;
+  for (int i = 0; i < 9; ++i)
+    collinear.positions.push_back({0.05 + 0.09 * i, 0.4});
+  collinear.max_range = 0.3;
+  collinear.kappa = 3.0;
+  out.push_back(collinear);
+  for (const std::size_t n : {0u, 1u, 2u})
+    out.push_back(uniform_deployment(n, 0x51 + n, 0.5));
+  return out;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+std::vector<std::uint64_t> graph_blob(const graph::Graph& g) {
+  std::vector<std::uint64_t> blob;
+  blob.push_back(g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    blob.push_back(e.u);
+    blob.push_back(e.v);
+    blob.push_back(double_bits(e.length));
+    blob.push_back(double_bits(e.cost));
+  }
+  return blob;
+}
+
+TEST(BuilderRegistry, LookupAndCoverage) {
+  const auto& reg = topo::builder_registry();
+  ASSERT_GE(reg.size(), 12u);
+  EXPECT_EQ(reg.front().name, "theta");  // the paper's ALG leads
+  EXPECT_EQ(reg.back().name, "gstar");   // the reference closes
+  const std::string names = topo::builder_names();
+  std::set<std::string> seen;
+  for (const auto& b : reg) {
+    EXPECT_TRUE(seen.insert(b.name).second) << "duplicate " << b.name;
+    EXPECT_NE(names.find(b.name), std::string::npos);
+    const topo::TopologyBuilder* found = topo::find_builder(b.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, b.name);
+  }
+  for (const char* competitor : {"theta-theta", "theta4", "hng"})
+    EXPECT_NE(topo::find_builder(competitor), nullptr) << competitor;
+  EXPECT_EQ(topo::find_builder("no-such-structure"), nullptr);
+}
+
+TEST(BuilderZoo, NormalizeEdgesCanonicalizesAnyInput) {
+  // Raw collections with reversed pairs, duplicates (in both orientations),
+  // and self-loops — normalize_edges must canonicalize all of it.
+  std::vector<EdgePair> pairs = {{3, 1}, {1, 3}, {2, 2}, {0, 4},
+                                 {4, 0}, {1, 2}, {2, 1}, {0, 4}};
+  topo::normalize_edges(pairs);
+  const std::vector<EdgePair> want = {{0, 4}, {1, 2}, {1, 3}};
+  EXPECT_EQ(pairs, want);
+
+  geom::Rng rng(0xabc);
+  std::vector<EdgePair> fuzz;
+  for (int i = 0; i < 500; ++i)
+    fuzz.emplace_back(static_cast<graph::NodeId>(rng.uniform_index(20)),
+                      static_cast<graph::NodeId>(rng.uniform_index(20)));
+  topo::normalize_edges(fuzz);
+  for (std::size_t i = 0; i < fuzz.size(); ++i) {
+    EXPECT_LT(fuzz[i].first, fuzz[i].second);
+    if (i > 0) {
+      EXPECT_LT(fuzz[i - 1], fuzz[i]);  // strict: sorted + unique
+    }
+  }
+}
+
+TEST(BuilderZoo, EveryBuilderHonoursTheEdgeListContract) {
+  for (const topo::Deployment& d : contract_families()) {
+    const graph::Graph gstar = topo::build_transmission_graph(d);
+    for (const topo::TopologyBuilder& b : topo::builder_registry()) {
+      SCOPED_TRACE(b.name + " on n=" + std::to_string(d.size()));
+      const graph::Graph g = b.build(d);
+      ASSERT_EQ(g.num_nodes(), d.size());
+      for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+        const graph::Edge ed = g.edge(e);
+        ASSERT_LT(ed.u, ed.v);
+        if (e > 0) {
+          const graph::Edge prev = g.edge(e - 1);
+          ASSERT_TRUE(prev.u < ed.u || (prev.u == ed.u && prev.v < ed.v))
+              << "edge " << e << " breaks lexicographic order";
+        }
+        ASSERT_LE(ed.length, d.max_range + 1e-12);
+        ASSERT_EQ(double_bits(ed.length), double_bits(d.distance(ed.u, ed.v)));
+        ASSERT_NE(gstar.find_edge(ed.u, ed.v), graph::kInvalidEdge)
+            << "edge outside G*";
+      }
+    }
+  }
+}
+
+TEST(BuilderZoo, MstEdgesAreLexicographicallyNormalized) {
+  // Regression: mst_subgraph emits Kruskal acceptance order; the builder
+  // must renormalize (caught by the zoo structure check on first run).
+  const topo::Deployment d = uniform_deployment(64, 0x357, 0.4);
+  const graph::Graph mst = topo::euclidean_mst(d);
+  ASSERT_GT(mst.num_edges(), 0u);
+  for (graph::EdgeId e = 1; e < mst.num_edges(); ++e) {
+    const graph::Edge a = mst.edge(e - 1), b = mst.edge(e);
+    EXPECT_TRUE(a.u < b.u || (a.u == b.u && a.v < b.v));
+  }
+}
+
+TEST(BuilderZoo, RestrictedDelaunayKeepsGabrielOnDegenerateChains) {
+  // Regression: the fp Bowyer-Watson kernel dropped edges on exponential
+  // chains, disconnecting the RDG where G* wasn't. Gabriel edges are
+  // unioned back in, restoring the subset property that carries the
+  // connectivity and stretch claims.
+  geom::Rng rng(0xcade);
+  topo::Deployment d;
+  d.positions = topo::exponential_chain(160, 0.01, 1.15, rng);
+  d.max_range = 1.0;
+  d.kappa = 2.0;
+  const graph::Graph rdg = topo::restricted_delaunay_graph(d);
+  const graph::Graph gg = topo::gabriel_graph(d);
+  for (graph::EdgeId e = 0; e < gg.num_edges(); ++e)
+    EXPECT_NE(rdg.find_edge(gg.edge(e).u, gg.edge(e).v), graph::kInvalidEdge);
+}
+
+TEST(BuilderZoo, ThetaRegistryEntryMatchesThetaTopology) {
+  const topo::Deployment d = uniform_deployment(96, 0x7e7a, 0.3);
+  const topo::TopologyBuilder* b = topo::find_builder("theta");
+  ASSERT_NE(b, nullptr);
+  const core::ThetaTopology tt(d, std::numbers::pi / 9.0);
+  EXPECT_EQ(graph_blob(b->build(d)), graph_blob(tt.graph()));
+}
+
+TEST(ThetaTheta, DegreeBoundAndSubsetOfThetaGraph) {
+  const topo::ConeScheme scheme{12, 0.0};
+  for (const std::uint64_t seed : {2ULL, 5ULL}) {
+    const topo::Deployment d = uniform_deployment(80, seed, 0.5);
+    const graph::Graph theta = topo::theta_graph(d, scheme);
+    const graph::Graph tt = topo::theta_theta_graph(d, scheme);
+    // Phase 2 prunes incoming edges per cone: Theta-Theta ⊆ Θ-graph, and
+    // each node keeps <= k outgoing selections + k surviving incoming.
+    for (graph::EdgeId e = 0; e < tt.num_edges(); ++e)
+      EXPECT_NE(theta.find_edge(tt.edge(e).u, tt.edge(e).v),
+                graph::kInvalidEdge);
+    EXPECT_LE(tt.max_degree(), 2u * 12u);
+  }
+}
+
+TEST(Theta4, FourConesCentredOnAxes) {
+  const topo::ConeScheme s = topo::theta4_scheme();
+  EXPECT_EQ(s.k, 4);
+  // Cone boundaries along y = ±x: the +x axis direction is strictly inside
+  // a cone, as are the other three axis directions, all distinct cones.
+  std::set<int> cones;
+  const geom::Vec2 o{0.0, 0.0};
+  for (const geom::Vec2 dir :
+       {geom::Vec2{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}})
+    cones.insert(s.cone_of(o, dir));
+  EXPECT_EQ(cones.size(), 4u);
+
+  const topo::Deployment d = uniform_deployment(60, 0x44, 1.5);
+  const graph::Graph t4 = topo::theta4_graph(d);
+  ASSERT_GT(t4.num_edges(), 0u);
+  // <= 4 outgoing selections per node: at most 4n/... edges total.
+  EXPECT_LE(t4.num_edges(), 4 * d.size());
+}
+
+TEST(Hng, LevelsAreDeterministicAndGeometric) {
+  const topo::HngParams p;
+  std::size_t ones = 0, n = 4096;
+  for (std::size_t u = 0; u < n; ++u) {
+    const int l = topo::hng_level(static_cast<graph::NodeId>(u), p);
+    ASSERT_GE(l, 1);
+    ASSERT_LE(l, p.max_level);
+    EXPECT_EQ(topo::hng_level(static_cast<graph::NodeId>(u), p), l);
+    if (l == 1) ++ones;
+  }
+  // Geometric(1/2): about half the nodes stay at level 1.
+  EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Hng, ConnectedOnCompleteInstances) {
+  for (const std::uint64_t seed : {3ULL, 9ULL, 27ULL}) {
+    const topo::Deployment d = uniform_deployment(64, seed, 1.5);
+    const graph::Graph g = topo::hng_graph(d);
+    // Every node of level l links to one strictly-higher-level node per
+    // slot; max-level nodes are chained — connected whenever G* is
+    // complete (the registry's connected_complete claim).
+    std::vector<graph::NodeId> parent(d.size());
+    for (graph::NodeId u = 0; u < d.size(); ++u) parent[u] = u;
+    const auto find = [&](graph::NodeId u) {
+      while (parent[u] != u) u = parent[u] = parent[parent[u]];
+      return u;
+    };
+    for (const graph::Edge& e : g.edges()) parent[find(e.u)] = find(e.v);
+    std::set<graph::NodeId> roots;
+    for (graph::NodeId u = 0; u < d.size(); ++u) roots.insert(find(u));
+    EXPECT_EQ(roots.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(BuilderZoo, BuildsAreInvariantUnderMortonAndThreads) {
+  const topo::Deployment d = uniform_deployment(400, 0x2004, 0.2);
+  for (const topo::TopologyBuilder& b : topo::builder_registry()) {
+    SCOPED_TRACE(b.name);
+    geom::set_spatial_order_enabled(false);
+    tn::set_num_threads(1);
+    const std::vector<std::uint64_t> baseline = graph_blob(b.build(d));
+    for (const bool morton : {false, true}) {
+      for (const int threads : {1, 2, 4}) {
+        geom::set_spatial_order_enabled(morton);
+        tn::set_num_threads(threads);
+        EXPECT_EQ(graph_blob(b.build(d)), baseline)
+            << "morton=" << morton << " threads=" << threads;
+      }
+    }
+    geom::set_spatial_order_enabled(true);
+    tn::set_num_threads(1);
+  }
+}
+
+}  // namespace
+}  // namespace thetanet

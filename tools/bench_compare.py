@@ -5,9 +5,9 @@ Usage:
     bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
                      [--min-ms 1.0] [--min-rss-mb 50.0]
 
-Two schemas are understood, detected from the document's "schema" field:
+Three schemas are understood, detected from the document's "schema" field:
 
-  * BENCH_kernels.json (no schema field, or anything that is not the router
+  * BENCH_kernels.json (no schema field, or anything that is not a known
     schema): entries are matched on (kernel, n, threads).
   * BENCH_router.json ("schema": "thetanet-bench-router/..."): entries are
     matched on (workload, engine, n, rate, rounds, threads), and two extra
@@ -18,6 +18,15 @@ Two schemas are understood, detected from the document's "schema" field:
     the noise floor FAILS (the sustained loop must hold a flat footprint
     after warm-up). A fresh "reference_plans_match": false (the SoA engines
     diverged from the brute-force oracle) also fails.
+  * scoreboard.json ("schema": "thetanet-scoreboard/..."): the quality
+    scoreboard emitted by `thetanet_cli scoreboard`. Entries are matched on
+    (builder, n, seed, dist) and there is no timing — the gates are the
+    quality metrics themselves: distance/energy stretch, max degree,
+    interference, and the compass/theta routing ratios regress when they
+    GROW by more than --threshold; throughput regresses when it DROPS by
+    more than --threshold. A null stretch means the structure is
+    disconnected: finite -> null is a regression, null -> finite an
+    improvement, null -> null comparable-but-skipped.
 
 Both files must use the same schema; mixing them exits 2.
 
@@ -39,8 +48,20 @@ import json
 import sys
 
 ROUTER_SCHEMA_PREFIX = "thetanet-bench-router"
+SCOREBOARD_SCHEMA_PREFIX = "thetanet-scoreboard"
 KERNEL_KEY = ("kernel", "n", "threads")
 ROUTER_KEY = ("workload", "engine", "n", "rate", "rounds", "threads")
+SCOREBOARD_KEY = ("builder", "n", "seed", "dist")
+# Quality gates of the scoreboard schema: (field, direction that regresses).
+SCOREBOARD_GATES = (
+    ("distance_stretch", "up"),
+    ("energy_stretch", "up"),
+    ("max_degree", "up"),
+    ("interference", "up"),
+    ("compass_ratio", "up"),
+    ("theta_ratio", "up"),
+    ("throughput", "down"),
+)
 
 
 def load(path):
@@ -54,16 +75,20 @@ def load(path):
 
 def schema_of(doc):
     schema = str(doc.get("schema", ""))
-    return "router" if schema.startswith(ROUTER_SCHEMA_PREFIX) else "kernels"
+    if schema.startswith(ROUTER_SCHEMA_PREFIX):
+        return "router"
+    if schema.startswith(SCOREBOARD_SCHEMA_PREFIX):
+        return "scoreboard"
+    return "kernels"
 
 
-def entries(doc, path, key_fields):
+def entries(doc, path, key_fields, metric_fields=("ms",)):
     """Index records by the schema's key tuple, validating fields up front.
 
     A malformed record used to surface as a bare KeyError traceback, which
     masked the actual diff; exit 3 with the file and record index instead.
     """
-    required = key_fields + ("ms",)
+    required = key_fields + metric_fields
     out = {}
     for i, r in enumerate(doc.get("results", [])):
         missing = [k for k in required if k not in r]
@@ -83,6 +108,54 @@ def label(key_fields, key):
     else:
         pairs = zip(key_fields[1:], key[1:])
     return head + "".join(f" {k}={v}" for k, v in pairs)
+
+
+def compare_scoreboard(base, fresh, key_fields, threshold):
+    """Gate the scoreboard's quality metrics; returns (#regr, #impr).
+
+    Prints one FAIL/improved line per metric move beyond the threshold.
+    """
+    regressions, improvements = 0, 0
+    common = sorted(set(base) & set(fresh))
+    for key in common:
+        name = label(key_fields, key)
+        for field, bad in SCOREBOARD_GATES:
+            b, f = base[key][field], fresh[key][field]
+            if b is None and f is None:
+                continue
+            if b is None or f is None:
+                # Stretch nulls encode disconnection; appearing is a
+                # regression, clearing is an improvement.
+                if f is None:
+                    print(f"FAIL: {name}: {field} became null "
+                          f"(structure disconnected, was {b})")
+                    regressions += 1
+                else:
+                    print(f"improved: {name}: {field} {b} -> {f} "
+                          f"(structure reconnected)")
+                    improvements += 1
+                continue
+            if b <= 0:
+                continue
+            ratio = f / b
+            worse = (ratio > 1.0 + threshold if bad == "up"
+                     else ratio < 1.0 / (1.0 + threshold))
+            better = (ratio < 1.0 / (1.0 + threshold) if bad == "up"
+                      else ratio > 1.0 + threshold)
+            if worse:
+                print(f"FAIL: {name}: {field} {b:.4g} -> {f:.4g} "
+                      f"({ratio:.2f}x)")
+                regressions += 1
+            elif better:
+                print(f"improved: {name}: {field} {b:.4g} -> {f:.4g} "
+                      f"({ratio:.2f}x)")
+                improvements += 1
+    print(f"bench_compare: {len(common)} comparable entries, "
+          f"{regressions} regressions, {improvements} improvements")
+    if not common:
+        print("bench_compare: warning: no overlapping "
+              f"({', '.join(key_fields)}) entries between the two files")
+    return regressions, improvements
 
 
 def main():
@@ -108,6 +181,14 @@ def main():
               f"{schema_of(base_doc)}, {args.fresh} is {mode}",
               file=sys.stderr)
         sys.exit(2)
+    if mode == "scoreboard":
+        metric_fields = tuple(f for f, _ in SCOREBOARD_GATES)
+        base = entries(base_doc, args.baseline, SCOREBOARD_KEY, metric_fields)
+        fresh = entries(fresh_doc, args.fresh, SCOREBOARD_KEY, metric_fields)
+        n_regr, _ = compare_scoreboard(base, fresh, SCOREBOARD_KEY,
+                                       args.threshold)
+        sys.exit(1 if n_regr else 0)
+
     key_fields = ROUTER_KEY if mode == "router" else KERNEL_KEY
     base = entries(base_doc, args.baseline, key_fields)
     fresh = entries(fresh_doc, args.fresh, key_fields)

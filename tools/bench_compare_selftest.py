@@ -227,6 +227,95 @@ def test_router_missing_key_field_exit_3(tmp):
     assert "results[0] is missing" in p.stderr
 
 
+def scoreboard_record(builder="theta", n=200, seed=7, dist="uniform", **kw):
+    r = {"builder": builder, "n": n, "seed": seed, "dist": dist,
+         "distance_stretch": 1.2, "energy_stretch": 1.0, "max_degree": 14,
+         "interference": 60, "compass_ratio": 2.1, "theta_ratio": 2.4,
+         "throughput": 0.8}
+    r.update(kw)
+    return r
+
+
+def scoreboard_doc(*records):
+    return {"schema": "thetanet-scoreboard/1", "results": list(records)}
+
+
+def test_scoreboard_identical_files_pass(tmp):
+    doc = scoreboard_doc(scoreboard_record(),
+                         scoreboard_record(builder="gstar", max_degree=30))
+    p = run_compare(tmp, doc, doc)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "0 regressions" in p.stdout
+
+
+def test_scoreboard_stretch_growth_fails(tmp):
+    base = scoreboard_doc(scoreboard_record(distance_stretch=1.2))
+    fresh = scoreboard_doc(scoreboard_record(distance_stretch=2.0))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "distance_stretch" in p.stdout and "FAIL" in p.stdout
+
+
+def test_scoreboard_throughput_drop_fails(tmp):
+    # Throughput regresses DOWNWARD, unlike the grow-bad quality metrics.
+    base = scoreboard_doc(scoreboard_record(throughput=0.8))
+    fresh = scoreboard_doc(scoreboard_record(throughput=0.4))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "throughput" in p.stdout and "FAIL" in p.stdout
+
+
+def test_scoreboard_throughput_gain_is_improvement(tmp):
+    base = scoreboard_doc(scoreboard_record(throughput=0.4))
+    fresh = scoreboard_doc(scoreboard_record(throughput=0.8))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "improved" in p.stdout
+
+
+def test_scoreboard_disconnection_fails(tmp):
+    # null stretch = the structure went disconnected.
+    base = scoreboard_doc(scoreboard_record(distance_stretch=1.2))
+    fresh = scoreboard_doc(scoreboard_record(distance_stretch=None))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "disconnected" in p.stdout
+
+
+def test_scoreboard_reconnection_is_improvement(tmp):
+    base = scoreboard_doc(scoreboard_record(distance_stretch=None,
+                                            energy_stretch=None))
+    fresh = scoreboard_doc(scoreboard_record(distance_stretch=1.2,
+                                             energy_stretch=1.0))
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "reconnected" in p.stdout
+
+
+def test_scoreboard_both_null_is_comparable(tmp):
+    doc = scoreboard_doc(scoreboard_record(distance_stretch=None,
+                                           energy_stretch=None))
+    p = run_compare(tmp, doc, doc)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "1 comparable entries" in p.stdout
+
+
+def test_scoreboard_missing_metric_exit_3(tmp):
+    doc = scoreboard_doc(scoreboard_record())
+    bad = scoreboard_doc({"builder": "theta", "n": 200, "seed": 7,
+                          "dist": "uniform"})
+    p = run_compare(tmp, doc, bad)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "results[0] is missing" in p.stderr
+
+
+def test_scoreboard_vs_kernels_schema_mismatch_exit_2(tmp):
+    p = run_compare(tmp, {"results": [record()]},
+                    scoreboard_doc(scoreboard_record()))
+    assert p.returncode == 2, p.stdout + p.stderr
+    assert "schema mismatch" in p.stderr
+
+
 def test_schema_mismatch_exit_2(tmp):
     kernels = {"results": [record()]}
     router = router_doc(router_record())

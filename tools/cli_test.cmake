@@ -29,12 +29,39 @@ run_step(${CLI} build --in dep.tsv --topology knn --k 4 --out knn.tsv)
 run_step(${CLI} build --in dep.tsv --topology mst --out mst.tsv)
 run_step(${CLI} generate --n 40 --dist hub --seed 2 --out hub.tsv)
 run_step(${CLI} build --in hub.tsv --topology yao --theta 30 --out hubyao.tsv)
+run_step(${CLI} build --in dep.tsv --topology theta-theta --cones 12
+         --out tt.tsv)
+run_step(${CLI} build --in dep.tsv --topology theta4 --out t4.tsv)
+run_step(${CLI} build --in dep.tsv --topology hng --out hng.tsv)
 
-foreach(f dep.tsv topo.tsv topo.svg gg.tsv beta.tsv cbtc.tsv knn.tsv mst.tsv hub.tsv hubyao.tsv)
+foreach(f dep.tsv topo.tsv topo.svg gg.tsv beta.tsv cbtc.tsv knn.tsv mst.tsv hub.tsv hubyao.tsv tt.tsv t4.tsv hng.tsv)
   if(NOT EXISTS ${WORKDIR}/${f})
     message(FATAL_ERROR "expected output ${f} missing")
   endif()
 endforeach()
+
+# scoreboard: the cross-structure table plus CSV and JSON artifacts. The
+# router leg is off here to keep the round trip fast — the dedicated
+# scoreboard_* ctest entries run it on.
+run_step(${CLI} scoreboard --n 36 --dist uniform --seed 3 --router 0
+         --csv scoreboard.csv --json scoreboard.json)
+foreach(f scoreboard.csv scoreboard.json)
+  if(NOT EXISTS ${WORKDIR}/${f})
+    message(FATAL_ERROR "expected scoreboard output ${f} missing")
+  endif()
+endforeach()
+file(READ ${WORKDIR}/scoreboard.json scoreboard_json)
+if(NOT scoreboard_json MATCHES "thetanet-scoreboard/1")
+  message(FATAL_ERROR "scoreboard JSON is missing its schema tag")
+endif()
+
+# An unknown builder in --only must fail loudly, not silently skip.
+execute_process(COMMAND ${CLI} scoreboard --n 12 --only no-such-structure
+  WORKING_DIRECTORY ${WORKDIR} RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "scoreboard with an unknown --only builder should fail")
+endif()
 
 # report: render a telemetry dump (with and without a baseline) to markdown
 # plus one sparkline SVG per series.

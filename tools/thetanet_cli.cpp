@@ -4,6 +4,8 @@
 //   thetanet_cli build    --in dep.tsv --topology theta --theta 20
 //                         --out topo.tsv --svg topo.svg
 //   thetanet_cli stats    --in dep.tsv --graph topo.tsv
+//   thetanet_cli scoreboard --n 200 --dist uniform --seed 7
+//                         --json scoreboard.json
 //   thetanet_cli report   --in run.json --baseline prev.json
 //                         --out report.md
 //
@@ -11,8 +13,15 @@
 //           hub). --range defaults to the connectivity radius
 //           1.6*sqrt(ln n / n); --kappa defaults to 2.
 // build:    topologies (theta | yao | gabriel | rng | rdelaunay | knn |
-//           mst | cbtc | beta). --theta in degrees (default 20);
-//           --beta, --k, --alpha for the respective baselines.
+//           mst | cbtc | beta | theta-theta | theta4 | hng | any registry
+//           builder name). --theta in degrees (default 20); --beta, --k,
+//           --alpha, --cones for the respective baselines.
+// scoreboard: build every registered TopologyBuilder over one generated
+//           deployment and print the cross-structure table (stretch, max
+//           degree, interference, O(1)-memory routing ratio, router
+//           throughput). --only restricts to a comma-separated builder
+//           list; --json writes the "thetanet-scoreboard/1" record for
+//           tools/bench_compare.py; --csv for plotting.
 // stats:    degree / stretch / interference summary of a graph against the
 //           deployment's transmission graph.
 // report:   render a telemetry dump (obs::write_telemetry_json output) as a
@@ -39,13 +48,17 @@
 #include "graph/connectivity.h"
 #include "graph/stretch.h"
 #include "interference/model.h"
+#include "sim/scoreboard.h"
 #include "sim/svg.h"
 #include "sim/table.h"
+#include "topology/builder.h"
 #include "topology/cbtc.h"
 #include "topology/distributions.h"
+#include "topology/hng.h"
 #include "topology/io.h"
 #include "topology/metrics.h"
 #include "topology/proximity.h"
+#include "topology/theta_graphs.h"
 #include "topology/transmission_graph.h"
 
 namespace {
@@ -77,9 +90,13 @@ double get_num(const Args& a, const std::string& key, double fallback) {
   return it == a.end() ? fallback : std::stod(it->second);
 }
 
-int cmd_generate(const Args& args) {
+/// Shared deployment generator for `generate` and `scoreboard` (same flags,
+/// same seeds, same distributions). Returns nullopt on an unknown --dist.
+std::optional<topo::Deployment> make_deployment(const Args& args,
+                                                std::string* dist_out) {
   const std::size_t n = static_cast<std::size_t>(get_num(args, "n", 256));
   const std::string dist = get(args, "dist", "uniform");
+  if (dist_out) *dist_out = dist;
   geom::Rng rng(static_cast<std::uint64_t>(get_num(args, "seed", 1)));
   topo::Deployment d;
   d.kappa = get_num(args, "kappa", 2.0);
@@ -102,8 +119,16 @@ int cmd_generate(const Args& args) {
     d.max_range = get_num(args, "range", 1.2);
   } else {
     std::fprintf(stderr, "unknown --dist '%s'\n", dist.c_str());
-    return 2;
+    return std::nullopt;
   }
+  return d;
+}
+
+int cmd_generate(const Args& args) {
+  std::string dist;
+  const auto maybe_d = make_deployment(args, &dist);
+  if (!maybe_d) return 2;
+  const topo::Deployment& d = *maybe_d;
   const std::string out = get(args, "out", "deployment.tsv");
   if (!topo::save_deployment(out, d)) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -146,8 +171,19 @@ int cmd_build(const Args& args) {
     g = topo::beta_skeleton(*d, get_num(args, "beta", 1.0));
   } else if (kind == "gstar") {
     g = topo::build_transmission_graph(*d);
+  } else if (kind == "theta-theta") {
+    g = topo::theta_theta_graph(
+        *d, topo::ConeScheme{
+                static_cast<int>(get_num(args, "cones", 12)), 0.0});
+  } else if (kind == "theta4") {
+    g = topo::theta4_graph(*d);
+  } else if (kind == "hng") {
+    g = topo::hng_graph(*d);
+  } else if (const topo::TopologyBuilder* b = topo::find_builder(kind)) {
+    g = b->build(*d);
   } else {
-    std::fprintf(stderr, "unknown --topology '%s'\n", kind.c_str());
+    std::fprintf(stderr, "unknown --topology '%s' (registry: %s)\n",
+                 kind.c_str(), topo::builder_names().c_str());
     return 2;
   }
   const std::string out = get(args, "out", "topology.tsv");
@@ -205,6 +241,69 @@ int cmd_stats(const Args& args) {
             sl.disconnected ? "inf" : sim::fmt(sl.max, 3)})
       .row({"interference number", sim::fmt(inum)});
   t.print(std::cout);
+  return 0;
+}
+
+int cmd_scoreboard(const Args& args) {
+  std::string dist;
+  const auto d = make_deployment(args, &dist);
+  if (!d) return 2;
+
+  sim::ScoreboardOptions opt;
+  opt.delta = get_num(args, "delta", 1.0);
+  opt.routing_pairs =
+      static_cast<std::size_t>(get_num(args, "pairs", 512));
+  opt.routing_seed =
+      static_cast<std::uint64_t>(get_num(args, "routing-seed", 1));
+  opt.trace_seed = static_cast<std::uint64_t>(get_num(args, "trace-seed", 1));
+  opt.run_router = get_num(args, "router", 1) != 0;
+  const std::string only = get(args, "only", "");
+  for (std::size_t pos = 0; pos < only.size();) {
+    const std::size_t comma = std::min(only.find(',', pos), only.size());
+    if (comma > pos) {
+      const std::string name = only.substr(pos, comma - pos);
+      if (!topo::find_builder(name)) {
+        std::fprintf(stderr, "unknown builder '%s' in --only (registry: %s)\n",
+                     name.c_str(), topo::builder_names().c_str());
+        return 2;
+      }
+      opt.only.push_back(name);
+    }
+    pos = comma + 1;
+  }
+
+  const sim::Scoreboard sb = sim::run_scoreboard(*d, opt);
+  const sim::Table t = sim::scoreboard_table(sb);
+  t.print(std::cout);
+
+  const std::string csv = get(args, "csv", "");
+  if (!csv.empty()) {
+    std::ofstream cf(csv, std::ios::binary | std::ios::trunc);
+    if (!cf) {
+      std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+      return 1;
+    }
+    t.print_csv(cf);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+
+  const std::string json = get(args, "json", "");
+  if (!json.empty()) {
+    std::ofstream jf(json, std::ios::binary | std::ios::trunc);
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    sim::ScoreboardMeta meta;
+    meta.seed = static_cast<std::uint64_t>(get_num(args, "seed", 1));
+    meta.dist = dist;
+    sim::write_scoreboard_json(jf, meta, sb);
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json.c_str());
+  }
   return 0;
 }
 
@@ -385,7 +484,8 @@ int cmd_report(const Args& args) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: thetanet_cli <generate|build|stats|report> [--flag value]...\n"
+      "usage: thetanet_cli <generate|build|stats|scoreboard|report> "
+      "[--flag value]...\n"
       "see the header comment of tools/thetanet_cli.cpp\n");
 }
 
@@ -401,6 +501,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "build") return cmd_build(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "scoreboard") return cmd_scoreboard(args);
   if (cmd == "report") return cmd_report(args);
   usage();
   return 2;
