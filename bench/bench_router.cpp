@@ -22,6 +22,12 @@
 // 1/2/4 must plan identical transmissions) and as the reference-equivalence
 // check (the oracle must plan the same stream at matched workload).
 //
+// The matrix also sweeps the quantized router's control-plane ledger
+// (quantum 2, matched Poisson workload) across the node sizes and writes a
+// "control_plane" section — control messages/bytes per node per round —
+// which bench_compare gates for flatness as n grows (the constant
+// per-node control-bandwidth claim of ROADMAP item 2).
+//
 // Each entry is timed in a forked child (same isolation rationale as
 // bench_kernels: allocator state must not leak across entries; an RLIMIT_AS
 // backstop catches runaway allocation under --max-rss-mb).
@@ -60,6 +66,7 @@
 
 #include "common/parallel.h"
 #include "core/balancing_router.h"
+#include "core/quantized_router.h"
 #include "core/theta_topology.h"
 #include "geom/rng.h"
 #include "obs/metrics.h"
@@ -122,6 +129,9 @@ struct RunConfig {
   double gamma = 0.0;
   std::size_t max_height = 32;
   int threads = 0;  // 0: inherit (TN_NUM_THREADS / set_num_threads)
+  /// >= 1: run the QuantizedHeightRouter at this advertisement quantum
+  /// instead of the plain engine (the control-plane ledger sweep).
+  std::size_t quantum = 0;
 };
 
 struct SimOut {
@@ -134,6 +144,8 @@ struct SimOut {
   std::uint64_t dropped = 0;  // at injection + in transit
   std::uint64_t leftover = 0;
   std::uint64_t peak_buffer = 0;
+  std::uint64_t control_messages = 0;  // quantized engine only
+  std::uint64_t control_bytes = 0;     // quantized engine only
   double warm_rss_mb = 0.0;
   double peak_rss_mb = 0.0;
 };
@@ -157,7 +169,7 @@ SimOut run_sim(const graph::Graph& g, const RunConfig& cfg) {
   std::vector<double> costs(g.num_edges());
   for (graph::EdgeId e = 0; e < costs.size(); ++e) costs[e] = g.edge(e).cost;
   std::vector<graph::EdgeId> all_edges;
-  if (cfg.engine != Engine::kSoa) {
+  if (cfg.engine != Engine::kSoa || cfg.quantum >= 1) {
     all_edges.resize(g.num_edges());
     for (graph::EdgeId e = 0; e < all_edges.size(); ++e) all_edges[e] = e;
   }
@@ -188,6 +200,22 @@ SimOut run_sim(const graph::Graph& g, const RunConfig& cfg) {
       if (t + 1 == warm_at) out.warm_rss_mb = peak_rss_mb();
     }
     out.leftover = router.packets_in_flight();
+  } else if (cfg.quantum >= 1) {
+    core::QuantizedHeightRouter router(g.num_nodes(), params, cfg.quantum);
+    std::vector<core::PlannedTx> txs;
+    for (std::uint64_t t = 0; t < cfg.rounds; ++t) {
+      const auto now = static_cast<route::Time>(t);
+      router.plan_into(g, all_edges, costs, txs);
+      mix_txs(f, txs);
+      router.execute(txs, no_failures, costs, now, m);
+      engine.step(now, m, arrivals);
+      for (const route::Packet& p : arrivals) router.inject(p, m);
+      router.end_step(m);
+      if (t + 1 == warm_at) out.warm_rss_mb = peak_rss_mb();
+    }
+    out.leftover = router.packets_in_flight();
+    out.control_messages = router.control_messages();
+    out.control_bytes = router.control_bytes();
   } else {
     core::BalancingRouter router(g.num_nodes(), params);
     std::vector<core::PlannedTx> txs;
@@ -361,6 +389,19 @@ int run_matrix() {
   bool all_identical = true;
   bool reference_match = true;
 
+  // Control-plane ledger sweep (ROADMAP item 2's leftover): the quantized
+  // router's advertise/retire byte budget per node per round, across the
+  // node sweep. bench_compare's control_plane gate asserts the per-node
+  // figure stays flat as n grows.
+  struct ControlRow {
+    std::size_t n = 0;
+    std::size_t quantum = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t control_messages = 0;
+    std::uint64_t control_bytes = 0;
+  };
+  std::vector<ControlRow> control_rows;
+
   std::vector<std::size_t> sizes{1000, 10000};
   std::erase_if(sizes, [&](std::size_t n) { return n > max_n; });
   if (sizes.empty()) sizes.push_back(static_cast<std::size_t>(max_n));
@@ -445,6 +486,33 @@ int run_matrix() {
                   n, threads, e.r.ms);
       entries.push_back(e);
     }
+
+    // Quantized control plane at this n: matched closed-loop Poisson
+    // workload, quantum 2 (the staleness/bandwidth sweet spot of E15).
+    {
+      RunConfig cfg;
+      cfg.spec = workload_spec(P::kPoisson, n);
+      cfg.engine = Engine::kSoaDense;
+      cfg.rounds = base_rounds;
+      cfg.threads = 1;
+      cfg.quantum = 2;
+      bool ok = true;
+      const SimOut r = time_entry(g, cfg, &ok);
+      if (ok) {
+        control_rows.push_back(
+            {n, cfg.quantum, r.rounds, r.control_messages, r.control_bytes});
+        const double per_node_round =
+            static_cast<double>(r.control_bytes) /
+            (static_cast<double>(n) * static_cast<double>(r.rounds));
+        std::printf(
+            "router control     quantized n=%-7zu rounds=%-8llu "
+            "%llu msgs  %llu bytes  %.4f bytes/node/round\n",
+            n, static_cast<unsigned long long>(r.rounds),
+            static_cast<unsigned long long>(r.control_messages),
+            static_cast<unsigned long long>(r.control_bytes), per_node_round);
+        std::fflush(stdout);
+      }
+    }
   }
 
   // Acceptance row: >= 10^6 rounds of sustained Poisson load on the largest
@@ -522,6 +590,26 @@ int run_matrix() {
                  i ? "," : "", speedups[i].workload, speedups[i].engine,
                  speedups[i].n, speedups[i].speedup);
   std::fprintf(out, "%s],\n", speedups.empty() ? "" : "\n  ");
+  std::fprintf(out, "  \"control_plane\": [");
+  for (std::size_t i = 0; i < control_rows.size(); ++i) {
+    const ControlRow& c = control_rows[i];
+    const double denom =
+        static_cast<double>(c.n) * static_cast<double>(c.rounds);
+    std::fprintf(out,
+                 "%s\n    {\"n\": %zu, \"quantum\": %zu, \"rounds\": %llu, "
+                 "\"control_messages\": %llu, \"control_bytes\": %llu, "
+                 "\"msgs_per_node_per_round\": %.6f, "
+                 "\"bytes_per_node_per_round\": %.6f}",
+                 i ? "," : "", c.n, c.quantum,
+                 static_cast<unsigned long long>(c.rounds),
+                 static_cast<unsigned long long>(c.control_messages),
+                 static_cast<unsigned long long>(c.control_bytes),
+                 denom > 0 ? static_cast<double>(c.control_messages) / denom
+                           : 0.0,
+                 denom > 0 ? static_cast<double>(c.control_bytes) / denom
+                           : 0.0);
+  }
+  std::fprintf(out, "%s],\n", control_rows.empty() ? "" : "\n  ");
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];

@@ -87,6 +87,11 @@ class BalancingRouter {
   const BalancingParams& params() const { return params_; }
   const route::BufferBank& buffers() const { return buffers_; }
 
+  /// Mutable bank access for fault-injection harnesses (the soak watchdog's
+  /// planted-leak mutation plants BufferBank::plant_pool_leak through it).
+  /// Production code must use the const accessor.
+  route::BufferBank& buffers_for_fault_injection() { return buffers_; }
+
   /// The (T, gamma) rule over `active` edges with per-edge costs `costs`
   /// (indexed by edge id of `topo`). Returns at most one transmission per
   /// edge, deterministically. Allocating convenience wrapper of plan_into.

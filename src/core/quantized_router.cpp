@@ -77,6 +77,7 @@ std::vector<PlannedTx> QuantizedHeightRouter::plan(
 
 void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
   const std::uint64_t before = control_messages_;
+  const std::uint64_t bytes_before = control_bytes_;
   const auto& bufs = inner_.buffers();
   for (graph::NodeId v = 0; v < advertised_.size(); ++v) {
     AdvNode& adv = advertised_[v];
@@ -112,6 +113,7 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
         if (h == 0) {
           if (a >= quantum_) {
             ++control_messages_;
+            control_bytes_ += kRetireBytes;
             changed = true;
           } else {
             keep(bd[i], a);
@@ -121,6 +123,7 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
           if (drift >= quantum_) {
             keep(bd[i], h);
             ++control_messages_;
+            control_bytes_ += kAdvertiseBytes;
             changed = true;
           } else {
             keep(bd[i], a);
@@ -133,6 +136,7 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
         if (h >= quantum_) {
           keep(bd[i], h);
           ++control_messages_;
+          control_bytes_ += kAdvertiseBytes;
           changed = true;
         }
         ++i;
@@ -140,6 +144,7 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
         const std::uint32_t a = adv.heights[j];  // buffer drained (h = 0)
         if (a >= quantum_) {
           ++control_messages_;
+          control_bytes_ += kRetireBytes;
           changed = true;
         } else {
           keep(adv.dests[j], a);
@@ -153,10 +158,13 @@ void QuantizedHeightRouter::end_step(route::RunMetrics& m) {
     }
   }
   TN_OBS_COUNT("router.control_messages", control_messages_ - before);
+  TN_OBS_COUNT("router.control_bytes", control_bytes_ - bytes_before);
   // Recorded before the inner end_step advances the round clock, so the
   // control traffic of step t lands on round t like the other series.
   TN_OBS_SERIES_ADD("router.control_messages", inner_.round(),
                     control_messages_ - before);
+  TN_OBS_SERIES_ADD("router.control_bytes", inner_.round(),
+                    control_bytes_ - bytes_before);
   inner_.end_step(m);
 }
 

@@ -40,8 +40,25 @@ class QuantizedHeightRouter {
 
   const BalancingParams& params() const { return inner_.params(); }
   std::uint64_t control_messages() const { return control_messages_; }
+
+  /// Control-plane bytes on the wire, under the fixed encoding of
+  /// kAdvertiseBytes/kRetireBytes below. Deterministic — a pure function of
+  /// the message sequence — so it can sit in telemetry dumps and power the
+  /// flat-bandwidth-per-node gate of bench_compare.
+  std::uint64_t control_bytes() const { return control_bytes_; }
+
+  /// Deterministic wire-size model for the budget ledger: an advertisement
+  /// carries (header, dest, height), a retirement (header, dest), 4 bytes
+  /// each. A real MAC frame adds per-link overhead, but a *constant* one —
+  /// flatness per node is what the gate checks, so the model only has to be
+  /// proportional.
+  static constexpr std::uint64_t kAdvertiseBytes = 12;
+  static constexpr std::uint64_t kRetireBytes = 8;
   std::size_t packets_in_flight() const { return inner_.packets_in_flight(); }
   const route::BufferBank& buffers() const { return inner_.buffers(); }
+  route::BufferBank& buffers_for_fault_injection() {
+    return inner_.buffers_for_fault_injection();
+  }
 
   /// Balancing plan against advertised remote heights.
   std::vector<PlannedTx> plan(const graph::Graph& topo,
@@ -84,6 +101,7 @@ class QuantizedHeightRouter {
   std::vector<AdvNode> advertised_;
   std::size_t quantum_;
   std::uint64_t control_messages_ = 0;
+  std::uint64_t control_bytes_ = 0;
   // end_step rebuild scratch, reused across rounds.
   std::vector<route::DestId> scratch_dests_;
   std::vector<std::uint32_t> scratch_heights_;

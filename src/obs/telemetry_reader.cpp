@@ -1,10 +1,12 @@
 #include "obs/telemetry_reader.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <variant>
 
 namespace thetanet::obs {
@@ -21,18 +23,29 @@ struct JsonValue;
 using JsonObject = std::map<std::string, JsonValue>;
 using JsonArray = std::vector<JsonValue>;
 
+/// Numbers keep the exact u64 value alongside the double when the token was
+/// a plain non-negative integer that fits — counter values and series
+/// windows above 2^53 must survive the round trip bit-exactly (the stream
+/// folder's byte-equality contract depends on it).
+struct JsonNumber {
+  double d = 0.0;
+  std::uint64_t u = 0;
+  bool exact_u64 = false;
+};
+
 struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+  std::variant<std::nullptr_t, bool, JsonNumber, std::string, JsonArray,
                JsonObject>
       v;
 
   bool is_object() const { return std::holds_alternative<JsonObject>(v); }
   bool is_array() const { return std::holds_alternative<JsonArray>(v); }
-  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_number() const { return std::holds_alternative<JsonNumber>(v); }
   bool is_string() const { return std::holds_alternative<std::string>(v); }
   const JsonObject& object() const { return std::get<JsonObject>(v); }
   const JsonArray& array() const { return std::get<JsonArray>(v); }
-  double number() const { return std::get<double>(v); }
+  double number() const { return std::get<JsonNumber>(v).d; }
+  const JsonNumber& num() const { return std::get<JsonNumber>(v); }
   const std::string& string() const { return std::get<std::string>(v); }
 };
 
@@ -212,14 +225,23 @@ class Parser {
   }
 
   std::optional<JsonValue> number_value() {
-    double v = 0.0;
-    const auto res = std::from_chars(s_.data() + pos_, s_.data() + s_.size(), v);
+    JsonNumber n;
+    const auto res =
+        std::from_chars(s_.data() + pos_, s_.data() + s_.size(), n.d);
     if (res.ec != std::errc()) {
       fail("bad number");
       return std::nullopt;
     }
-    pos_ = static_cast<std::size_t>(res.ptr - s_.data());
-    return JsonValue{v};
+    const std::size_t end = static_cast<std::size_t>(res.ptr - s_.data());
+    const std::string_view token(s_.data() + pos_, end - pos_);
+    if (token.find_first_not_of("0123456789") == std::string_view::npos) {
+      const auto ures =
+          std::from_chars(token.data(), token.data() + token.size(), n.u);
+      n.exact_u64 =
+          ures.ec == std::errc() && ures.ptr == token.data() + token.size();
+    }
+    pos_ = end;
+    return JsonValue{n};
   }
 
   const std::string& s_;
@@ -236,9 +258,10 @@ bool shape_fail(std::string* error, const std::string& why) {
 }
 
 std::uint64_t as_u64(const JsonValue& v) {
-  return v.is_number() && v.number() >= 0.0
-             ? static_cast<std::uint64_t>(v.number())
-             : 0;
+  if (!v.is_number()) return 0;
+  const JsonNumber& n = v.num();
+  if (n.exact_u64) return n.u;
+  return n.d >= 0.0 ? static_cast<std::uint64_t>(n.d) : 0;
 }
 
 bool extract_spans(const JsonArray& arr, std::vector<ParsedSpan>& out,
@@ -361,6 +384,193 @@ std::optional<ParsedTelemetry> load_telemetry_file(const std::string& path,
   std::ostringstream ss;
   ss << f.rdbuf();
   return parse_telemetry_json(ss.str(), error);
+}
+
+// ---------------------------------------------------------------------------
+// Stream frames.
+
+namespace {
+
+bool extract_frame(const JsonValue& root, ParsedFrame& out,
+                   std::string* error) {
+  if (!root.is_object())
+    return shape_fail(error, "frame body is not a JSON object");
+  const JsonObject& doc = root.object();
+
+  const auto schema_it = doc.find("schema");
+  if (schema_it == doc.end() || !schema_it->second.is_string())
+    return shape_fail(error, "frame missing 'schema' string");
+  out.schema = schema_it->second.string();
+  if (out.schema != "thetanet-telemetry-stream/1")
+    return shape_fail(error, "unsupported frame schema '" + out.schema + "'");
+
+  const auto frame_it = doc.find("frame");
+  if (frame_it == doc.end() || !frame_it->second.is_number())
+    return shape_fail(error, "frame missing 'frame' number");
+  out.frame = as_u64(frame_it->second);
+
+  if (const auto it = doc.find("counters");
+      it != doc.end() && it->second.is_object()) {
+    for (const auto& [name, v] : it->second.object()) {
+      if (!v.is_number())
+        return shape_fail(error, "counter delta '" + name + "' not a number");
+      out.counters[name] = as_u64(v);
+    }
+  }
+
+  if (const auto it = doc.find("distributions");
+      it != doc.end() && it->second.is_object()) {
+    for (const auto& [name, v] : it->second.object()) {
+      if (!v.is_object())
+        return shape_fail(error, "distribution '" + name + "' not an object");
+      const JsonObject& o = v.object();
+      ParsedDistribution d;
+      const auto field = [&](const char* key, std::uint64_t& dst) {
+        const auto f = o.find(key);
+        if (f != o.end()) dst = as_u64(f->second);
+      };
+      field("count", d.count);
+      field("min", d.min);
+      field("max", d.max);
+      field("sum", d.sum);
+      field("p50", d.p50);
+      field("p99", d.p99);
+      out.distributions[name] = d;
+    }
+  }
+
+  if (const auto it = doc.find("series");
+      it != doc.end() && it->second.is_object()) {
+    for (const auto& [name, v] : it->second.object()) {
+      if (!v.is_object())
+        return shape_fail(error, "series '" + name + "' not an object");
+      const JsonObject& o = v.object();
+      ParsedSeriesDelta s;
+      if (const auto f = o.find("agg"); f != o.end() && f->second.is_string())
+        s.agg = f->second.string();
+      if (const auto f = o.find("kind"); f != o.end() && f->second.is_string())
+        s.kind = f->second.string();
+      if (const auto f = o.find("stride"); f != o.end())
+        s.stride = as_u64(f->second);
+      if (const auto f = o.find("rounds"); f != o.end())
+        s.rounds = as_u64(f->second);
+      const auto pts = o.find("points");
+      if (pts == o.end())
+        return shape_fail(error, "series '" + name + "' has no points");
+      if (s.kind == "f64") {
+        if (!pts->second.is_array())
+          return shape_fail(error,
+                            "f64 series '" + name + "' points not an array");
+        for (const JsonValue& p : pts->second.array()) {
+          if (!p.is_number())
+            return shape_fail(error,
+                              "series '" + name + "' has a non-numeric point");
+          s.fpoints.push_back(p.number());
+        }
+      } else {
+        if (!pts->second.is_object())
+          return shape_fail(error,
+                            "u64 series '" + name + "' points not an object");
+        for (const auto& [idx, p] : pts->second.object()) {
+          std::uint64_t w = 0;
+          const auto res =
+              std::from_chars(idx.data(), idx.data() + idx.size(), w);
+          if (res.ec != std::errc() || res.ptr != idx.data() + idx.size())
+            return shape_fail(
+                error, "series '" + name + "' has a bad window key '" + idx +
+                           "'");
+          if (!p.is_number())
+            return shape_fail(error,
+                              "series '" + name + "' has a non-numeric point");
+          s.uwindows.emplace_back(w, as_u64(p));
+        }
+        std::sort(s.uwindows.begin(), s.uwindows.end());
+      }
+      out.series[name] = std::move(s);
+    }
+  }
+
+  if (const auto it = doc.find("spans");
+      it != doc.end() && it->second.is_array()) {
+    out.has_spans = true;
+    if (!extract_spans(it->second.array(), out.spans, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ParsedFrame> parse_stream_frame(const std::string& body,
+                                              std::string* error) {
+  Parser p(body);
+  const std::optional<JsonValue> root = p.parse(error);
+  if (!root) return std::nullopt;
+  ParsedFrame out;
+  if (!extract_frame(*root, out, error)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<ParsedFrame>> parse_telemetry_stream(
+    const std::string& text, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::vector<ParsedFrame> frames;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos)
+      return fail("truncated FRAME header at offset " + std::to_string(pos));
+    const std::string_view header(text.data() + pos, eol - pos);
+    std::uint64_t seq = 0;
+    std::uint64_t nbytes = 0;
+    {
+      if (header.substr(0, 6) != "FRAME ")
+        return fail("expected FRAME header at offset " + std::to_string(pos));
+      const char* b = header.data() + 6;
+      const char* e = header.data() + header.size();
+      auto res = std::from_chars(b, e, seq);
+      if (res.ec != std::errc() || res.ptr == e || *res.ptr != ' ')
+        return fail("bad FRAME sequence number at offset " +
+                    std::to_string(pos));
+      res = std::from_chars(res.ptr + 1, e, nbytes);
+      if (res.ec != std::errc() || res.ptr != e)
+        return fail("bad FRAME byte count at offset " + std::to_string(pos));
+    }
+    if (seq != frames.size())
+      return fail("frame sequence gap: expected " +
+                  std::to_string(frames.size()) + ", got " +
+                  std::to_string(seq));
+    const std::size_t body_begin = eol + 1;
+    if (body_begin + nbytes > text.size())
+      return fail("frame " + std::to_string(seq) + " body truncated");
+    const std::string body = text.substr(body_begin, nbytes);
+    if (body.empty() || body.back() != '\n')
+      return fail("frame " + std::to_string(seq) +
+                  " body does not end in a newline");
+    std::string ferr;
+    std::optional<ParsedFrame> f = parse_stream_frame(body, &ferr);
+    if (!f) return fail("frame " + std::to_string(seq) + ": " + ferr);
+    if (f->frame != seq)
+      return fail("frame " + std::to_string(seq) +
+                  " header/body sequence mismatch");
+    frames.push_back(std::move(*f));
+    pos = body_begin + nbytes;
+  }
+  return frames;
+}
+
+std::optional<std::vector<ParsedFrame>> load_telemetry_stream(
+    const std::string& path, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_telemetry_stream(ss.str(), error);
 }
 
 }  // namespace thetanet::obs

@@ -6,9 +6,11 @@
 // subset the sink emits (objects, arrays, strings, numbers, bools, null)
 // and is tolerant of extra keys, so future schema additions stay readable.
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace thetanet::obs {
@@ -53,5 +55,47 @@ std::optional<ParsedTelemetry> parse_telemetry_json(const std::string& text,
 /// Convenience: read the file, then parse_telemetry_json.
 std::optional<ParsedTelemetry> load_telemetry_file(const std::string& path,
                                                    std::string* error);
+
+// ---------------------------------------------------------------------------
+// Stream frames ("thetanet-telemetry-stream/1", obs/stream.h). The reader
+// parses the wire form back into deltas; obs::StreamFolder folds them.
+
+/// One series entry of a frame. u64 series carry sparse window replacements
+/// (ascending window index) at the frame's stride; f64 series carry a full
+/// replacement array. Exactly one of uwindows/fpoints is populated, by kind.
+struct ParsedSeriesDelta {
+  std::string agg;   ///< "sum" or "max"
+  std::string kind;  ///< "u64" or "f64"
+  std::uint64_t stride = 1;
+  std::uint64_t rounds = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> uwindows;
+  std::vector<double> fpoints;
+};
+
+/// One parsed frame body. Counters are deltas; distributions are cumulative
+/// replacements; spans (when present) replace the whole forest.
+struct ParsedFrame {
+  std::uint64_t frame = 0;  ///< sequence number
+  std::string schema;       ///< "thetanet-telemetry-stream/1"
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, ParsedDistribution> distributions;
+  std::map<std::string, ParsedSeriesDelta> series;
+  bool has_spans = false;
+  std::vector<ParsedSpan> spans;
+};
+
+/// Parse one frame body (the JSON document after a FRAME header line).
+std::optional<ParsedFrame> parse_stream_frame(const std::string& body,
+                                              std::string* error);
+
+/// Split a concatenation of framed deltas ("FRAME <seq> <nbytes>\n" + body)
+/// and parse every body. Validates header shape, byte counts, and that
+/// sequence numbers run 0, 1, 2, ... with no gaps.
+std::optional<std::vector<ParsedFrame>> parse_telemetry_stream(
+    const std::string& text, std::string* error);
+
+/// Convenience: read the file, then parse_telemetry_stream.
+std::optional<std::vector<ParsedFrame>> load_telemetry_stream(
+    const std::string& path, std::string* error);
 
 }  // namespace thetanet::obs

@@ -15,6 +15,10 @@ const char* agg_name(SeriesAgg a) {
   return a == SeriesAgg::kSum ? "sum" : "max";
 }
 
+}  // namespace
+
+namespace detail {
+
 /// Shortest decimal round-trip — the same bits always print the same bytes,
 /// so f64 series stay inside the canonical-document contract.
 void append_f64(std::string& out, double v) {
@@ -78,7 +82,11 @@ void append_span_json(std::string& out, const SpanSnapshot& s,
   out += '}';
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::append_escaped;
+using detail::append_f64;
+using detail::append_span_json;
 
 TelemetrySnapshot capture_telemetry() {
   TelemetrySnapshot snap;

@@ -39,6 +39,16 @@ struct TelemetrySnapshot {
 
 TelemetrySnapshot capture_telemetry();
 
+namespace detail {
+// Canonical-document building blocks shared by the one-shot sink and the
+// delta streamer (obs/stream.h) — one renderer, so a folded stream can be
+// byte-compared against a dump.
+void append_f64(std::string& out, double v);  ///< shortest round-trip decimal
+void append_escaped(std::string& out, const std::string& s);
+void append_span_json(std::string& out, const SpanSnapshot& s,
+                      bool include_timing, int depth);
+}  // namespace detail
+
 /// Render the snapshot as the schema-versioned JSON document described
 /// above, terminated by a single newline.
 std::string to_json(const TelemetrySnapshot& snap, bool include_timing = false);

@@ -116,8 +116,10 @@ class BufferBank {
     const std::uint32_t s = node.heads[i];
     Packet p = pool_[s];
     node.heads[i] = pool_next_[s];
-    pool_next_[s] = free_head_;
-    free_head_ = s;
+    if (!leak_pool_slots_) {
+      pool_next_[s] = free_head_;
+      free_head_ = s;
+    }
     const std::uint32_t h = node.heights[i]--;
     --total_;
     lower_height(h);
@@ -212,6 +214,17 @@ class BufferBank {
   /// Total packets currently buffered anywhere. O(1).
   std::size_t total_packets() const { return total_; }
 
+  /// Packet-arena slots ever allocated (live + freelist). Flat at steady
+  /// state once the pool warmed up — the working-set figure the soak
+  /// watchdog's memory envelope tracks.
+  std::size_t pool_slots() const { return pool_.size(); }
+
+  /// FAULT INJECTION (soak_watchdog_mutation): stop recycling popped slots
+  /// into the freelist, so the arena grows by one slot per push forever —
+  /// the planted steady-state leak the drift watchdog must catch via its
+  /// RSS envelope. Never set in production code.
+  void plant_pool_leak(bool on) { leak_pool_slots_ = on; }
+
   /// Highest buffer currently in the bank (space-overhead metric). O(1):
   /// maintained incrementally from the height histogram.
   std::size_t peak_height() const { return cur_max_; }
@@ -276,6 +289,7 @@ class BufferBank {
   std::vector<Packet> pool_;
   std::vector<std::uint32_t> pool_next_;
   std::uint32_t free_head_ = kNil;
+  bool leak_pool_slots_ = false;  // fault injection; see plant_pool_leak
   // Active-node bookkeeping (mutable: compacted lazily from const scans).
   mutable std::vector<graph::NodeId> active_nodes_;
   mutable std::vector<std::uint8_t> in_active_list_;

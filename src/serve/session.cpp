@@ -1,0 +1,226 @@
+#include "serve/session.h"
+
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <locale>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "routing/local_route.h"
+#include "topology/deployment.h"
+#include "topology/distributions.h"
+
+namespace thetanet::serve {
+
+namespace {
+
+constexpr std::string_view kServeSchema = "thetanet-serve/1";
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_f64(std::string_view s, double* out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+void err(std::ostream& out, std::string_view msg) {
+  TN_OBS_COUNT("serve.errors", 1);
+  out << "err " << msg << "\n";
+}
+
+}  // namespace
+
+ServeSession::ServeSession() = default;
+ServeSession::~ServeSession() = default;
+
+void ServeSession::emit_frame(std::ostream& out) {
+  out << streamer_.next_frame();
+  out.flush();
+}
+
+bool ServeSession::handle_line(const std::string& line, std::ostream& out) {
+  const auto toks = tokenize(line);
+  if (toks.empty()) return true;  // blank line: no response, no count
+  ++commands_;
+  TN_OBS_COUNT("serve.commands", 1);
+  const std::string_view cmd = toks[0];
+  bool keep_going = true;
+
+  if (cmd == "version") {
+    out << "ok " << kServeSchema << " telemetry " << obs::kStreamSchema
+        << "\n";
+  } else if (cmd == "gen") {
+    std::uint64_t n = 0, seed = 0, cones = 18;
+    if (toks.size() < 3 || toks.size() > 4 || !parse_u64(toks[1], &n) ||
+        !parse_u64(toks[2], &seed) ||
+        (toks.size() == 4 && !parse_u64(toks[3], &cones)) || n < 2 ||
+        cones < 7) {
+      err(out, "usage: gen <n>=2.. <seed> [cones>=7]");
+    } else {
+      topo::Deployment d;
+      geom::Rng rng(0x5e47eull + seed);
+      d.positions = topo::uniform_square(n, 1.0, rng);
+      d.max_range = 1.6 * std::sqrt(std::log(static_cast<double>(n)) /
+                                    static_cast<double>(n));
+      d.kappa = 2.0;
+      const double theta =
+          2.0 * 3.14159265358979323846 / static_cast<double>(cones);
+      maint_ = std::make_unique<core::ThetaMaintainer>(std::move(d), theta);
+      out << "ok n=" << n << " edges=" << maint_->graph().num_edges()
+          << " active=" << maint_->num_active() << "\n";
+    }
+  } else if (cmd == "add" || cmd == "move" || cmd == "leave" ||
+             cmd == "wake") {
+    if (!maint_) {
+      err(out, "no topology (run `gen` first)");
+    } else if (cmd == "add") {
+      geom::Vec2 p;
+      if (toks.size() != 3 || !parse_f64(toks[1], &p.x) ||
+          !parse_f64(toks[2], &p.y)) {
+        err(out, "usage: add <x> <y>");
+      } else {
+        const graph::NodeId id = maint_->add_node(p);
+        out << "ok id=" << id << " edges=" << maint_->graph().num_edges()
+            << "\n";
+      }
+    } else {
+      std::uint64_t id = 0;
+      geom::Vec2 p;
+      const bool is_move = cmd == "move";
+      const std::size_t want = is_move ? 4u : 2u;
+      if (toks.size() != want || !parse_u64(toks[1], &id) ||
+          id >= maint_->deployment().size() ||
+          (is_move &&
+           (!parse_f64(toks[2], &p.x) || !parse_f64(toks[3], &p.y)))) {
+        err(out, is_move ? "usage: move <id> <x> <y>"
+                         : "usage: leave|wake <id>");
+      } else {
+        const auto v = static_cast<graph::NodeId>(id);
+        std::size_t rec = 0;
+        if (is_move)
+          rec = maint_->move_node(v, p);
+        else if (cmd == "leave")
+          rec = maint_->deactivate_node(v);
+        else
+          rec = maint_->activate_node(v);
+        out << "ok recomputed=" << rec
+            << " edges=" << maint_->graph().num_edges()
+            << " active=" << maint_->num_active() << "\n";
+      }
+    }
+  } else if (cmd == "route") {
+    std::uint64_t s = 0, t = 0;
+    route::LocalRouteOptions opt;
+    bool bad = toks.size() < 3 || toks.size() > 4 || !parse_u64(toks[1], &s) ||
+               !parse_u64(toks[2], &t);
+    if (!bad && toks.size() == 4) {
+      if (toks[3] == "theta")
+        opt.policy = route::LocalPolicy::kTheta;
+      else if (toks[3] != "compass")
+        bad = true;
+    }
+    if (bad) {
+      err(out, "usage: route <s> <t> [compass|theta]");
+    } else if (!maint_) {
+      err(out, "no topology (run `gen` first)");
+    } else if (s >= maint_->deployment().size() ||
+               t >= maint_->deployment().size() ||
+               !maint_->active(static_cast<graph::NodeId>(s)) ||
+               !maint_->active(static_cast<graph::NodeId>(t))) {
+      err(out, "route endpoints must be active node ids");
+    } else {
+      TN_OBS_COUNT("serve.route_queries", 1);
+      const route::LocalRouteResult r = route::local_route(
+          maint_->graph(), maint_->deployment(),
+          static_cast<graph::NodeId>(s), static_cast<graph::NodeId>(t), opt);
+      std::ostringstream len;  // fixed formatting, locale-independent
+      len.imbue(std::locale::classic());
+      len.precision(6);
+      len << std::fixed << r.length;
+      out << "ok delivered=" << (r.delivered ? 1 : 0) << " hops=" << r.hops
+          << " length=" << len.str() << "\n";
+    }
+  } else if (cmd == "telemetry") {
+    if (toks.size() != 1) {
+      err(out, "usage: telemetry");
+    } else {
+      out << "ok frame seq=" << streamer_.frames_emitted() << "\n";
+      emit_frame(out);
+    }
+  } else if (cmd == "subscribe") {
+    std::uint64_t k = 0;
+    if (toks.size() != 3 || toks[1] != "telemetry" ||
+        !parse_u64(toks[2], &k) || k == 0) {
+      err(out, "usage: subscribe telemetry <interval>=1..");
+    } else {
+      subscribe_interval_ = k;
+      commands_at_subscribe_ = commands_;
+      out << "ok subscribed interval=" << k << "\n";
+    }
+  } else if (cmd == "unsubscribe") {
+    if (toks.size() != 2 || toks[1] != "telemetry") {
+      err(out, "usage: unsubscribe telemetry");
+    } else {
+      subscribe_interval_ = 0;
+      out << "ok unsubscribed\n";
+    }
+  } else if (cmd == "stats") {
+    if (!maint_) {
+      out << "ok nodes=0 active=0 edges=0 ops=0 commands=" << commands_
+          << "\n";
+    } else {
+      out << "ok nodes=" << maint_->deployment().size()
+          << " active=" << maint_->num_active()
+          << " edges=" << maint_->graph().num_edges()
+          << " ops=" << maint_->ops() << " commands=" << commands_ << "\n";
+    }
+  } else if (cmd == "help") {
+    out << "ok commands: version gen add move leave wake route telemetry "
+           "subscribe unsubscribe stats help quit\n";
+  } else if (cmd == "quit") {
+    out << "ok bye\n";
+    keep_going = false;
+  } else {
+    err(out, "unknown command (try `help`)");
+  }
+
+  // Subscription frames ride after the response of every interval-th
+  // command since `subscribe` — including the final `quit`, so a scripted
+  // session never loses the tail of the stream.
+  if (subscribe_interval_ > 0 &&
+      (commands_ - commands_at_subscribe_) % subscribe_interval_ == 0)
+    emit_frame(out);
+  out.flush();
+  return keep_going;
+}
+
+std::uint64_t run_serve(std::istream& in, std::ostream& out) {
+  ServeSession session;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!session.handle_line(line, out)) break;
+  }
+  return session.commands_handled();
+}
+
+}  // namespace thetanet::serve

@@ -1,0 +1,68 @@
+#pragma once
+// `thetanet_cli serve` — the interactive half of the live observability
+// plane (ROADMAP item 5). A ServeSession speaks a line-based text protocol
+// over any istream/ostream pair (stdio when run from the CLI, a pipe in the
+// serve_smoke ctest), in the tradition of plain-text control sockets:
+// one command per line, one `ok ...` or `err ...` response line per command.
+//
+// Telemetry frames (`FRAME <seq> <nbytes>` + canonical JSON body, schema
+// thetanet-telemetry-stream/1) are interleaved into the same output stream;
+// they are self-delimiting, so a client can always split responses from
+// frames. `subscribe telemetry <interval>` emits a frame after every
+// <interval> processed commands — command count, not wall time, so a
+// scripted session replays byte-identically.
+//
+// Protocol (see docs/serving.md for the worked quickstart):
+//
+//   version                      -> ok thetanet-serve/1 ...
+//   gen <n> <seed> [cones]       -> build a uniform-square deployment and a
+//                                   ThetaMaintainer overlay (theta = 2pi/cones,
+//                                   default 18 cones = pi/9)
+//   add <x> <y>                  -> join a node (ok id=...)
+//   move <id> <x> <y>            -> move a node
+//   leave <id>                   -> deactivate (leave/crash/sleep)
+//   wake <id>                    -> reactivate
+//   route <s> <t> [compass|theta]-> local-route a query over the overlay
+//   telemetry                    -> emit one stream frame now
+//   subscribe telemetry <k>      -> frame after every k commands
+//   unsubscribe telemetry        -> stop streaming
+//   stats                        -> ok nodes=... active=... edges=... ops=...
+//   help                         -> command list
+//   quit                         -> ok bye (session ends)
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/theta_maintenance.h"
+#include "obs/stream.h"
+
+namespace thetanet::serve {
+
+class ServeSession {
+ public:
+  ServeSession();
+  ~ServeSession();
+
+  /// Handle one protocol line, writing the response (and any due telemetry
+  /// frame) to `out`. Returns false when the session should end (`quit`).
+  bool handle_line(const std::string& line, std::ostream& out);
+
+  std::uint64_t commands_handled() const { return commands_; }
+
+ private:
+  void emit_frame(std::ostream& out);
+
+  std::unique_ptr<core::ThetaMaintainer> maint_;
+  obs::TelemetryStreamer streamer_;
+  std::uint64_t commands_ = 0;
+  std::uint64_t subscribe_interval_ = 0;  ///< 0 = not subscribed
+  std::uint64_t commands_at_subscribe_ = 0;
+};
+
+/// Read lines from `in` until EOF or `quit`, dispatching each through a
+/// fresh ServeSession. Returns the number of commands handled.
+std::uint64_t run_serve(std::istream& in, std::ostream& out);
+
+}  // namespace thetanet::serve

@@ -54,6 +54,45 @@ TEST(QuantizedRouter, LargerQuantumSuppressesMessages) {
   EXPECT_EQ(r.control_messages(), 1U);  // drift 4 -> advertise
 }
 
+TEST(QuantizedRouter, ControlBytesFollowTheWireModel) {
+  const graph::Graph g = path3();
+  QuantizedHeightRouter r(3, {0.5, 0.0, 16}, 1);
+  route::RunMetrics m;
+  EXPECT_EQ(r.control_bytes(), 0U);
+  r.inject(mk(1, 0, 2), m);
+  r.end_step(m);
+  // One advertisement (header, dest, height).
+  EXPECT_EQ(r.control_bytes(), QuantizedHeightRouter::kAdvertiseBytes);
+  r.inject(mk(2, 0, 2), m);
+  r.end_step(m);
+  EXPECT_EQ(r.control_bytes(), 2 * QuantizedHeightRouter::kAdvertiseBytes);
+  r.end_step(m);  // no drift, no bytes
+  EXPECT_EQ(r.control_bytes(), 2 * QuantizedHeightRouter::kAdvertiseBytes);
+}
+
+TEST(QuantizedRouter, RetirementCostsRetireBytes) {
+  // Single edge so the one packet cannot oscillate: 0 -> 1 is a delivery.
+  graph::Graph g(2);
+  g.add_edge(0, 1, 1.0, 1.0);
+  const auto costs = costs_of(g);
+  QuantizedHeightRouter r(2, {0.5, 0.0, 16}, 1);
+  route::RunMetrics m;
+  r.inject(mk(1, 0, 1), m);
+  r.end_step(m);  // advertise Q_{0,1} = 1
+  const std::uint64_t after_adv = r.control_bytes();
+  EXPECT_EQ(after_adv, QuantizedHeightRouter::kAdvertiseBytes);
+  std::vector<PlannedTx> txs;
+  const std::vector<graph::EdgeId> all{0};
+  r.plan_into(g, all, costs, txs);
+  ASSERT_EQ(txs.size(), 1U);
+  r.execute(txs, {}, costs, 0, m);
+  r.end_step(m);  // drained buffer: the advertisement is retired
+  EXPECT_EQ(m.deliveries, 1U);
+  EXPECT_EQ(r.control_messages(), 2U);  // one advertise + one retire
+  EXPECT_EQ(r.control_bytes(), QuantizedHeightRouter::kAdvertiseBytes +
+                                   QuantizedHeightRouter::kRetireBytes);
+}
+
 TEST(QuantizedRouter, PlanUsesStaleRemoteHeights) {
   const graph::Graph g = path3();
   // Quantum 8: node 1's height never gets advertised at these volumes.

@@ -18,6 +18,14 @@ Three schemas are understood, detected from the document's "schema" field:
     the noise floor FAILS (the sustained loop must hold a flat footprint
     after warm-up). A fresh "reference_plans_match": false (the SoA engines
     diverged from the brute-force oracle) also fails.
+    A router document may also carry a "control_plane" section (the
+    quantized router's advertise/retire ledger across the node sweep).
+    Two gates apply to it: within the fresh file, bytes/node/round and
+    msgs/node/round must not GROW with n beyond --threshold relative to the
+    smallest-n entry (the constant per-node control-bandwidth claim), and
+    at entries matched on (n, quantum, rounds) against the baseline, the
+    per-node figures must not grow beyond --threshold either. Baselines
+    without the section skip the cross-file check silently.
   * scoreboard.json ("schema": "thetanet-scoreboard/..."): the quality
     scoreboard emitted by `thetanet_cli scoreboard`. Entries are matched on
     (builder, n, seed, dist) and there is no timing — the gates are the
@@ -158,6 +166,58 @@ def compare_scoreboard(base, fresh, key_fields, threshold):
     return regressions, improvements
 
 
+CONTROL_RATE_FIELDS = ("bytes_per_node_per_round", "msgs_per_node_per_round")
+
+
+def check_control_plane(base_doc, fresh_doc, fresh_path, threshold):
+    """Gate the router control_plane section; returns the failure count.
+
+    The claim under test is ROADMAP item 2's: per-node control-plane
+    bandwidth stays *constant* as the mesh grows. Within the fresh sweep,
+    every entry's per-node rate must stay within --threshold of the
+    smallest-n entry (dropping is fine — fewer advertisements per node at
+    scale is an improvement, growth is the regression). Across files, the
+    same fields are gated at entries matched on (n, quantum, rounds).
+    """
+    rows = fresh_doc.get("control_plane", [])
+    failures = 0
+    for i, r in enumerate(rows):
+        missing = [k for k in ("n", "quantum", "rounds")
+                   + CONTROL_RATE_FIELDS if k not in r]
+        if missing:
+            print(f"bench_compare: {fresh_path}: control_plane[{i}] is "
+                  f"missing {', '.join(missing)}", file=sys.stderr)
+            sys.exit(3)
+    if len(rows) >= 2:
+        anchor = min(rows, key=lambda r: r["n"])
+        for r in rows:
+            if r is anchor:
+                continue
+            for field in CONTROL_RATE_FIELDS:
+                a, v = anchor[field], r[field]
+                if a > 0 and v > a * (1.0 + threshold):
+                    print(f"FAIL: control_plane n={r['n']} "
+                          f"quantum={r['quantum']}: {field} {v:.4f} grows "
+                          f"over n={anchor['n']}'s {a:.4f} "
+                          f"({v / a:.2f}x) — per-node control bandwidth "
+                          f"must stay flat as the mesh grows")
+                    failures += 1
+    base_rows = {(r.get("n"), r.get("quantum"), r.get("rounds")): r
+                 for r in base_doc.get("control_plane", [])}
+    for r in rows:
+        b = base_rows.get((r["n"], r["quantum"], r["rounds"]))
+        if b is None:
+            continue
+        for field in CONTROL_RATE_FIELDS:
+            bv, fv = b.get(field), r[field]
+            if bv and fv > bv * (1.0 + threshold):
+                print(f"FAIL: control_plane n={r['n']} "
+                      f"quantum={r['quantum']}: {field} "
+                      f"{bv:.4f} -> {fv:.4f} ({fv / bv:.2f}x)")
+                failures += 1
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -209,6 +269,9 @@ def main():
                       f"after warm-up (warm {r.get('warm_rss_mb', 0.0):.1f} "
                       f"MB -> peak {r.get('peak_rss_mb', 0.0):.1f} MB)")
                 failed = True
+        if check_control_plane(base_doc, fresh_doc, args.fresh,
+                               args.threshold):
+            failed = True
 
     common = sorted(set(base) & set(fresh))
     regressions, improvements, skipped = [], [], 0

@@ -219,6 +219,64 @@ def test_router_growing_rss_below_floor_is_noise(tmp):
     assert p.returncode == 0, p.stdout + p.stderr
 
 
+def control_row(n=1000, quantum=2, rounds=20000, msgs=0.05, byt=0.55):
+    return {"n": n, "quantum": quantum, "rounds": rounds,
+            "control_messages": int(msgs * n * rounds),
+            "control_bytes": int(byt * n * rounds),
+            "msgs_per_node_per_round": msgs,
+            "bytes_per_node_per_round": byt}
+
+
+def test_router_control_plane_flat_sweep_passes(tmp):
+    # Per-node rate constant (or dropping) as n grows: the claim holds.
+    doc = router_doc(router_record(),
+                     control_plane=[control_row(n=1000, byt=0.55),
+                                    control_row(n=10000, byt=0.50)])
+    p = run_compare(tmp, doc, doc)
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_router_control_plane_growth_with_n_fails(tmp):
+    # Bytes/node/round doubling from n=1000 to n=10000 breaks the constant
+    # per-node bandwidth claim even with an identical baseline.
+    doc = router_doc(router_record(),
+                     control_plane=[control_row(n=1000, byt=0.5, msgs=0.04),
+                                    control_row(n=10000, byt=1.1,
+                                                msgs=0.04)])
+    p = run_compare(tmp, doc, doc)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "must stay flat" in p.stdout
+
+
+def test_router_control_plane_regression_vs_baseline_fails(tmp):
+    base = router_doc(router_record(),
+                      control_plane=[control_row(byt=0.5)])
+    fresh = router_doc(router_record(),
+                       control_plane=[control_row(byt=0.9)])
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "bytes_per_node_per_round" in p.stdout
+
+
+def test_router_control_plane_missing_in_baseline_is_tolerated(tmp):
+    # First run that records the section: only the in-file flatness gate.
+    base = router_doc(router_record())
+    fresh = router_doc(router_record(),
+                       control_plane=[control_row(n=1000),
+                                      control_row(n=10000)])
+    p = run_compare(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_router_control_plane_malformed_row_exit_3(tmp):
+    doc = router_doc(router_record())
+    bad = router_doc(router_record(),
+                     control_plane=[{"n": 1000, "quantum": 2}])
+    p = run_compare(tmp, doc, bad)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "control_plane[0] is missing" in p.stderr
+
+
 def test_router_missing_key_field_exit_3(tmp):
     doc = router_doc(router_record())
     bad = router_doc({"workload": "poisson", "engine": "soa", "n": 1000})

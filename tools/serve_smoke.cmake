@@ -1,0 +1,56 @@
+# serve_smoke — start `thetanet_cli serve` on a pipe, issue a topology
+# update, a route query, and one telemetry subscription, then assert
+# well-formed responses/frames and a clean shutdown. Must stay under 5 s so
+# it runs in the default suite. Invoked as:
+#   cmake -DCLI=<thetanet_cli> -DWORKDIR=<scratch> -P serve_smoke.cmake
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(input ${WORKDIR}/serve_smoke_commands.txt)
+file(WRITE ${input}
+"version
+gen 64 7
+move 3 0.2 0.2
+route 0 5 compass
+subscribe telemetry 2
+stats
+telemetry
+quit
+")
+
+execute_process(
+  COMMAND ${CLI} serve
+  INPUT_FILE ${input}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE errout
+  RESULT_VARIABLE rc
+  TIMEOUT 5)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve exited ${rc}\nstdout:\n${out}\nstderr:\n${errout}")
+endif()
+
+# Every command must have succeeded (the script contains no bad commands).
+if(out MATCHES "(^|\n)err ")
+  message(FATAL_ERROR "serve reported an error:\n${out}")
+endif()
+
+foreach(needle
+    "ok thetanet-serve/1 telemetry thetanet-telemetry-stream/1"  # version
+    "ok n=64"                                                    # gen
+    "ok recomputed="                                             # move
+    "ok delivered=1"                                             # route
+    "ok subscribed interval=2"                                   # subscribe
+    "FRAME 0 "                                                   # baseline frame
+    "\"schema\": \"thetanet-telemetry-stream/1\""                # frame body
+    "ok frame seq="                                              # telemetry
+    "ok bye")                                                    # quit
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in serve output:\n${out}")
+  endif()
+endforeach()
+
+# Clean shutdown: quit must have ended the loop with the command count on
+# stderr (stdout stays pure protocol).
+if(NOT errout MATCHES "serve: handled 8 commands")
+  message(FATAL_ERROR "unexpected stderr:\n${errout}")
+endif()

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Diff two telemetry dumps (obs::write_telemetry_json output).
+"""Diff two telemetry dumps (obs::write_telemetry_json output) or streams.
 
 Usage:
     telemetry_diff.py BASELINE.json FRESH.json [--allow-growth PCT]
+    telemetry_diff.py BASELINE.stream FRESH.stream --stream
+                      [--allow-growth PCT]
 
 Compares the counter, distribution, and series sections of two
 `thetanet-telemetry/1` or `/2` documents. A counter REGRESSES when its
@@ -31,13 +33,30 @@ Two dynamics metrics invert the rules because bigger is healthier there:
   deeper into sleep, and that is the regression; its peak is exempt
   from the growth rule (more awake nodes is never a problem).
 
+--stream treats both inputs as `thetanet-telemetry-stream/1` frame
+sequences (written by `thetanet_cli soak --stream` or saved from a serve
+telemetry subscription). Each stream is folded frame by frame with
+telemetry_tail's folder — the Python twin of the C++ StreamFolder — and
+the cumulative states are compared at every common frame boundary under
+exactly the rules above. A metric that regresses mid-run and recovers by
+the end is invisible to a dump diff but caught here, tagged with the
+first frame where it tripped; each metric is reported once, at that
+frame. When the streams carry different frame counts the common prefix
+is compared and the mismatch is reported informationally.
+
 Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error,
-3 = malformed dump (wrong schema, non-integer values, missing sections).
+3 = malformed dump or stream (wrong schema, non-integer values, missing
+sections, broken framing).
 """
 
 import argparse
 import json
+import signal
 import sys
+
+# Die quietly on a closed pipe (`... | head`) like every other line tool.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 SCHEMAS = ("thetanet-telemetry/1", "thetanet-telemetry/2")
 
@@ -125,111 +144,199 @@ def grew(base, fresh, allow_pct):
     return fresh > base * (1.0 + allow_pct / 100.0)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
-    ap.add_argument("--allow-growth", type=float, default=0.0, metavar="PCT",
-                    help="allowed counter growth in percent (default 0)")
-    args = ap.parse_args()
-
-    base_counters, base_dists, base_series = validate(
-        load(args.baseline), args.baseline)
-    fresh_counters, fresh_dists, fresh_series = validate(
-        load(args.fresh), args.fresh)
-
-    regressions = 0
+def compare_docs(base_sections, fresh_sections, allow_pct, emit):
+    """Apply every polarity rule to two validated (counters, dists, series)
+    tuples. Each judgement goes through emit(is_regression, key, text) —
+    the key names the metric and the judgement kind so stream mode can
+    report each one exactly once across frames."""
+    base_counters, base_dists, base_series = base_sections
+    fresh_counters, fresh_dists, fresh_series = fresh_sections
 
     for name in sorted(base_counters):
         base = base_counters[name]
         if name not in fresh_counters:
             if name in HIGHER_IS_BETTER_COUNTERS:
-                print(f"info: counter {name} gone (was {base}) — "
-                      f"fresh run never hit the event")
+                emit(False, ("counter-gone", name),
+                     f"info: counter {name} gone (was {base}) — "
+                     f"fresh run never hit the event")
             else:
-                print(f"info: counter {name} gone (was {base})")
+                emit(False, ("counter-gone", name),
+                     f"info: counter {name} gone (was {base})")
             continue
         fresh = fresh_counters[name]
         if name in HIGHER_IS_BETTER_COUNTERS:
             # Survival counter: the network dying earlier is the regression.
-            if grew(fresh, base, args.allow_growth):
-                print(f"REGRESSION: counter {name} shrank: {base} -> {fresh} "
-                      f"(survival metric, lower is worse)")
-                regressions += 1
+            if grew(fresh, base, allow_pct):
+                emit(True, ("counter", name),
+                     f"REGRESSION: counter {name} shrank: {base} -> {fresh} "
+                     f"(survival metric, lower is worse)")
             elif fresh > base:
-                print(f"info: counter {name} improved: {base} -> {fresh}")
-        elif grew(base, fresh, args.allow_growth):
+                emit(False, ("counter-improved", name),
+                     f"info: counter {name} improved: {base} -> {fresh}")
+        elif grew(base, fresh, allow_pct):
             pct = 0.0 if base == 0 else 100.0 * (fresh - base) / base
-            print(f"REGRESSION: counter {name}: {base} -> {fresh} "
-                  f"(+{pct:.1f}%)")
-            regressions += 1
+            emit(True, ("counter", name),
+                 f"REGRESSION: counter {name}: {base} -> {fresh} "
+                 f"(+{pct:.1f}%)")
         elif fresh < base:
-            print(f"info: counter {name} improved: {base} -> {fresh}")
+            emit(False, ("counter-improved", name),
+                 f"info: counter {name} improved: {base} -> {fresh}")
     for name in sorted(set(fresh_counters) - set(base_counters)):
         if name in HIGHER_IS_BETTER_COUNTERS:
             # The baseline run never emitted this survival counter (it never
             # partitioned); the fresh run did — that event is new, and bad.
-            print(f"REGRESSION: counter {name} appeared = "
-                  f"{fresh_counters[name]} (baseline never hit the event)")
-            regressions += 1
+            emit(True, ("counter-appeared", name),
+                 f"REGRESSION: counter {name} appeared = "
+                 f"{fresh_counters[name]} (baseline never hit the event)")
         else:
-            print(f"info: new counter {name} = {fresh_counters[name]}")
+            emit(False, ("counter-new", name),
+                 f"info: new counter {name} = {fresh_counters[name]}")
 
     for name in sorted(base_dists):
         if name not in fresh_dists:
-            print(f"info: distribution {name} gone")
+            emit(False, ("dist-gone", name),
+                 f"info: distribution {name} gone")
             continue
         for field in ("count", "max", "sum", "p50", "p99"):
             base = base_dists[name][field]
             fresh = fresh_dists[name][field]
-            if grew(base, fresh, args.allow_growth):
-                print(f"REGRESSION: distribution {name}.{field}: "
-                      f"{base} -> {fresh}")
-                regressions += 1
+            if grew(base, fresh, allow_pct):
+                emit(True, ("dist", name, field),
+                     f"REGRESSION: distribution {name}.{field}: "
+                     f"{base} -> {fresh}")
     for name in sorted(set(fresh_dists) - set(base_dists)):
-        print(f"info: new distribution {name}")
+        emit(False, ("dist-new", name), f"info: new distribution {name}")
 
     for name in sorted(base_series):
         if name not in fresh_series:
-            print(f"info: series {name} gone")
+            emit(False, ("series-gone", name), f"info: series {name} gone")
             continue
         b, f = base_series[name], fresh_series[name]
         if (b["agg"], b["kind"]) != (f["agg"], f["kind"]):
-            print(f"REGRESSION: series {name} changed meaning: "
-                  f"{b['agg']}/{b['kind']} -> {f['agg']}/{f['kind']}")
-            regressions += 1
+            emit(True, ("series-meaning", name),
+                 f"REGRESSION: series {name} changed meaning: "
+                 f"{b['agg']}/{b['kind']} -> {f['agg']}/{f['kind']}")
             continue
         if name in FLOOR_SERIES:
             # Floor series: the minimum point is the health signal, and a
             # deeper dip is the regression; peak growth is always fine.
             base = min(b["points"], default=0)
             fresh = min(f["points"], default=0)
-            if grew(fresh, base, args.allow_growth):
-                print(f"REGRESSION: series {name} floor: {base} -> {fresh}")
-                regressions += 1
+            if grew(fresh, base, allow_pct):
+                emit(True, ("series", name, "floor"),
+                     f"REGRESSION: series {name} floor: {base} -> {fresh}")
             elif fresh > base:
-                print(f"info: series {name} floor improved: "
-                      f"{base} -> {fresh}")
+                emit(False, ("series-improved", name, "floor"),
+                     f"info: series {name} floor improved: "
+                     f"{base} -> {fresh}")
             continue
         comparisons = [("peak", max(b["points"], default=0),
                         max(f["points"], default=0))]
         if b["agg"] == "sum":
             comparisons.append(("total", sum(b["points"]), sum(f["points"])))
         for what, base, fresh in comparisons:
-            if grew(base, fresh, args.allow_growth):
-                print(f"REGRESSION: series {name} {what}: {base} -> {fresh}")
-                regressions += 1
+            if grew(base, fresh, allow_pct):
+                emit(True, ("series", name, what),
+                     f"REGRESSION: series {name} {what}: {base} -> {fresh}")
             elif fresh < base:
-                print(f"info: series {name} {what} improved: "
-                      f"{base} -> {fresh}")
+                emit(False, ("series-improved", name, what),
+                     f"info: series {name} {what} improved: "
+                     f"{base} -> {fresh}")
     for name in sorted(set(fresh_series) - set(base_series)):
-        print(f"info: new series {name}")
+        emit(False, ("series-new", name), f"info: new series {name}")
 
+
+def verdict(regressions):
     if regressions:
         print(f"telemetry_diff: {regressions} regression(s)")
         return 1
     print("telemetry_diff: OK")
     return 0
+
+
+def diff_dumps(args):
+    base = validate(load(args.baseline), args.baseline)
+    fresh = validate(load(args.fresh), args.fresh)
+
+    regressions = 0
+
+    def emit(is_regression, _key, text):
+        nonlocal regressions
+        if is_regression:
+            regressions += 1
+        print(text)
+
+    compare_docs(base, fresh, args.allow_growth, emit)
+    return verdict(regressions)
+
+
+def diff_streams(args):
+    # telemetry_tail lives next to this script; its parser and folder are
+    # the single Python implementation of the stream contract.
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    import telemetry_tail as tail
+
+    def load_frames(path):
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+        except OSError as e:
+            print(f"telemetry_diff: cannot read {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            return tail.parse_stream(data, path)
+        except tail.StreamError as e:
+            malformed(path, str(e))
+
+    base_frames = load_frames(args.baseline)
+    fresh_frames = load_frames(args.fresh)
+    common = min(len(base_frames), len(fresh_frames))
+    if len(base_frames) != len(fresh_frames):
+        print(f"info: frame counts differ: baseline {len(base_frames)}, "
+              f"fresh {len(fresh_frames)}; comparing the first {common}")
+
+    base_folder, fresh_folder = tail.Folder(), tail.Folder()
+    regressions = 0
+    seen = set()
+    for k in range(common):
+        try:
+            base_folder.fold(base_frames[k])
+        except tail.StreamError as e:
+            malformed(args.baseline, str(e))
+        try:
+            fresh_folder.fold(fresh_frames[k])
+        except tail.StreamError as e:
+            malformed(args.fresh, str(e))
+        base = validate(base_folder.to_dump(), f"{args.baseline} (frame {k})")
+        fresh = validate(fresh_folder.to_dump(), f"{args.fresh} (frame {k})")
+
+        def emit(is_regression, key, text):
+            nonlocal regressions
+            if key in seen:
+                return
+            seen.add(key)
+            if is_regression:
+                regressions += 1
+            print(f"frame {k}: {text}")
+
+        compare_docs(base, fresh, args.allow_growth, emit)
+
+    print(f"info: compared {common} frame pair(s)")
+    return verdict(regressions)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--allow-growth", type=float, default=0.0, metavar="PCT",
+                    help="allowed counter growth in percent (default 0)")
+    ap.add_argument("--stream", action="store_true",
+                    help="treat both inputs as telemetry stream files and "
+                         "diff the folded state at every frame boundary")
+    args = ap.parse_args()
+    return diff_streams(args) if args.stream else diff_dumps(args)
 
 
 if __name__ == "__main__":

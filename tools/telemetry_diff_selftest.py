@@ -286,6 +286,130 @@ def test_invalid_json_exits_2(tmp):
     assert p.returncode == 2, p.stdout + p.stderr
 
 
+# ---- stream mode -----------------------------------------------------------
+
+
+def sframe(seq, counters=None, series=None):
+    return {"counters": counters or {}, "distributions": {}, "frame": seq,
+            "schema": "thetanet-telemetry-stream/1", "series": series or {}}
+
+
+def sencode(frames):
+    out = b""
+    for body in frames:
+        blob = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        out += f"FRAME {body['frame']} {len(blob)}\n".encode("utf-8") + blob
+    return out
+
+
+def run_stream_diff(tmp, base_frames, fresh_frames, *extra):
+    bpath = os.path.join(tmp, "baseline.stream")
+    fpath = os.path.join(tmp, "fresh.stream")
+    with open(bpath, "wb") as f:
+        f.write(sencode(base_frames))
+    with open(fpath, "wb") as f:
+        f.write(sencode(fresh_frames))
+    return subprocess.run(
+        [sys.executable, SCRIPT, bpath, fpath, "--stream", *extra],
+        capture_output=True, text=True, check=False)
+
+
+def test_stream_identical_streams_pass(tmp):
+    frames = [sframe(0, {"router.delivered": 5}),
+              sframe(1, {"router.delivered": 3})]
+    p = run_stream_diff(tmp, frames, frames)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "compared 2 frame pair(s)" in p.stdout
+    assert "OK" in p.stdout
+
+
+def test_stream_regression_is_tagged_with_first_frame(tmp):
+    base = [sframe(0, {"grid.queries": 10}), sframe(1, {"grid.queries": 10})]
+    fresh = [sframe(0, {"grid.queries": 10}), sframe(1, {"grid.queries": 25})]
+    p = run_stream_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "frame 1: REGRESSION: counter grid.queries: 20 -> 35" in p.stdout
+
+
+def test_stream_catches_mid_run_spike_a_dump_diff_misses(tmp):
+    # Fresh spikes at frame 0 and recovers by frame 1: the final cumulative
+    # values are identical, so a dump diff would say OK — stream mode flags
+    # frame 0 and still reports the metric only once.
+    base = [sframe(0, {"grid.queries": 10}), sframe(1, {"grid.queries": 10})]
+    fresh = [sframe(0, {"grid.queries": 18}), sframe(1, {"grid.queries": 2})]
+    p = run_stream_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "frame 0: REGRESSION: counter grid.queries" in p.stdout
+    assert p.stdout.count("REGRESSION") == 1
+
+
+def test_stream_metric_reported_once_across_frames(tmp):
+    base = [sframe(i, {"grid.queries": 10}) for i in range(3)]
+    fresh = [sframe(i, {"grid.queries": 20}) for i in range(3)]
+    p = run_stream_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert p.stdout.count("REGRESSION: counter grid.queries") == 1
+    assert "telemetry_diff: 1 regression(s)" in p.stdout
+
+
+def test_stream_allow_growth_applies(tmp):
+    base = [sframe(0, {"grid.queries": 100})]
+    fresh = [sframe(0, {"grid.queries": 104})]
+    p = run_stream_diff(tmp, base, fresh, "--allow-growth", "5")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_stream_polarity_rules_apply_to_folded_state(tmp):
+    # The survival counter shrinking across the fold is the regression,
+    # exactly as in dump mode.
+    base = [sframe(0, {"dynamics.lifetime_to_first_partition": 500})]
+    fresh = [sframe(0, {"dynamics.lifetime_to_first_partition": 200})]
+    p = run_stream_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "shrank" in p.stdout
+
+
+def test_stream_series_totals_compare_at_frame_boundaries(tmp):
+    def ser(vals, rounds):
+        return {"s": {"agg": "sum", "kind": "u64", "points": vals,
+                      "rounds": rounds, "stride": 1}}
+    base = [sframe(0, series=ser({"0": 4}, 1))]
+    fresh = [sframe(0, series=ser({"0": 9}, 1))]
+    p = run_stream_diff(tmp, base, fresh)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "series s total: 4 -> 9" in p.stdout
+
+
+def test_stream_length_mismatch_is_informational(tmp):
+    base = [sframe(0, {"a": 1})]
+    fresh = [sframe(0, {"a": 1}), sframe(1, {"a": 0})]
+    p = run_stream_diff(tmp, base, fresh)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "frame counts differ: baseline 1, fresh 2" in p.stdout
+
+
+def test_stream_malformed_framing_exits_3(tmp):
+    bpath = os.path.join(tmp, "baseline.stream")
+    fpath = os.path.join(tmp, "fresh.stream")
+    with open(bpath, "wb") as f:
+        f.write(b"FRAME 0 nonsense\n{}\n")
+    with open(fpath, "wb") as f:
+        f.write(sencode([sframe(0)]))
+    p = subprocess.run(
+        [sys.executable, SCRIPT, bpath, fpath, "--stream"],
+        capture_output=True, text=True, check=False)
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "bad frame header" in p.stderr
+
+
+def test_stream_rejects_dump_schema_bodies(tmp):
+    frames = [sframe(0)]
+    frames[0]["schema"] = "thetanet-telemetry/2"
+    p = run_stream_diff(tmp, frames, [sframe(0)])
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "schema" in p.stderr
+
+
 def main():
     tests = sorted(
         (name, fn) for name, fn in globals().items()

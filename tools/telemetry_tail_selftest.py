@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Self-test for telemetry_tail.py, runnable standalone or via ctest.
+
+Each test_* function drives the real script through subprocess with
+synthetic thetanet-telemetry-stream/1 frames and asserts on exit code and
+output. No third-party test framework: `python3 telemetry_tail_selftest.py`
+runs every test_* function and exits nonzero on the first failure.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "telemetry_tail.py")
+
+
+def frame(seq, counters=None, distributions=None, series=None, spans=None,
+          schema="thetanet-telemetry-stream/1", body_seq=None):
+    body = {"counters": counters or {}, "distributions": distributions or {},
+            "frame": seq if body_seq is None else body_seq,
+            "schema": schema, "series": series or {}}
+    if spans is not None:
+        body["spans"] = spans
+    return body
+
+
+def encode(frames, renumber=True):
+    """Render frames with the wire framing the C++ streamer emits."""
+    out = b""
+    for i, body in enumerate(frames):
+        seq = i if renumber else body["frame"]
+        blob = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        out += f"FRAME {seq} {len(blob)}\n".encode("utf-8") + blob
+    return out
+
+
+def useries(points, rounds, stride=1, agg="sum"):
+    return {"agg": agg, "kind": "u64", "points": points, "rounds": rounds,
+            "stride": stride}
+
+
+def run_tail(tmp, data, *extra):
+    spath = os.path.join(tmp, "stream.bin")
+    with open(spath, "wb") as f:
+        f.write(data)
+    return subprocess.run(
+        [sys.executable, SCRIPT, spath, *extra],
+        capture_output=True, text=True, check=False)
+
+
+def dump_path(tmp, counters=None, distributions=None, series=None,
+              spans=None):
+    path = os.path.join(tmp, "dump.json")
+    doc = {"counters": counters or {}, "distributions": distributions or {},
+           "schema": "thetanet-telemetry/2", "series": series or {},
+           "spans": spans or []}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+def test_pretty_print_shows_counter_deltas(tmp):
+    data = encode([frame(0, {"router.delivered": 5, "router.rounds": 100}),
+                   frame(1, {"router.delivered": 3})])
+    p = run_tail(tmp, data)
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "frame 0: 2 counter(s)" in p.stdout
+    assert "+5" in p.stdout and "+3" in p.stdout
+    assert "2 frame(s)" in p.stdout
+
+
+def test_verify_fold_of_counter_deltas_matches(tmp):
+    data = encode([frame(0, {"a": 5, "b": 1}), frame(1, {"a": 2})])
+    dump = dump_path(tmp, counters={"a": 7, "b": 1})
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "matches" in p.stdout
+
+
+def test_verify_mismatch_exits_1_and_points_at_the_key(tmp):
+    data = encode([frame(0, {"a": 5})])
+    dump = dump_path(tmp, counters={"a": 6})
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "does NOT match" in p.stdout
+    assert "$.counters.a" in p.stdout
+
+
+def test_distribution_replacement_keeps_the_last_frame(tmp):
+    d0 = {"count": 10, "max": 3, "min": 0, "p50": 1, "p99": 3, "sum": 12}
+    d1 = {"count": 20, "max": 5, "min": 0, "p50": 2, "p99": 4, "sum": 30}
+    data = encode([frame(0, distributions={"router.round_peak_buffer": d0}),
+                   frame(1, distributions={"router.round_peak_buffer": d1})])
+    dump = dump_path(tmp,
+                     distributions={"router.round_peak_buffer": d1})
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_u64_series_rewindows_when_stride_doubles(tmp):
+    # Frame 0: stride 1, rounds 4, windows [1, 2, 3, 4]. Frame 1: stride 4
+    # (two doublings), rounds 8 -> 2 windows; pairwise sum folds the old
+    # points to [3, 7] then [10], and the sparse update writes window 1.
+    data = encode([
+        frame(0, series={"s": useries({"0": 1, "1": 2, "2": 3, "3": 4}, 4)}),
+        frame(1, series={"s": useries({"1": 9}, 8, stride=4)}),
+    ])
+    dump = dump_path(tmp, series={
+        "s": {"agg": "sum", "kind": "u64", "points": [10, 9], "rounds": 8,
+              "stride": 4}})
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_u64_max_series_rewindows_with_max(tmp):
+    data = encode([
+        frame(0, series={"s": useries({"0": 1, "1": 7, "2": 3, "3": 4},
+                                      4, agg="max")}),
+        frame(1, series={"s": useries({}, 8, stride=2, agg="max")}),
+    ])
+    dump = dump_path(tmp, series={
+        "s": {"agg": "max", "kind": "u64", "points": [7, 4, 0, 0],
+              "rounds": 8, "stride": 2}})
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_f64_series_is_wholesale_replacement(tmp):
+    s0 = {"agg": "max", "kind": "f64", "points": [0.5], "rounds": 1,
+          "stride": 1}
+    s1 = {"agg": "max", "kind": "f64", "points": [0.5, 0.25], "rounds": 2,
+          "stride": 1}
+    data = encode([frame(0, series={"f": s0}), frame(1, series={"f": s1})])
+    dump = dump_path(tmp, series={"f": s1})
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_spans_replace_only_when_carried(tmp):
+    roots = [{"children": [], "count": 3, "name": "construct"}]
+    data = encode([frame(0, spans=roots), frame(1)])
+    dump = dump_path(tmp, spans=roots)
+    p = run_tail(tmp, data, "--verify", dump, "--quiet")
+    assert p.returncode == 0, p.stdout + p.stderr
+
+
+def test_out_of_order_sequence_exits_3(tmp):
+    frames = [frame(0), frame(2)]
+    data = b""
+    for body in frames:
+        blob = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        data += f"FRAME {body['frame']} {len(blob)}\n".encode() + blob
+    p = run_tail(tmp, data, "--quiet")
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "expected frame 1" in p.stderr
+
+
+def test_truncated_body_exits_3(tmp):
+    data = encode([frame(0, {"a": 1})])[:-4]
+    p = run_tail(tmp, data, "--quiet")
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "truncated" in p.stderr
+
+
+def test_wrong_schema_exits_3(tmp):
+    data = encode([frame(0, schema="thetanet-telemetry/2")])
+    p = run_tail(tmp, data, "--quiet")
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "schema" in p.stderr
+
+
+def test_header_body_seq_disagreement_exits_3(tmp):
+    data = encode([frame(0, body_seq=7)])
+    p = run_tail(tmp, data, "--quiet")
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "body says frame" in p.stderr
+
+
+def test_stride_regression_exits_3(tmp):
+    data = encode([
+        frame(0, series={"s": useries({}, 8, stride=4)}),
+        frame(1, series={"s": useries({}, 8, stride=2)}),
+    ])
+    p = run_tail(tmp, data, "--quiet")
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "stride regressed" in p.stderr
+
+
+def test_window_out_of_range_exits_3(tmp):
+    data = encode([frame(0, series={"s": useries({"9": 1}, 4)})])
+    p = run_tail(tmp, data, "--quiet")
+    assert p.returncode == 3, p.stdout + p.stderr
+    assert "out of range" in p.stderr
+
+
+def test_reads_stdin_by_default(tmp):
+    data = encode([frame(0, {"a": 1})])
+    p = subprocess.run([sys.executable, SCRIPT], input=data,
+                       capture_output=True, check=False)
+    assert p.returncode == 0, p.stdout.decode() + p.stderr.decode()
+    assert b"frame 0" in p.stdout
+
+
+def test_missing_file_exits_2(tmp):
+    p = subprocess.run(
+        [sys.executable, SCRIPT, os.path.join(tmp, "nope.stream")],
+        capture_output=True, text=True, check=False)
+    assert p.returncode == 2, p.stdout + p.stderr
+    assert "cannot read" in p.stderr
+
+
+def main():
+    tests = sorted((name, fn) for name, fn in globals().items()
+                   if name.startswith("test_") and callable(fn))
+    for name, fn in tests:
+        with tempfile.TemporaryDirectory() as tmp:
+            fn(tmp)
+        print(f"  PASS {name}")
+    print(f"telemetry_tail_selftest: {len(tests)} test(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,13 @@
 //           given), distribution summaries, one SVG sparkline per series
 //           (written next to --out), and the verdict lines of a
 //           --conformance report when given.
+// serve:    interactive observability session on stdin/stdout — line
+//           protocol (gen/add/move/leave/wake/route/subscribe telemetry);
+//           see docs/serving.md.
+// soak:     drive the injection engine for --rounds rounds with the drift
+//           watchdog attached, streaming thetanet-telemetry-stream/1
+//           frames to --stream (or stdout); --shards same-seed replicas
+//           feed the determinism check; exits 1 on any violation.
 
 #include <algorithm>
 #include <cstdio>
@@ -45,6 +52,9 @@
 
 #include "core/theta_topology.h"
 #include "obs/telemetry_reader.h"
+#include "routing/injection.h"
+#include "serve/session.h"
+#include "serve/soak.h"
 #include "graph/connectivity.h"
 #include "graph/stretch.h"
 #include "interference/model.h"
@@ -481,11 +491,99 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  // Pure protocol on stdout (responses + telemetry frames); bookkeeping on
+  // stderr so piping the session through a script stays clean.
+  if (!args.empty()) {
+    std::fprintf(stderr, "serve takes no flags; commands arrive on stdin\n");
+    return 2;
+  }
+  const std::uint64_t handled = serve::run_serve(std::cin, std::cout);
+  std::fprintf(stderr, "serve: handled %llu commands\n",
+               static_cast<unsigned long long>(handled));
+  return 0;
+}
+
+int cmd_soak(const Args& args) {
+  serve::SoakSpec spec;
+  spec.n = static_cast<std::size_t>(get_num(args, "n", 512));
+  spec.topo_seed = static_cast<std::uint64_t>(get_num(args, "seed", 1));
+  spec.rounds = static_cast<std::uint64_t>(get_num(args, "rounds", 200000));
+  spec.interval = static_cast<std::uint64_t>(get_num(args, "interval", 5000));
+  spec.shards = static_cast<int>(get_num(args, "shards", 2));
+  spec.quantum = static_cast<std::size_t>(get_num(args, "quantum", 0));
+  spec.threshold = get_num(args, "threshold", 0.5);
+  spec.gamma = get_num(args, "gamma", 0.0);
+  spec.max_height = static_cast<std::size_t>(get_num(args, "max-height", 32));
+  spec.fold_check = get_num(args, "fold-check", 0) != 0;
+  spec.plant_leak = get_num(args, "plant-leak", 0) != 0;
+  spec.watchdog.rss_allowance_mb =
+      get_num(args, "rss-allowance", spec.watchdog.rss_allowance_mb);
+
+  const std::string process = get(args, "process", "poisson");
+  if (!route::parse_injection_process(process.c_str(),
+                                      &spec.inject.process)) {
+    std::fprintf(stderr, "unknown --process '%s'\n", process.c_str());
+    return 2;
+  }
+  spec.inject.rate = get_num(args, "rate", 1.0);
+  spec.inject.window =
+      static_cast<std::uint32_t>(get_num(args, "window", 4096));
+  spec.inject.seed =
+      static_cast<std::uint64_t>(get_num(args, "inject-seed", 1));
+
+  // Frames go to --stream (a file) or stdout; the human-readable summary
+  // always goes to stderr so the stream stays machine-parseable.
+  const std::string stream_path = get(args, "stream", "");
+  std::ofstream stream_file;
+  if (!stream_path.empty()) {
+    stream_file.open(stream_path, std::ios::binary | std::ios::trunc);
+    if (!stream_file) {
+      std::fprintf(stderr, "cannot write %s\n", stream_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& frames_out = stream_path.empty() ? std::cout : stream_file;
+
+  const serve::SoakResult r = serve::run_soak(spec, frames_out);
+
+  const std::string dump_path = get(args, "dump", "");
+  if (!dump_path.empty()) {
+    std::ofstream df(dump_path, std::ios::binary | std::ios::trunc);
+    df << r.final_dump;
+    if (!df) {
+      std::fprintf(stderr, "cannot write %s\n", dump_path.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr,
+               "soak: rounds=%llu frames=%llu deliveries=%llu accepted=%llu "
+               "leftover=%llu checksum=%016llx warm_rss=%.1fMiB "
+               "peak_rss=%.1fMiB fold=%s\n",
+               static_cast<unsigned long long>(r.rounds),
+               static_cast<unsigned long long>(r.frames),
+               static_cast<unsigned long long>(r.deliveries),
+               static_cast<unsigned long long>(r.injected_accepted),
+               static_cast<unsigned long long>(r.leftover),
+               static_cast<unsigned long long>(r.checksum), r.warm_rss_mb,
+               r.peak_rss_mb, r.fold_ok ? "ok" : "FAIL");
+  for (const std::string& v : r.violations)
+    std::fprintf(stderr, "soak: WATCHDOG %s\n", v.c_str());
+  if (!r.ok) {
+    std::fprintf(stderr, "soak: FAILED (%zu violations)\n",
+                 r.violations.size());
+    return 1;
+  }
+  std::fprintf(stderr, "soak: ok\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "usage: thetanet_cli <generate|build|stats|scoreboard|report> "
-      "[--flag value]...\n"
+      "usage: thetanet_cli <generate|build|stats|scoreboard|report|serve|"
+      "soak> [--flag value]...\n"
       "see the header comment of tools/thetanet_cli.cpp\n");
 }
 
@@ -503,6 +601,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "scoreboard") return cmd_scoreboard(args);
   if (cmd == "report") return cmd_report(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "soak") return cmd_soak(args);
   usage();
   return 2;
 }
